@@ -1,0 +1,275 @@
+// Benchmark harness: one benchmark per table and figure of the paper's
+// evaluation (§4), plus ablation benches for the design decisions DESIGN.md
+// calls out. Each benchmark regenerates its artifact with the scaled-down
+// Quick configuration and reports the headline quantities as custom metrics,
+// so `go test -bench=. -benchmem` reproduces every result end to end.
+//
+// The full-scale tables are produced by `go run ./cmd/experiments -all`.
+package smartfeat_test
+
+import (
+	"testing"
+
+	"smartfeat/internal/core"
+	"smartfeat/internal/datasets"
+	"smartfeat/internal/experiments"
+	"smartfeat/internal/fm"
+)
+
+// benchConfig is the shared scaled-down evaluation configuration.
+func benchConfig() experiments.Config {
+	return experiments.QuickConfig()
+}
+
+// BenchmarkTable3DatasetStats regenerates Table 3 (dataset statistics).
+func BenchmarkTable3DatasetStats(b *testing.B) {
+	var rows []datasets.TableStats
+	for i := 0; i < b.N; i++ {
+		rows = datasets.Table3(benchConfig().Seed)
+	}
+	b.ReportMetric(float64(len(rows)), "datasets")
+	total := 0
+	for _, r := range rows {
+		total += r.Rows
+	}
+	b.ReportMetric(float64(total), "total_rows")
+}
+
+// BenchmarkTable4AverageAUC regenerates the Table 4 comparison on two
+// representative datasets (one small threshold-driven, one ratio-driven) and
+// reports the SMARTFEAT average-AUC delta over the initial features.
+func BenchmarkTable4AverageAUC(b *testing.B) {
+	cfg := benchConfig()
+	var delta float64
+	for i := 0; i < b.N; i++ {
+		avg, _, err := experiments.RunComparison([]string{"Diabetes", "Tennis"}, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		delta = avg.Cells[experiments.MethodSmartfeat]["Tennis"] - avg.Initial["Tennis"]
+	}
+	b.ReportMetric(delta, "sf_tennis_auc_delta")
+}
+
+// BenchmarkTable5MedianAUC regenerates the Table 5 (median) aggregate.
+func BenchmarkTable5MedianAUC(b *testing.B) {
+	cfg := benchConfig()
+	var delta float64
+	for i := 0; i < b.N; i++ {
+		_, median, err := experiments.RunComparison([]string{"Diabetes"}, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		delta = median.Cells[experiments.MethodSmartfeat]["Diabetes"] - median.Initial["Diabetes"]
+	}
+	b.ReportMetric(delta, "sf_diabetes_auc_delta")
+}
+
+// BenchmarkTable6FeatureImportance regenerates Table 6 (top-10 importance
+// shares on Tennis) and reports SMARTFEAT's IG@10 share.
+func BenchmarkTable6FeatureImportance(b *testing.B) {
+	cfg := benchConfig()
+	var ig float64
+	var generated int
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.Table6FeatureImportance("Tennis", cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range rows {
+			if r.Method == experiments.MethodSmartfeat {
+				ig = r.IGAt10
+				generated = r.Generated
+			}
+		}
+	}
+	b.ReportMetric(ig, "sf_IG@10_pct")
+	b.ReportMetric(float64(generated), "sf_generated")
+}
+
+// BenchmarkTable7OperatorAblation regenerates Table 7 (operator ablation on
+// Tennis) and reports the average-AUC gain of the binary-operator-only
+// configuration over the initial features.
+func BenchmarkTable7OperatorAblation(b *testing.B) {
+	cfg := benchConfig()
+	var binaryGain float64
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.Table7OperatorAblation("Tennis", cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		binaryGain = rows[2].Avg - rows[0].Avg // "+Binary" vs "Initial"
+	}
+	b.ReportMetric(binaryGain, "binary_avg_auc_gain")
+}
+
+// BenchmarkFigure1InteractionCost regenerates the Figure 1 comparison
+// (row-level vs feature-level FM interaction) and reports the cost ratio at
+// the largest size.
+func BenchmarkFigure1InteractionCost(b *testing.B) {
+	cfg := benchConfig()
+	var ratio float64
+	for i := 0; i < b.N; i++ {
+		points, err := experiments.Figure1InteractionCosts([]int{100, 2000}, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last := points[len(points)-1]
+		if last.FeatureCostUSD > 0 {
+			ratio = last.RowCostUSD / last.FeatureCostUSD
+		}
+	}
+	b.ReportMetric(ratio, "rowlevel_vs_featurelevel_cost_x")
+}
+
+// BenchmarkFigure2Walkthrough regenerates the Figure 2 walk-through
+// (Bucketized Age on the Table 1 insurance example).
+func BenchmarkFigure2Walkthrough(b *testing.B) {
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Figure2Walkthrough(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkEfficiency regenerates the §4.2 efficiency comparison on the
+// smallest dataset and reports SMARTFEAT's feature-engineering seconds
+// (including simulated FM latency).
+func BenchmarkEfficiency(b *testing.B) {
+	cfg := benchConfig()
+	var sfSeconds float64
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.RunEfficiency([]string{"Diabetes"}, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range rows {
+			if r.Method == experiments.MethodSmartfeat {
+				sfSeconds = r.Elapsed.Seconds()
+			}
+		}
+	}
+	b.ReportMetric(sfSeconds, "sf_seconds")
+}
+
+// BenchmarkDescriptionsAblation regenerates the §4.2 feature-description
+// ablation and reports the average-AUC drop of names-only input.
+func BenchmarkDescriptionsAblation(b *testing.B) {
+	cfg := benchConfig()
+	var drop float64
+	for i := 0; i < b.N; i++ {
+		abl, err := experiments.RunDescriptionsAblation("Tennis", cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		drop = abl.WithAvg - abl.NamesOnlyAvg
+	}
+	b.ReportMetric(drop, "names_only_avg_auc_drop")
+}
+
+// --- Ablation benches for DESIGN.md §5 design decisions ---
+
+// BenchmarkAblationSelectorVsExhaustive contrasts SMARTFEAT's operator-
+// guided candidate count against Featuretools-style exhaustion on Tennis
+// (design decision 1: the selector prunes the operator space).
+func BenchmarkAblationSelectorVsExhaustive(b *testing.B) {
+	cfg := benchConfig()
+	var guided, exhaustive int
+	for i := 0; i < b.N; i++ {
+		d, err := datasets.Load("Tennis", cfg.Seed)
+		if err != nil {
+			b.Fatal(err)
+		}
+		clean := d.Frame.DropNA()
+		sf := experiments.RunSmartfeat(d, clean, cfg, core.AllOperators())
+		ft := experiments.RunFeaturetools(d, clean, cfg)
+		guided, exhaustive = sf.Generated, ft.Generated
+	}
+	b.ReportMetric(float64(guided), "guided_candidates")
+	b.ReportMetric(float64(exhaustive), "exhaustive_candidates")
+}
+
+// BenchmarkAblationVerification measures the verification filter's effect
+// (design decision 4): features kept with and without the §3.3 filter.
+func BenchmarkAblationVerification(b *testing.B) {
+	cfg := benchConfig()
+	d, err := datasets.Load("Diabetes", cfg.Seed)
+	if err != nil {
+		b.Fatal(err)
+	}
+	clean := d.Frame.DropNA()
+	opts := core.Options{
+		Target:            d.Target,
+		TargetDescription: d.TargetDescription,
+		Descriptions:      d.Descriptions,
+		Model:             "RF",
+		SamplingBudget:    cfg.SamplingBudget,
+	}
+	var withFilter, withoutFilter int
+	for i := 0; i < b.N; i++ {
+		opts.SelectorFM = fm.NewGPT4Sim(cfg.Seed, cfg.FMErrorRate)
+		opts.GeneratorFM = fm.NewGPT35Sim(cfg.Seed+1, cfg.FMErrorRate)
+		opts.Verify = true
+		opts.DropHeuristic = true
+		on, err := core.RunRaw(clean, opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		opts.SelectorFM = fm.NewGPT4Sim(cfg.Seed, cfg.FMErrorRate)
+		opts.GeneratorFM = fm.NewGPT35Sim(cfg.Seed+1, cfg.FMErrorRate)
+		opts.Verify = false
+		opts.DropHeuristic = false
+		off, err := core.RunRaw(clean, opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		withFilter, withoutFilter = len(on.AddedColumns()), len(off.AddedColumns())
+	}
+	b.ReportMetric(float64(withFilter), "kept_with_filter")
+	b.ReportMetric(float64(withoutFilter), "kept_without_filter")
+}
+
+// BenchmarkAblationPromptStrategy contrasts the proposal strategy's FM call
+// count against sampling for the unary family (design decision 2): proposal
+// asks once per attribute; sampling would pay per candidate.
+func BenchmarkAblationPromptStrategy(b *testing.B) {
+	cfg := benchConfig()
+	d, err := datasets.Load("Diabetes", cfg.Seed)
+	if err != nil {
+		b.Fatal(err)
+	}
+	clean := d.Frame.DropNA()
+	var proposalCalls int
+	for i := 0; i < b.N; i++ {
+		res := experiments.RunSmartfeat(d, clean, cfg, core.OperatorSet{Unary: true})
+		proposalCalls = res.FMUsage.Calls
+	}
+	// One proposal prompt per attribute (8 on Diabetes) vs the per-candidate
+	// sampling budget it replaces.
+	b.ReportMetric(float64(proposalCalls), "fm_calls")
+	b.ReportMetric(float64(cfg.SamplingBudget), "sampling_budget_equiv")
+}
+
+// BenchmarkSmartfeatPipeline measures the core pipeline itself (feature
+// generation only, no model training) on the Table 1 example scale.
+func BenchmarkSmartfeatPipeline(b *testing.B) {
+	d, err := datasets.Load("Diabetes", 7)
+	if err != nil {
+		b.Fatal(err)
+	}
+	clean := d.Frame.DropNA()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, err := core.Run(clean, core.Options{
+			Target:            d.Target,
+			TargetDescription: d.TargetDescription,
+			Descriptions:      d.Descriptions,
+			SelectorFM:        fm.NewGPT4Sim(int64(i), 0),
+			GeneratorFM:       fm.NewGPT35Sim(int64(i)+1, 0),
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}

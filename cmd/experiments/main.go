@@ -1,0 +1,131 @@
+// Command experiments regenerates the paper's evaluation tables and figures.
+//
+// Usage:
+//
+//	experiments -table 3            # dataset statistics
+//	experiments -table 4            # average AUC comparison (also prints 5)
+//	experiments -table 6            # feature importance shares (Tennis)
+//	experiments -table 7            # operator ablation (Tennis)
+//	experiments -figure 1           # row-level vs feature-level cost
+//	experiments -figure 2           # Bucketized Age walkthrough
+//	experiments -efficiency         # per-method timing
+//	experiments -descriptions       # feature-description ablation
+//	experiments -all                # everything
+//
+// Add -quick for the scaled-down configuration and -datasets to restrict the
+// comparison to a comma-separated subset.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"smartfeat/internal/datasets"
+	"smartfeat/internal/experiments"
+)
+
+func main() {
+	table := flag.Int("table", 0, "table number to regenerate (3, 4, 5, 6, 7)")
+	figure := flag.Int("figure", 0, "figure number to regenerate (1, 2)")
+	efficiency := flag.Bool("efficiency", false, "run the efficiency comparison")
+	descriptions := flag.Bool("descriptions", false, "run the feature-description ablation")
+	all := flag.Bool("all", false, "run everything")
+	quick := flag.Bool("quick", false, "use the scaled-down configuration")
+	seed := flag.Int64("seed", 0, "override the experiment seed")
+	names := flag.String("datasets", "", "comma-separated dataset subset (default: all eight)")
+	flag.Parse()
+
+	cfg := experiments.DefaultConfig()
+	if *quick {
+		cfg = experiments.QuickConfig()
+	}
+	if *seed != 0 {
+		cfg.Seed = *seed
+	}
+	selected := datasets.Names()
+	if *names != "" {
+		selected = nil
+		for _, n := range strings.Split(*names, ",") {
+			selected = append(selected, strings.TrimSpace(n))
+		}
+	}
+	if err := run(*table, *figure, *efficiency, *descriptions, *all, selected, cfg); err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+}
+
+func run(table, figure int, efficiency, descriptions, all bool, names []string, cfg experiments.Config) error {
+	did := false
+	if table == 3 || all {
+		fmt.Println(experiments.Table3String(cfg))
+		did = true
+	}
+	if table == 4 || table == 5 || all {
+		avg, median, err := experiments.RunComparison(names, cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Println(avg)
+		fmt.Println(median)
+		did = true
+	}
+	if table == 6 || all {
+		rows, err := experiments.Table6FeatureImportance("Tennis", cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Println(experiments.Table6String(rows))
+		did = true
+	}
+	if table == 7 || all {
+		rows, err := experiments.Table7OperatorAblation("Tennis", cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Println(experiments.Table7String(rows, cfg.Models))
+		did = true
+	}
+	if figure == 1 || all {
+		sizes := []int{100, 1000, 10000, 41189}
+		if all {
+			sizes = []int{100, 1000, 10000}
+		}
+		points, err := experiments.Figure1InteractionCosts(sizes, cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Println(experiments.Figure1String(points))
+		did = true
+	}
+	if figure == 2 || all {
+		out, err := experiments.Figure2Walkthrough(cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Println(out)
+		did = true
+	}
+	if efficiency || all {
+		rows, err := experiments.RunEfficiency(names, cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Println(experiments.EfficiencyString(rows))
+		did = true
+	}
+	if descriptions || all {
+		abl, err := experiments.RunDescriptionsAblation("Tennis", cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Println(abl)
+		did = true
+	}
+	if !did {
+		return fmt.Errorf("nothing selected; use -table, -figure, -efficiency, -descriptions or -all")
+	}
+	return nil
+}

@@ -1,0 +1,108 @@
+// Command smartfeat runs SMARTFEAT feature engineering on a CSV file and
+// writes the augmented dataset to stdout (or -out).
+//
+// Usage:
+//
+//	smartfeat -in data.csv -target Label [-model RF] [-budget 10] [-out out.csv]
+//	smartfeat -dataset Tennis            # run on a built-in evaluation dataset
+//
+// A report of every candidate feature (operator, status, inputs) and the
+// foundation-model usage accounting is printed to stderr.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"smartfeat/internal/core"
+	"smartfeat/internal/dataframe"
+	"smartfeat/internal/datasets"
+	"smartfeat/internal/fm"
+)
+
+func main() {
+	in := flag.String("in", "", "input CSV file with a header row")
+	dataset := flag.String("dataset", "", "use a built-in evaluation dataset instead of -in")
+	target := flag.String("target", "", "prediction-class column (required with -in)")
+	model := flag.String("model", "RF", "downstream model shown to the FM (LR, NB, RF, ET, DNN)")
+	budget := flag.Int("budget", 10, "sampling budget per operator family")
+	seed := flag.Int64("seed", 42, "random seed for the simulated FM")
+	errorRate := flag.Float64("error-rate", 0.02, "simulated FM generation-error rate")
+	out := flag.String("out", "", "output CSV path (default stdout)")
+	rowBudget := flag.Float64("row-budget", 0, "USD budget permitting full row-level completions")
+	flag.Parse()
+	if err := run(*in, *dataset, *target, *model, *budget, *seed, *errorRate, *out, *rowBudget); err != nil {
+		fmt.Fprintln(os.Stderr, "smartfeat:", err)
+		os.Exit(1)
+	}
+}
+
+func run(in, dataset, target, model string, budget int, seed int64, errorRate float64, out string, rowBudget float64) error {
+	var frame *dataframe.Frame
+	descriptions := map[string]string{}
+	targetDesc := ""
+	switch {
+	case dataset != "":
+		d, err := datasets.Load(dataset, seed)
+		if err != nil {
+			return err
+		}
+		frame = d.Frame
+		target = d.Target
+		targetDesc = d.TargetDescription
+		descriptions = d.Descriptions
+	case in != "":
+		if target == "" {
+			return fmt.Errorf("-target is required with -in")
+		}
+		file, err := os.Open(in)
+		if err != nil {
+			return err
+		}
+		defer file.Close()
+		frame, err = dataframe.ReadCSV(file)
+		if err != nil {
+			return err
+		}
+	default:
+		return fmt.Errorf("provide -in FILE or -dataset NAME")
+	}
+
+	res, err := core.Run(frame.DropNA(), core.Options{
+		Target:            target,
+		TargetDescription: targetDesc,
+		Descriptions:      descriptions,
+		Model:             model,
+		SelectorFM:        fm.NewGPT4Sim(seed, errorRate),
+		GeneratorFM:       fm.NewGPT35Sim(seed+1, errorRate),
+		SamplingBudget:    budget,
+		RowLevelBudgetUSD: rowBudget,
+	})
+	if err != nil {
+		return err
+	}
+
+	fmt.Fprintf(os.Stderr, "SMARTFEAT: %d candidates, %d features kept, %d originals dropped, %s elapsed\n",
+		len(res.Features), len(res.AddedColumns()), len(res.DroppedOriginals), res.Elapsed.Round(1e6))
+	for _, g := range res.Features {
+		fmt.Fprintf(os.Stderr, "  %-45s %-11s %-18s inputs=%v\n",
+			g.Candidate.Name, g.Candidate.Operator, g.Status, g.Candidate.Inputs)
+		if g.Status == core.StatusDataSource || g.Status == core.StatusRowLevelSkipped {
+			fmt.Fprintf(os.Stderr, "      %s\n", g.Detail)
+		}
+	}
+	fmt.Fprintf(os.Stderr, "selector  FM: %s\n", res.SelectorUsage)
+	fmt.Fprintf(os.Stderr, "generator FM: %s\n", res.GeneratorUsage)
+
+	w := os.Stdout
+	if out != "" {
+		file, err := os.Create(out)
+		if err != nil {
+			return err
+		}
+		defer file.Close()
+		w = file
+	}
+	return res.Frame.WriteCSV(w)
+}

@@ -1,0 +1,96 @@
+// Insurance: the paper's motivating Example 1.1 (Table 1) end to end —
+// SMARTFEAT constructs the four features the introduction promises:
+//
+//	F1 Bucketized Age            (unary, with the practical 21-year threshold)
+//	F2 Manufacturing year of car (unary years_since on the car's age)
+//	F3 Claim probability per car (high-order GroupbyThenAvg)
+//	F4 City population density   (extractor using open-world knowledge)
+//
+//	go run ./examples/insurance
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	"smartfeat"
+)
+
+const insuranceCSV = `Sex,Age,Age of car,Make,Claim in last 6 month,City,Safe
+M,21,6,Honda,1,SF,0
+F,35,2,Toyota,0,LA,1
+M,42,8,Ford,0,SEA,1
+F,22,14,Chevrolet,1,SF,0
+M,45,3,BMW,0,SEA,1
+F,56,5,Volkswagen,0,LA,1
+M,33,4,Honda,0,SF,1
+F,28,9,Toyota,1,LA,0
+M,51,1,Ford,0,SEA,1
+F,24,11,Chevrolet,1,SF,0
+M,38,7,BMW,0,LA,1
+F,47,2,Volkswagen,0,SEA,1
+`
+
+func main() {
+	frame, err := smartfeat.ReadCSVString(insuranceCSV)
+	if err != nil {
+		log.Fatal(err)
+	}
+	result, err := smartfeat.Run(frame, smartfeat.Options{
+		Target:            "Safe",
+		TargetDescription: "Whether the policyholder is safe and unlikely to file a claim within 6 months (1 = safe)",
+		Descriptions: map[string]string{
+			"Sex":                   "Sex of the policyholder",
+			"Age":                   "Age of the policyholder in years",
+			"Age of car":            "Age of the insured car in years",
+			"Make":                  "Manufacturer of the car",
+			"Claim in last 6 month": "Number of claims filed in the last 6 months",
+			"City":                  "City of residence",
+		},
+		Model:          "Decision Tree",
+		SelectorFM:     smartfeat.NewGPT4Sim(7, 0),
+		GeneratorFM:    smartfeat.NewGPT35Sim(8, 0),
+		SamplingBudget: 10,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("Candidate features and their fate:")
+	for _, g := range result.Features {
+		fmt.Printf("  %-50s %-11s %s\n", g.Candidate.Name, g.Candidate.Operator, g.Status)
+	}
+
+	show := func(title, col string) {
+		c := result.Frame.Column(col)
+		if c == nil {
+			fmt.Printf("\n%s: (not generated in this run)\n", title)
+			return
+		}
+		vals := make([]string, 0, 6)
+		for i := 0; i < 6; i++ {
+			vals = append(vals, c.ValueString(i))
+		}
+		fmt.Printf("\n%s → %s\n  first rows: %s\n", title, col, strings.Join(vals, ", "))
+	}
+	show("F1 Bucketized Age", "Bucketize_Age")
+	show("F2 Manufacturing year of the car", "Years_since_Age_of_car")
+	for _, name := range result.Frame.Names() {
+		if strings.HasPrefix(name, "GroupBy_Make") {
+			show("F3 Claim history per car make", name)
+		}
+		if strings.HasPrefix(name, "Population_Density") {
+			show("F4 City population density (open-world knowledge)", name)
+		}
+	}
+	if s := result.Suggestions(); len(s) > 0 {
+		fmt.Println("\nSuggested external data sources:")
+		for _, line := range s {
+			fmt.Println("  -", line)
+		}
+	}
+	fmt.Println("\nFM accounting:")
+	fmt.Println("  selector: ", result.SelectorUsage)
+	fmt.Println("  generator:", result.GeneratorUsage)
+}

@@ -1,0 +1,62 @@
+// Quickstart: run SMARTFEAT on a small CSV and inspect what it builds.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"smartfeat"
+)
+
+const csvData = `CustomerAge,AnnualIncome,NumPurchases,LastPurchaseDays,City,Churned
+34,52000,12,10,SF,0
+21,31000,2,180,LA,1
+45,88000,30,5,SEA,0
+52,61000,8,45,SF,0
+23,28000,1,200,LA,1
+38,73000,22,12,SEA,0
+29,41000,4,90,SF,1
+61,95000,28,8,LA,0
+26,35000,3,150,SEA,1
+47,82000,19,20,SF,0
+33,48000,6,75,LA,1
+55,90000,25,15,SEA,0
+`
+
+func main() {
+	frame, err := smartfeat.ReadCSVString(csvData)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	result, err := smartfeat.Run(frame, smartfeat.Options{
+		Target:            "Churned",
+		TargetDescription: "Whether the customer churned within 90 days (1 = churned)",
+		Descriptions: map[string]string{
+			"CustomerAge":      "Age of the customer in years",
+			"AnnualIncome":     "Annual income of the customer in dollars",
+			"NumPurchases":     "Number of purchases in the last year",
+			"LastPurchaseDays": "Days since the last purchase",
+			"City":             "City of residence",
+		},
+		Model: "RF",
+		// The simulated FM stands in for GPT-4 / GPT-3.5-turbo (see DESIGN.md).
+		SelectorFM:  smartfeat.NewGPT4Sim(42, 0),
+		GeneratorFM: smartfeat.NewGPT35Sim(43, 0),
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("Generated %d candidates; %d features kept.\n\n", len(result.Features), len(result.AddedColumns()))
+	for _, g := range result.Features {
+		fmt.Printf("%-40s operator=%-11s status=%-10s inputs=%v\n",
+			g.Candidate.Name, g.Candidate.Operator, g.Status, g.Candidate.Inputs)
+	}
+	fmt.Println("\nAugmented dataset columns:", result.Frame.Names())
+	fmt.Println("\nFM accounting:")
+	fmt.Println("  selector: ", result.SelectorUsage)
+	fmt.Println("  generator:", result.GeneratorUsage)
+}

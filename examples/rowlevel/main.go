@@ -1,0 +1,58 @@
+// Rowlevel: the Figure 1 cost comparison — obtaining one new feature through
+// row-level FM completions versus SMARTFEAT's feature-level interaction, on
+// growing prefixes of the Bank dataset. Row-level cost grows linearly with
+// the row count; feature-level cost depends only on the schema.
+//
+//	go run ./examples/rowlevel
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"smartfeat"
+)
+
+func main() {
+	d, err := smartfeat.LoadDataset("Bank", 2024)
+	if err != nil {
+		log.Fatal(err)
+	}
+	full := d.Frame.DropNA()
+	fmt.Println("Row-level vs feature-level FM interaction (simulated GPT pricing):")
+	fmt.Printf("%8s | %12s %12s %14s | %12s %12s %14s\n",
+		"rows", "row calls", "row $", "row latency", "feat calls", "feat $", "feat latency")
+	for _, n := range []int{100, 1000, 5000, 20000} {
+		rows := make([]int, n)
+		for i := range rows {
+			rows[i] = i
+		}
+		sub := full.Take(rows)
+
+		// Row-level: serialize every entry, ask for the masked value.
+		rowFM := smartfeat.NewGPT35Sim(int64(n), 0)
+		if _, err := smartfeat.CompleteRows(rowFM, sub, "Estimated_Subscription_Propensity", n); err != nil {
+			log.Fatal(err)
+		}
+		ru := rowFM.Usage()
+
+		// Feature-level: the whole SMARTFEAT pipeline on the same rows.
+		res, err := smartfeat.Run(sub, smartfeat.Options{
+			Target:            d.Target,
+			TargetDescription: d.TargetDescription,
+			Descriptions:      d.Descriptions,
+			SelectorFM:        smartfeat.NewGPT4Sim(1, 0),
+			GeneratorFM:       smartfeat.NewGPT35Sim(2, 0),
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fu := res.SelectorUsage
+		fu.Add(res.GeneratorUsage)
+		fmt.Printf("%8d | %12d %12.2f %14s | %12d %12.2f %14s\n",
+			n, ru.Calls, ru.SimCostUSD, ru.SimLatency.Round(time.Second),
+			fu.Calls, fu.SimCostUSD, fu.SimLatency.Round(time.Second))
+	}
+	fmt.Println("\nThe row-level column buys ONE feature; the feature-level budget built a whole feature set.")
+}

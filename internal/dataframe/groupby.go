@@ -1,0 +1,212 @@
+package dataframe
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// AggFunc names an aggregation applied within each group.
+type AggFunc string
+
+// Supported aggregation functions, matching the vocabulary the paper's
+// high-order operator exposes to the foundation model
+// (df.groupby(g)[a].transform(fn)).
+const (
+	AggMean   AggFunc = "mean"
+	AggSum    AggFunc = "sum"
+	AggMax    AggFunc = "max"
+	AggMin    AggFunc = "min"
+	AggCount  AggFunc = "count"
+	AggStd    AggFunc = "std"
+	AggMedian AggFunc = "median"
+)
+
+// ValidAgg reports whether fn is a supported aggregation.
+func ValidAgg(fn AggFunc) bool {
+	switch fn {
+	case AggMean, AggSum, AggMax, AggMin, AggCount, AggStd, AggMedian:
+		return true
+	}
+	return false
+}
+
+// aggregate reduces a slice of non-null values.
+func aggregate(fn AggFunc, vals []float64) float64 {
+	if len(vals) == 0 {
+		if fn == AggCount {
+			return 0
+		}
+		return math.NaN()
+	}
+	switch fn {
+	case AggMean:
+		s := 0.0
+		for _, v := range vals {
+			s += v
+		}
+		return s / float64(len(vals))
+	case AggSum:
+		s := 0.0
+		for _, v := range vals {
+			s += v
+		}
+		return s
+	case AggMax:
+		m := vals[0]
+		for _, v := range vals[1:] {
+			if v > m {
+				m = v
+			}
+		}
+		return m
+	case AggMin:
+		m := vals[0]
+		for _, v := range vals[1:] {
+			if v < m {
+				m = v
+			}
+		}
+		return m
+	case AggCount:
+		return float64(len(vals))
+	case AggStd:
+		m := 0.0
+		for _, v := range vals {
+			m += v
+		}
+		m /= float64(len(vals))
+		ss := 0.0
+		for _, v := range vals {
+			d := v - m
+			ss += d * d
+		}
+		return math.Sqrt(ss / float64(len(vals)))
+	case AggMedian:
+		cp := append([]float64(nil), vals...)
+		sort.Float64s(cp)
+		n := len(cp)
+		if n%2 == 1 {
+			return cp[n/2]
+		}
+		return (cp[n/2-1] + cp[n/2]) / 2
+	default:
+		return math.NaN()
+	}
+}
+
+// groupKeys assigns each row a composite key over the given columns.
+func (f *Frame) groupKeys(groupCols []string) ([]string, error) {
+	cols := make([]*Series, len(groupCols))
+	for j, n := range groupCols {
+		c := f.Column(n)
+		if c == nil {
+			return nil, fmt.Errorf("dataframe: no group column %q", n)
+		}
+		cols[j] = c
+	}
+	keys := make([]string, f.Len())
+	var b strings.Builder
+	for i := 0; i < f.Len(); i++ {
+		b.Reset()
+		for j, c := range cols {
+			if j > 0 {
+				b.WriteByte('\x1f')
+			}
+			b.WriteString(c.key(i))
+		}
+		keys[i] = b.String()
+	}
+	return keys, nil
+}
+
+// GroupByTransform computes, for every row, the aggregation of aggCol over
+// the row's group — the direct analogue of pandas'
+// df.groupby(groupCols)[aggCol].transform(fn). The result has one value per
+// row (broadcast back to the original shape).
+func (f *Frame) GroupByTransform(groupCols []string, aggCol string, fn AggFunc) ([]float64, error) {
+	if !ValidAgg(fn) {
+		return nil, fmt.Errorf("dataframe: unsupported aggregation %q", fn)
+	}
+	agg := f.Column(aggCol)
+	if agg == nil {
+		return nil, fmt.Errorf("dataframe: no aggregate column %q", aggCol)
+	}
+	if agg.Kind != Numeric {
+		return nil, fmt.Errorf("dataframe: aggregate column %q is not numeric", aggCol)
+	}
+	keys, err := f.groupKeys(groupCols)
+	if err != nil {
+		return nil, err
+	}
+	groups := make(map[string][]float64)
+	for i, k := range keys {
+		if !agg.IsNull(i) {
+			groups[k] = append(groups[k], agg.Nums[i])
+		}
+	}
+	results := make(map[string]float64, len(groups))
+	for k, vals := range groups {
+		results[k] = aggregate(fn, vals)
+	}
+	out := make([]float64, f.Len())
+	for i, k := range keys {
+		if v, ok := results[k]; ok {
+			out[i] = v
+		} else {
+			out[i] = math.NaN()
+		}
+	}
+	return out, nil
+}
+
+// GroupStats holds one aggregated row of a group-by reduction.
+type GroupStats struct {
+	Key   string
+	Count int
+	Value float64
+}
+
+// GroupByAggregate reduces aggCol within each group and returns one row per
+// group, sorted by key for determinism.
+func (f *Frame) GroupByAggregate(groupCols []string, aggCol string, fn AggFunc) ([]GroupStats, error) {
+	if !ValidAgg(fn) {
+		return nil, fmt.Errorf("dataframe: unsupported aggregation %q", fn)
+	}
+	agg := f.Column(aggCol)
+	if agg == nil {
+		return nil, fmt.Errorf("dataframe: no aggregate column %q", aggCol)
+	}
+	keys, err := f.groupKeys(groupCols)
+	if err != nil {
+		return nil, err
+	}
+	groups := make(map[string][]float64)
+	counts := make(map[string]int)
+	for i, k := range keys {
+		counts[k]++
+		if !agg.IsNull(i) {
+			groups[k] = append(groups[k], agg.Nums[i])
+		}
+	}
+	out := make([]GroupStats, 0, len(groups))
+	for k, c := range counts {
+		out = append(out, GroupStats{Key: k, Count: c, Value: aggregate(fn, groups[k])})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Key < out[j].Key })
+	return out, nil
+}
+
+// NumGroups returns the number of distinct groups induced by the columns.
+func (f *Frame) NumGroups(groupCols []string) (int, error) {
+	keys, err := f.groupKeys(groupCols)
+	if err != nil {
+		return 0, err
+	}
+	seen := make(map[string]struct{})
+	for _, k := range keys {
+		seen[k] = struct{}{}
+	}
+	return len(seen), nil
+}

@@ -1,0 +1,300 @@
+package dataframe
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Apply computes a new numeric column by evaluating fn on each row of the
+// named input columns (the Go analogue of df.apply(lambda row: ..., axis=1)).
+// If any input is null at a row, the output row is null and fn is not called.
+func (f *Frame) Apply(inputs []string, fn func(vals []float64) float64) ([]float64, error) {
+	cols := make([]*Series, len(inputs))
+	for j, n := range inputs {
+		c := f.Column(n)
+		if c == nil {
+			return nil, fmt.Errorf("dataframe: no column %q", n)
+		}
+		if c.Kind != Numeric {
+			return nil, fmt.Errorf("dataframe: apply input %q is not numeric", n)
+		}
+		cols[j] = c
+	}
+	out := make([]float64, f.Len())
+	buf := make([]float64, len(inputs))
+	for i := 0; i < f.Len(); i++ {
+		null := false
+		for j, c := range cols {
+			if c.IsNull(i) {
+				null = true
+				break
+			}
+			buf[j] = c.Nums[i]
+		}
+		if null {
+			out[i] = math.NaN()
+			continue
+		}
+		out[i] = fn(buf)
+	}
+	return out, nil
+}
+
+// Bucketize assigns each value of a numeric column to the index of the first
+// boundary it is below: value < b[0] → 0, b[0] ≤ value < b[1] → 1, …,
+// value ≥ b[last] → len(b). Boundaries must be strictly increasing.
+func (f *Frame) Bucketize(input string, boundaries []float64) ([]float64, error) {
+	c := f.Column(input)
+	if c == nil {
+		return nil, fmt.Errorf("dataframe: no column %q", input)
+	}
+	if c.Kind != Numeric {
+		return nil, fmt.Errorf("dataframe: bucketize input %q is not numeric", input)
+	}
+	if len(boundaries) == 0 {
+		return nil, fmt.Errorf("dataframe: bucketize needs at least one boundary")
+	}
+	for i := 1; i < len(boundaries); i++ {
+		if boundaries[i] <= boundaries[i-1] {
+			return nil, fmt.Errorf("dataframe: bucketize boundaries must be strictly increasing")
+		}
+	}
+	out := make([]float64, c.Len())
+	for i, v := range c.Nums {
+		if c.IsNull(i) {
+			out[i] = math.NaN()
+			continue
+		}
+		b := sort.SearchFloat64s(boundaries, v)
+		// SearchFloat64s returns the insertion point; values equal to a
+		// boundary belong to the bucket above it.
+		if b < len(boundaries) && v == boundaries[b] {
+			b++
+		}
+		out[i] = float64(b)
+	}
+	return out, nil
+}
+
+// MinMaxScale rescales a numeric column to [0,1].
+func (f *Frame) MinMaxScale(input string) ([]float64, error) {
+	c := f.Column(input)
+	if c == nil {
+		return nil, fmt.Errorf("dataframe: no column %q", input)
+	}
+	if c.Kind != Numeric {
+		return nil, fmt.Errorf("dataframe: scale input %q is not numeric", input)
+	}
+	lo, hi := c.Min(), c.Max()
+	span := hi - lo
+	out := make([]float64, c.Len())
+	for i, v := range c.Nums {
+		switch {
+		case c.IsNull(i):
+			out[i] = math.NaN()
+		case span == 0:
+			out[i] = 0
+		default:
+			out[i] = (v - lo) / span
+		}
+	}
+	return out, nil
+}
+
+// Standardize rescales a numeric column to zero mean, unit variance.
+func (f *Frame) Standardize(input string) ([]float64, error) {
+	c := f.Column(input)
+	if c == nil {
+		return nil, fmt.Errorf("dataframe: no column %q", input)
+	}
+	if c.Kind != Numeric {
+		return nil, fmt.Errorf("dataframe: standardize input %q is not numeric", input)
+	}
+	m, sd := c.Mean(), c.Std()
+	out := make([]float64, c.Len())
+	for i, v := range c.Nums {
+		switch {
+		case c.IsNull(i):
+			out[i] = math.NaN()
+		case sd == 0:
+			out[i] = 0
+		default:
+			out[i] = (v - m) / sd
+		}
+	}
+	return out, nil
+}
+
+// GetDummies one-hot encodes a categorical column, producing one numeric
+// 0/1 column per level, named input=level (the pandas get_dummies analogue).
+// Levels beyond maxLevels (by descending frequency) are folded into an
+// "=other" indicator; maxLevels ≤ 0 means no limit.
+func (f *Frame) GetDummies(input string, maxLevels int) ([]*Series, error) {
+	c := f.Column(input)
+	if c == nil {
+		return nil, fmt.Errorf("dataframe: no column %q", input)
+	}
+	if c.Kind != Categorical {
+		return nil, fmt.Errorf("dataframe: get_dummies input %q is not categorical", input)
+	}
+	freq := make(map[string]int)
+	for i, v := range c.Strs {
+		if !c.IsNull(i) {
+			freq[v]++
+		}
+	}
+	levels := make([]string, 0, len(freq))
+	for v := range freq {
+		levels = append(levels, v)
+	}
+	sort.Slice(levels, func(i, j int) bool {
+		if freq[levels[i]] != freq[levels[j]] {
+			return freq[levels[i]] > freq[levels[j]]
+		}
+		return levels[i] < levels[j]
+	})
+	folded := false
+	if maxLevels > 0 && len(levels) > maxLevels {
+		levels = levels[:maxLevels]
+		folded = true
+	}
+	kept := make(map[string]int, len(levels))
+	for j, v := range levels {
+		kept[v] = j
+	}
+	out := make([]*Series, len(levels), len(levels)+1)
+	for j, v := range levels {
+		out[j] = NewNumeric(fmt.Sprintf("%s=%s", input, sanitizeLevel(v)), make([]float64, c.Len()))
+	}
+	var other *Series
+	if folded {
+		other = NewNumeric(fmt.Sprintf("%s=other", input), make([]float64, c.Len()))
+		out = append(out, other)
+	}
+	for i, v := range c.Strs {
+		if c.IsNull(i) {
+			for _, s := range out {
+				s.SetNull(i)
+			}
+			continue
+		}
+		if j, ok := kept[v]; ok {
+			out[j].Nums[i] = 1
+		} else if other != nil {
+			other.Nums[i] = 1
+		}
+	}
+	return out, nil
+}
+
+// sanitizeLevel makes category levels safe for use inside column names.
+func sanitizeLevel(v string) string {
+	v = strings.ReplaceAll(v, "=", "_")
+	v = strings.ReplaceAll(v, ",", "_")
+	v = strings.ReplaceAll(v, "\n", "_")
+	if v == "" {
+		return "_empty_"
+	}
+	return v
+}
+
+// Factorize converts a categorical column into numeric codes, assigning codes
+// by first appearance (the pandas factorize analogue). It returns the code
+// series and the level table (code → level).
+func (f *Frame) Factorize(input string) (*Series, []string, error) {
+	c := f.Column(input)
+	if c == nil {
+		return nil, nil, fmt.Errorf("dataframe: no column %q", input)
+	}
+	if c.Kind != Categorical {
+		return nil, nil, fmt.Errorf("dataframe: factorize input %q is not categorical", input)
+	}
+	codes := make(map[string]int)
+	var levels []string
+	out := make([]float64, c.Len())
+	for i, v := range c.Strs {
+		if c.IsNull(i) {
+			out[i] = math.NaN()
+			continue
+		}
+		code, ok := codes[v]
+		if !ok {
+			code = len(levels)
+			codes[v] = code
+			levels = append(levels, v)
+		}
+		out[i] = float64(code)
+	}
+	return NewNumeric(c.Name, out), levels, nil
+}
+
+// FactorizeAll returns a clone of the frame in which every categorical column
+// has been replaced by its integer codes — the standard cleaning step the
+// paper applies before feature engineering.
+func (f *Frame) FactorizeAll() *Frame {
+	out := New()
+	for _, c := range f.cols {
+		if c.Kind == Categorical {
+			enc, _, _ := f.Factorize(c.Name)
+			_ = out.Add(enc)
+		} else {
+			_ = out.Add(c.Clone())
+		}
+	}
+	return out
+}
+
+// MapValues builds a numeric column by looking up each categorical value in
+// a mapping table (used by extractor features that carry external knowledge,
+// e.g. city → population density). Missing keys yield nulls.
+func (f *Frame) MapValues(input string, mapping map[string]float64) ([]float64, error) {
+	c := f.Column(input)
+	if c == nil {
+		return nil, fmt.Errorf("dataframe: no column %q", input)
+	}
+	if c.Kind != Categorical {
+		return nil, fmt.Errorf("dataframe: map input %q is not categorical", input)
+	}
+	out := make([]float64, c.Len())
+	for i, v := range c.Strs {
+		if c.IsNull(i) {
+			out[i] = math.NaN()
+			continue
+		}
+		if mv, ok := mapping[v]; ok {
+			out[i] = mv
+		} else {
+			out[i] = math.NaN()
+		}
+	}
+	return out, nil
+}
+
+// SplitDate decomposes a numeric YYYYMMDD column into year, month and day
+// columns (the date-splitting unary operation).
+func (f *Frame) SplitDate(input string) (year, month, day []float64, err error) {
+	c := f.Column(input)
+	if c == nil {
+		return nil, nil, nil, fmt.Errorf("dataframe: no column %q", input)
+	}
+	if c.Kind != Numeric {
+		return nil, nil, nil, fmt.Errorf("dataframe: date column %q is not numeric", input)
+	}
+	n := c.Len()
+	year = make([]float64, n)
+	month = make([]float64, n)
+	day = make([]float64, n)
+	for i, v := range c.Nums {
+		if c.IsNull(i) || v < 10000101 {
+			year[i], month[i], day[i] = math.NaN(), math.NaN(), math.NaN()
+			continue
+		}
+		iv := int64(v)
+		year[i] = float64(iv / 10000)
+		month[i] = float64((iv / 100) % 100)
+		day[i] = float64(iv % 100)
+	}
+	return year, month, day, nil
+}

@@ -1,0 +1,326 @@
+// Package dataframe implements a small columnar dataframe engine: typed
+// series with null masks, CSV I/O, row filtering, group-by transforms and the
+// reshaping operations (get_dummies, factorize, bucketize) that automated
+// feature engineering relies on. It is the storage substrate every other
+// package in this repository builds on.
+package dataframe
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Kind discriminates the physical type of a Series.
+type Kind int
+
+const (
+	// Numeric series store float64 values; NaN encodes null.
+	Numeric Kind = iota
+	// Categorical series store strings; the empty-string-with-mask encodes null.
+	Categorical
+)
+
+// String implements fmt.Stringer.
+func (k Kind) String() string {
+	switch k {
+	case Numeric:
+		return "numeric"
+	case Categorical:
+		return "categorical"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// Series is a single named column. Exactly one of Nums or Strs is populated,
+// according to Kind. Null marks missing entries; a nil Null means no nulls.
+type Series struct {
+	Name string
+	Kind Kind
+	Nums []float64
+	Strs []string
+	Null []bool
+}
+
+// NewNumeric builds a numeric series. NaN values are recorded as nulls.
+func NewNumeric(name string, vals []float64) *Series {
+	s := &Series{Name: name, Kind: Numeric, Nums: vals}
+	for i, v := range vals {
+		if math.IsNaN(v) {
+			s.setNull(i)
+		}
+	}
+	return s
+}
+
+// NewCategorical builds a categorical series.
+func NewCategorical(name string, vals []string) *Series {
+	return &Series{Name: name, Kind: Categorical, Strs: vals}
+}
+
+// Len returns the number of rows in the series.
+func (s *Series) Len() int {
+	if s.Kind == Numeric {
+		return len(s.Nums)
+	}
+	return len(s.Strs)
+}
+
+// IsNull reports whether row i is missing.
+func (s *Series) IsNull(i int) bool {
+	if s.Null != nil && s.Null[i] {
+		return true
+	}
+	if s.Kind == Numeric {
+		return math.IsNaN(s.Nums[i])
+	}
+	return false
+}
+
+// setNull marks row i as missing, allocating the mask lazily.
+func (s *Series) setNull(i int) {
+	if s.Null == nil {
+		s.Null = make([]bool, s.Len())
+	}
+	s.Null[i] = true
+}
+
+// SetNull marks row i missing. For numeric series the value is also set to NaN
+// so that downstream numeric reads agree with the mask.
+func (s *Series) SetNull(i int) {
+	s.setNull(i)
+	if s.Kind == Numeric {
+		s.Nums[i] = math.NaN()
+	}
+}
+
+// NullCount returns the number of missing rows.
+func (s *Series) NullCount() int {
+	n := 0
+	for i := 0; i < s.Len(); i++ {
+		if s.IsNull(i) {
+			n++
+		}
+	}
+	return n
+}
+
+// Clone returns a deep copy of the series.
+func (s *Series) Clone() *Series {
+	c := &Series{Name: s.Name, Kind: s.Kind}
+	if s.Nums != nil {
+		c.Nums = append([]float64(nil), s.Nums...)
+	}
+	if s.Strs != nil {
+		c.Strs = append([]string(nil), s.Strs...)
+	}
+	if s.Null != nil {
+		c.Null = append([]bool(nil), s.Null...)
+	}
+	return c
+}
+
+// Take returns a new series containing the given rows, in order.
+func (s *Series) Take(rows []int) *Series {
+	c := &Series{Name: s.Name, Kind: s.Kind}
+	if s.Kind == Numeric {
+		c.Nums = make([]float64, len(rows))
+		for j, i := range rows {
+			c.Nums[j] = s.Nums[i]
+		}
+	} else {
+		c.Strs = make([]string, len(rows))
+		for j, i := range rows {
+			c.Strs[j] = s.Strs[i]
+		}
+	}
+	if s.Null != nil {
+		c.Null = make([]bool, len(rows))
+		for j, i := range rows {
+			c.Null[j] = s.Null[i]
+		}
+	}
+	return c
+}
+
+// ValueString renders row i for display or serialization.
+func (s *Series) ValueString(i int) string {
+	if s.IsNull(i) {
+		return ""
+	}
+	if s.Kind == Numeric {
+		v := s.Nums[i]
+		if v == math.Trunc(v) && math.Abs(v) < 1e15 {
+			return fmt.Sprintf("%d", int64(v))
+		}
+		return fmt.Sprintf("%g", v)
+	}
+	return s.Strs[i]
+}
+
+// Float returns the numeric value of row i. For categorical series it returns
+// NaN; callers that need codes should Factorize first.
+func (s *Series) Float(i int) float64 {
+	if s.Kind != Numeric || s.IsNull(i) {
+		return math.NaN()
+	}
+	return s.Nums[i]
+}
+
+// validNums returns the non-null numeric values.
+func (s *Series) validNums() []float64 {
+	out := make([]float64, 0, s.Len())
+	for i, v := range s.Nums {
+		if !s.IsNull(i) {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// Mean returns the mean of non-null values of a numeric series (NaN if empty
+// or categorical).
+func (s *Series) Mean() float64 {
+	if s.Kind != Numeric {
+		return math.NaN()
+	}
+	vals := s.validNums()
+	if len(vals) == 0 {
+		return math.NaN()
+	}
+	sum := 0.0
+	for _, v := range vals {
+		sum += v
+	}
+	return sum / float64(len(vals))
+}
+
+// Std returns the population standard deviation of non-null values.
+func (s *Series) Std() float64 {
+	if s.Kind != Numeric {
+		return math.NaN()
+	}
+	vals := s.validNums()
+	if len(vals) == 0 {
+		return math.NaN()
+	}
+	m := s.Mean()
+	ss := 0.0
+	for _, v := range vals {
+		d := v - m
+		ss += d * d
+	}
+	return math.Sqrt(ss / float64(len(vals)))
+}
+
+// Min returns the minimum non-null value (NaN if none).
+func (s *Series) Min() float64 {
+	vals := s.validNums()
+	if len(vals) == 0 {
+		return math.NaN()
+	}
+	m := vals[0]
+	for _, v := range vals[1:] {
+		if v < m {
+			m = v
+		}
+	}
+	return m
+}
+
+// Max returns the maximum non-null value (NaN if none).
+func (s *Series) Max() float64 {
+	vals := s.validNums()
+	if len(vals) == 0 {
+		return math.NaN()
+	}
+	m := vals[0]
+	for _, v := range vals[1:] {
+		if v > m {
+			m = v
+		}
+	}
+	return m
+}
+
+// Quantile returns the q-th quantile (0 ≤ q ≤ 1) of non-null values using
+// linear interpolation, matching numpy's default.
+func (s *Series) Quantile(q float64) float64 {
+	vals := s.validNums()
+	if len(vals) == 0 {
+		return math.NaN()
+	}
+	sort.Float64s(vals)
+	if q <= 0 {
+		return vals[0]
+	}
+	if q >= 1 {
+		return vals[len(vals)-1]
+	}
+	pos := q * float64(len(vals)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return vals[lo]
+	}
+	frac := pos - float64(lo)
+	return vals[lo]*(1-frac) + vals[hi]*frac
+}
+
+// Cardinality returns the number of distinct non-null values.
+func (s *Series) Cardinality() int {
+	if s.Kind == Numeric {
+		seen := make(map[float64]struct{})
+		for i, v := range s.Nums {
+			if !s.IsNull(i) {
+				seen[v] = struct{}{}
+			}
+		}
+		return len(seen)
+	}
+	seen := make(map[string]struct{})
+	for i, v := range s.Strs {
+		if !s.IsNull(i) {
+			seen[v] = struct{}{}
+		}
+	}
+	return len(seen)
+}
+
+// Levels returns the sorted distinct non-null values of a categorical series.
+func (s *Series) Levels() []string {
+	if s.Kind != Categorical {
+		return nil
+	}
+	seen := make(map[string]struct{})
+	for i, v := range s.Strs {
+		if !s.IsNull(i) {
+			seen[v] = struct{}{}
+		}
+	}
+	out := make([]string, 0, len(seen))
+	for v := range seen {
+		out = append(out, v)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// IsConstant reports whether the series has at most one distinct non-null
+// value.
+func (s *Series) IsConstant() bool {
+	return s.Cardinality() <= 1
+}
+
+// key returns a group-by key for row i, namespaced by kind so that the
+// numeric 1 and the string "1" do not collide.
+func (s *Series) key(i int) string {
+	if s.IsNull(i) {
+		return "\x00null"
+	}
+	if s.Kind == Numeric {
+		return "n:" + fmt.Sprintf("%g", s.Nums[i])
+	}
+	return "s:" + s.Strs[i]
+}

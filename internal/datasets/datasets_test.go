@@ -1,0 +1,310 @@
+package datasets
+
+import (
+	"math"
+	"testing"
+
+	"smartfeat/internal/dataframe"
+	"smartfeat/internal/metrics"
+	"smartfeat/internal/ml"
+)
+
+// table3Expected pins the schema statistics from the paper's Table 3.
+var table3Expected = map[string]struct {
+	cat, num, rows int
+	field          string
+}{
+	"Diabetes":        {0, 9, 769, "Health"},
+	"Heart":           {7, 7, 3657, "Health"},
+	"Bank":            {8, 10, 41189, "Finance"},
+	"Adult":           {8, 6, 30163, "Society"},
+	"Housing":         {1, 8, 20641, "Society"},
+	"Lawschool":       {5, 7, 4591, "Education"},
+	"West Nile Virus": {3, 8, 10507, "Disease"},
+	"Tennis":          {0, 12, 944, "Sports"},
+}
+
+func TestTable3Statistics(t *testing.T) {
+	for _, name := range Names() {
+		want := table3Expected[name]
+		d, err := Load(name, 7)
+		if err != nil {
+			t.Fatalf("Load(%s): %v", name, err)
+		}
+		cat, num, rows := d.Stats()
+		if cat != want.cat || num != want.num || rows != want.rows {
+			t.Errorf("%s: stats = (%d cat, %d num, %d rows), want (%d, %d, %d)",
+				name, cat, num, rows, want.cat, want.num, want.rows)
+		}
+		if d.Field != want.field {
+			t.Errorf("%s: field = %s, want %s", name, d.Field, want.field)
+		}
+	}
+}
+
+func TestLoadUnknown(t *testing.T) {
+	if _, err := Load("Mystery", 1); err == nil {
+		t.Fatal("unknown dataset should error")
+	}
+}
+
+func TestAllDatasetsWellFormed(t *testing.T) {
+	for _, name := range Names() {
+		d, err := Load(name, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Target exists, numeric, binary.
+		target := d.Frame.Column(d.Target)
+		if target == nil || target.Kind != dataframe.Numeric {
+			t.Fatalf("%s: bad target column", name)
+		}
+		if target.Cardinality() != 2 {
+			t.Fatalf("%s: target cardinality = %d", name, target.Cardinality())
+		}
+		// Class balance is sane (neither degenerate).
+		pos := 0
+		for _, v := range target.Nums {
+			if v == 1 {
+				pos++
+			}
+		}
+		frac := float64(pos) / float64(target.Len())
+		if frac < 0.05 || frac > 0.95 {
+			t.Fatalf("%s: positive rate %.3f out of range", name, frac)
+		}
+		// Every feature has a data-card description.
+		for _, fn := range d.FeatureNames() {
+			if d.Descriptions[fn] == "" {
+				t.Fatalf("%s: missing description for %s", name, fn)
+			}
+		}
+		if d.TargetDescription == "" {
+			t.Fatalf("%s: missing target description", name)
+		}
+		// No feature is constant.
+		for _, fn := range d.FeatureNames() {
+			if d.Frame.Column(fn).IsConstant() {
+				t.Fatalf("%s: constant feature %s", name, fn)
+			}
+		}
+	}
+}
+
+func TestDeterministicGeneration(t *testing.T) {
+	for _, name := range []string{"Diabetes", "Tennis"} {
+		a, _ := Load(name, 42)
+		b, _ := Load(name, 42)
+		for _, col := range a.Frame.Names() {
+			ca, cb := a.Frame.Column(col), b.Frame.Column(col)
+			for i := 0; i < ca.Len(); i++ {
+				if ca.ValueString(i) != cb.ValueString(i) {
+					t.Fatalf("%s: %s row %d differs between equal seeds", name, col, i)
+				}
+			}
+		}
+		c, _ := Load(name, 43)
+		diff := false
+		for i := 0; i < 50 && !diff; i++ {
+			if a.Frame.Column(a.Target).Nums[i] != c.Frame.Column(c.Target).Nums[i] {
+				diff = true
+			}
+		}
+		if !diff {
+			t.Fatalf("%s: different seeds should differ", name)
+		}
+	}
+}
+
+func TestWithoutDescriptions(t *testing.T) {
+	d, _ := Load("Tennis", 1)
+	nd := d.WithoutDescriptions()
+	if nd.Descriptions["FSW.1"] != "FSW.1" {
+		t.Fatalf("names-only card should echo the name, got %q", nd.Descriptions["FSW.1"])
+	}
+	// Original untouched.
+	if d.Descriptions["FSW.1"] == "FSW.1" {
+		t.Fatal("WithoutDescriptions mutated the original")
+	}
+}
+
+func TestTable3Regeneration(t *testing.T) {
+	rows := Table3(5)
+	if len(rows) != 8 {
+		t.Fatalf("Table3 rows = %d", len(rows))
+	}
+	if rows[0].Name != "Diabetes" || rows[7].Name != "Tennis" {
+		t.Fatal("Table3 order should match the paper")
+	}
+}
+
+// evalRawAUC measures LR AUC on the raw (factorized) features — a smoke test
+// that the planted signal is in the intended regime.
+func evalRawAUC(t *testing.T, d *Dataset, maxRows int) float64 {
+	t.Helper()
+	f := d.Frame.DropNA().FactorizeAll()
+	if f.Len() > maxRows {
+		idx := make([]int, maxRows)
+		for i := range idx {
+			idx[i] = i
+		}
+		f = f.Take(idx)
+	}
+	var featNames []string
+	for _, n := range f.Names() {
+		if n != d.Target {
+			featNames = append(featNames, n)
+		}
+	}
+	X, err := f.Matrix(featNames)
+	if err != nil {
+		t.Fatal(err)
+	}
+	y, err := f.IntLabels(d.Target)
+	if err != nil {
+		t.Fatal(err)
+	}
+	train, test := metrics.TrainTestSplit(len(X), 0.25, 11)
+	Xtr, ytr := takeRows(X, y, train)
+	Xte, yte := takeRows(X, y, test)
+	pipe := ml.NewPipeline(ml.NewLogistic())
+	if err := pipe.Fit(Xtr, ytr); err != nil {
+		t.Fatal(err)
+	}
+	auc, err := metrics.AUC(yte, pipe.PredictProba(Xte))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return auc
+}
+
+func takeRows(X [][]float64, y []int, idx []int) ([][]float64, []int) {
+	Xo := make([][]float64, len(idx))
+	yo := make([]int, len(idx))
+	for k, i := range idx {
+		Xo[k] = X[i]
+		yo[k] = y[i]
+	}
+	return Xo, yo
+}
+
+func TestRawSignalRegimes(t *testing.T) {
+	// Raw-feature LR AUC should be: strong on the "well-constructed"
+	// datasets (Bank, Lawschool), moderate elsewhere — the precondition for
+	// reproducing Table 4's shape.
+	cases := []struct {
+		name   string
+		lo, hi float64
+	}{
+		{"Bank", 0.85, 1.0},
+		{"Lawschool", 0.78, 0.95},
+		{"Diabetes", 0.70, 0.92},
+		{"Tennis", 0.60, 0.93}, // LR is high on raw Tennis (Table 7: 88.17)
+		{"Adult", 0.55, 0.85},
+	}
+	for _, c := range cases {
+		d, err := Load(c.name, 9)
+		if err != nil {
+			t.Fatal(err)
+		}
+		auc := evalRawAUC(t, d, 6000)
+		if auc < c.lo || auc > c.hi {
+			t.Errorf("%s: raw LR AUC = %.3f, want in [%.2f, %.2f]", c.name, auc, c.lo, c.hi)
+		}
+	}
+}
+
+func TestHousingRatioSignal(t *testing.T) {
+	// The rooms-per-household ratio must carry signal beyond the raw totals.
+	d, _ := Load("Housing", 13)
+	f := d.Frame
+	ratio, err := f.Apply([]string{"TotalRooms", "Households"}, func(v []float64) float64 {
+		if v[1] == 0 {
+			return math.NaN()
+		}
+		return v[0] / v[1]
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	y, _ := f.IntLabels(d.Target)
+	rawRooms := f.Column("TotalRooms").Nums
+	miRatio := mutualInfoQuick(ratio, y)
+	miRaw := mutualInfoQuick(rawRooms, y)
+	if miRatio <= miRaw {
+		t.Fatalf("ratio MI (%.4f) should exceed raw rooms MI (%.4f)", miRatio, miRaw)
+	}
+}
+
+// mutualInfoQuick: equal-width-bin MI for tests (duplicated from featselect
+// to avoid a dependency cycle in test helpers).
+func mutualInfoQuick(x []float64, y []int) float64 {
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, v := range x {
+		if math.IsNaN(v) {
+			continue
+		}
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	bins := 10
+	width := (hi - lo) / float64(bins)
+	joint := map[[2]int]float64{}
+	px := map[int]float64{}
+	py := map[int]float64{}
+	n := float64(len(x))
+	for i, v := range x {
+		b := bins
+		if !math.IsNaN(v) && width > 0 {
+			b = int((v - lo) / width)
+			if b >= bins {
+				b = bins - 1
+			}
+		}
+		joint[[2]int{b, y[i]}]++
+		px[b]++
+		py[y[i]]++
+	}
+	mi := 0.0
+	for k, c := range joint {
+		pxy := c / n
+		mi += pxy * math.Log(pxy/((px[k[0]]/n)*(py[k[1]]/n)))
+	}
+	return mi
+}
+
+func TestDiabetesSensorZeros(t *testing.T) {
+	d, _ := Load("Diabetes", 17)
+	ins := d.Frame.Column("Insulin")
+	zeros := 0
+	for i, v := range ins.Nums {
+		if !ins.IsNull(i) && v == 0 {
+			zeros++
+		}
+	}
+	frac := float64(zeros) / float64(ins.Len())
+	if frac < 0.2 || frac > 0.5 {
+		t.Fatalf("insulin zero fraction = %.2f, want ~0.35 (CAAFE's failure trigger)", frac)
+	}
+}
+
+func TestAdultGroupSignal(t *testing.T) {
+	// GroupBy(Occupation, Education) mean CapitalGain must beat raw
+	// CapitalGain — the structure behind SMARTFEAT's +13% on Adult.
+	d, _ := Load("Adult", 19)
+	f := d.Frame
+	grouped, err := f.GroupByTransform([]string{"Occupation", "Education"}, "CapitalGain", dataframe.AggMean)
+	if err != nil {
+		t.Fatal(err)
+	}
+	y, _ := f.IntLabels(d.Target)
+	miGroup := mutualInfoQuick(grouped, y)
+	miRaw := mutualInfoQuick(f.Column("CapitalGain").Nums, y)
+	if miGroup <= miRaw {
+		t.Fatalf("group MI (%.4f) should exceed raw MI (%.4f)", miGroup, miRaw)
+	}
+}

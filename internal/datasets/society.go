@@ -1,0 +1,211 @@
+package datasets
+
+import (
+	"fmt"
+	"math"
+
+	"smartfeat/internal/dataframe"
+)
+
+// Adult generates the census-income-style dataset (Table 3: 8 categorical,
+// 6 numeric, 30,163 rows, Society). The class signal lives in a latent
+// per-(Occupation × Education) effect that no raw column carries linearly:
+// group-by statistics (e.g. mean capital gain per occupation/education
+// group) expose it directly, which is why the paper's largest SMARTFEAT gain
+// (+13.3% average AUC) happens here, while context-agnostic expansion
+// (Featuretools' add/multiply) only adds noise.
+func Adult(seed int64) *Dataset {
+	s := newSynth(seed)
+	const n = 30163
+	workclass := make([]string, n)
+	education := make([]string, n)
+	marital := make([]string, n)
+	occupation := make([]string, n)
+	relationship := make([]string, n)
+	race := make([]string, n)
+	sex := make([]string, n)
+	country := make([]string, n)
+	age := make([]float64, n)
+	fnlwgt := make([]float64, n)
+	capGain := make([]float64, n)
+	capLoss := make([]float64, n)
+	hours := make([]float64, n)
+	scores := make([]float64, n)
+
+	occupations := []string{"Tech-support", "Craft-repair", "Other-service", "Sales", "Exec-managerial", "Prof-specialty", "Handlers-cleaners", "Machine-op-inspct", "Adm-clerical", "Farming-fishing", "Transport-moving", "Priv-house-serv", "Protective-serv", "Armed-Forces"}
+	educations := []string{"Bachelors", "Some-college", "11th", "HS-grad", "Prof-school", "Assoc-acdm", "Assoc-voc", "9th", "7th-8th", "12th", "Masters", "1st-4th", "10th", "Doctorate", "5th-6th", "Preschool"}
+	workclasses := []string{"Private", "Self-emp-not-inc", "Self-emp-inc", "Federal-gov", "Local-gov", "State-gov", "Without-pay"}
+	maritals := []string{"Married-civ-spouse", "Divorced", "Never-married", "Separated", "Widowed", "Married-spouse-absent", "Married-AF-spouse"}
+	relationships := []string{"Wife", "Own-child", "Husband", "Not-in-family", "Other-relative", "Unmarried"}
+	races := []string{"White", "Black", "Asian-Pac-Islander", "Amer-Indian-Eskimo", "Other"}
+	countries := []string{"United-States", "Mexico", "Philippines", "Germany", "Canada", "Puerto-Rico", "El-Salvador", "India", "Cuba", "England", "China", "Jamaica", "South", "Italy", "Dominican-Republic", "Vietnam", "Guatemala", "Japan", "Poland", "Columbia"}
+
+	// Latent earning propensity: additive per-occupation and per-education
+	// effects plus a pair-specific residual. Single-column group statistics
+	// recover the additive parts; the pair residual rewards two-column
+	// group-bys.
+	occEffect := s.groupEffects(occupations, 0.8)
+	eduEffect := s.groupEffects(educations, 0.8)
+	pairEffect := make(map[string]float64)
+	for _, occ := range occupations {
+		for _, edu := range educations {
+			pairEffect[occ+"|"+edu] = occEffect[occ] + eduEffect[edu] + s.normal(0, 0.45)
+		}
+	}
+	for i := 0; i < n; i++ {
+		workclass[i] = s.weightedChoice(workclasses, []float64{14, 2, 1, 1, 1.5, 1.5, 0.1})
+		education[i] = s.choice(educations)
+		marital[i] = s.weightedChoice(maritals, []float64{9, 3, 7, 1, 1, 0.5, 0.1})
+		occupation[i] = s.choice(occupations)
+		relationship[i] = s.choice(relationships)
+		race[i] = s.weightedChoice(races, []float64{17, 2, 1, 0.3, 0.2})
+		sex[i] = s.weightedChoice([]string{"Male", "Female"}, []float64{2, 1})
+		country[i] = s.weightedChoice(countries, append([]float64{40}, ones(len(countries)-1)...))
+		age[i] = math.Round(clip(s.normal(38.5, 13), 17, 90))
+		fnlwgt[i] = math.Round(s.lognormal(12.0, 0.5))
+		hours[i] = math.Round(clip(s.normal(40, 11), 1, 99))
+		g := pairEffect[occupation[i]+"|"+education[i]]
+		// Capital gain is a noisy per-row proxy of the group effect: the
+		// group mean (a GroupByThenAgg feature) denoises it.
+		if s.rng.Float64() < 0.28 {
+			capGain[i] = math.Round(clip(s.lognormal(7.2+0.9*g, 0.8), 0, 99999))
+		} else {
+			capGain[i] = 0
+		}
+		if s.rng.Float64() < 0.05 {
+			capLoss[i] = math.Round(clip(s.normal(1870, 350), 0, 4356))
+		}
+		z := 1.9 * g // dominant latent group effect
+		if marital[i] == "Married-civ-spouse" {
+			z += 0.7
+		}
+		if age[i] >= 45 {
+			z += 0.45
+		} else if age[i] >= 30 {
+			z += 0.2
+		}
+		z += 0.25 * (hours[i] - 40) / 11
+		scores[i] = z + s.normal(0, 1.0)
+	}
+	labels := s.labelsFromScores(scores, 0.25, 0.03)
+	f := dataframe.New()
+	must(f.AddCategorical("Workclass", workclass))
+	must(f.AddCategorical("Education", education))
+	must(f.AddCategorical("MaritalStatus", marital))
+	must(f.AddCategorical("Occupation", occupation))
+	must(f.AddCategorical("Relationship", relationship))
+	must(f.AddCategorical("Race", race))
+	must(f.AddCategorical("Sex", sex))
+	must(f.AddCategorical("NativeCountry", country))
+	must(f.AddNumeric("Age", age))
+	must(f.AddNumeric("Fnlwgt", fnlwgt))
+	must(f.AddNumeric("CapitalGain", capGain))
+	must(f.AddNumeric("CapitalLoss", capLoss))
+	must(f.AddNumeric("HoursPerWeek", hours))
+	must(f.AddNumeric("Income", labels))
+	return &Dataset{
+		Name:              "Adult",
+		Field:             "Society",
+		Frame:             f,
+		Target:            "Income",
+		TargetDescription: "Whether the person earns more than $50K per year (1 = yes)",
+		Descriptions: map[string]string{
+			"Workclass":     "Employer type (private, self-employed, government, ...)",
+			"Education":     "Highest education level attained",
+			"MaritalStatus": "Marital status",
+			"Occupation":    "Occupation category",
+			"Relationship":  "Relationship within the household",
+			"Race":          "Race",
+			"Sex":           "Sex",
+			"NativeCountry": "Country of origin",
+			"Age":           "Age in years",
+			"Fnlwgt":        "Census sampling weight (number of people the record represents)",
+			"CapitalGain":   "Capital gains recorded in the census year (amount in dollars)",
+			"CapitalLoss":   "Capital losses recorded in the census year (amount in dollars)",
+			"HoursPerWeek":  "Hours worked per week",
+		},
+	}
+}
+
+// Housing generates the California-housing-style dataset (Table 3: 1
+// categorical, 8 numeric, 20,641 rows, Society), binarized into an
+// above-median house-value class as the paper's setup implies. District
+// totals (rooms, bedrooms, population) are confounded by district size;
+// the signal is in ratios — rooms per household, people per household,
+// bedrooms per room — so divide-capable methods (SMARTFEAT, CAAFE) gain
+// while add/multiply-only expansion (Featuretools) degrades.
+func Housing(seed int64) *Dataset {
+	s := newSynth(seed)
+	const n = 20641
+	proximity := make([]string, n)
+	medianAge := make([]float64, n)
+	rooms := make([]float64, n)
+	bedrooms := make([]float64, n)
+	population := make([]float64, n)
+	households := make([]float64, n)
+	income := make([]float64, n)
+	latitude := make([]float64, n)
+	scores := make([]float64, n)
+	proximities := []string{"<1H OCEAN", "INLAND", "NEAR OCEAN", "NEAR BAY", "ISLAND"}
+	proxEffect := map[string]float64{"<1H OCEAN": 0.5, "INLAND": -0.7, "NEAR OCEAN": 0.55, "NEAR BAY": 0.6, "ISLAND": 1.0}
+	for i := 0; i < n; i++ {
+		proximity[i] = s.weightedChoice(proximities, []float64{9, 6.5, 2.6, 2.3, 0.01})
+		medianAge[i] = math.Round(clip(s.normal(28, 12), 1, 52))
+		households[i] = math.Round(clip(s.lognormal(6.0, 0.6), 50, 6000))
+		rph := clip(s.normal(5.3, 1.1), 1.5, 12)      // rooms per household
+		pph := clip(s.normal(3.0, 0.8), 1.0, 8)       // people per household
+		bpr := clip(s.normal(0.21, 0.035), 0.1, 0.45) // bedrooms per room
+		rooms[i] = math.Round(households[i] * rph)
+		bedrooms[i] = math.Round(rooms[i] * bpr)
+		population[i] = math.Round(households[i] * pph)
+		income[i] = math.Round(clip(s.lognormal(1.25, 0.45), 0.5, 15)*10000) / 10000
+		z := 1.9*(math.Log(income[i])-1.25)/0.45 +
+			1.1*(rph-5.3)/1.1 - // spacious districts
+			0.9*(pph-3.0)/0.8 - // crowded districts
+			0.5*(bpr-0.21)/0.035 + // bedroom-heavy housing stock is cheaper
+			proxEffect[proximity[i]] +
+			0.15*(medianAge[i]-28)/12
+		scores[i] = z + s.normal(0, 1.0)
+		latitude[i] = math.Round(s.uniform(32.5, 42)*100) / 100
+	}
+	labels := s.labelsFromScores(scores, 0.5, 0.03)
+	f := dataframe.New()
+	must(f.AddCategorical("OceanProximity", proximity))
+	must(f.AddNumeric("HousingMedianAge", medianAge))
+	must(f.AddNumeric("TotalRooms", rooms))
+	must(f.AddNumeric("TotalBedrooms", bedrooms))
+	must(f.AddNumeric("Population", population))
+	must(f.AddNumeric("Households", households))
+	must(f.AddNumeric("MedianIncome", income))
+	must(f.AddNumeric("Latitude", latitude))
+	must(f.AddNumeric("HighValue", labels))
+	return &Dataset{
+		Name:              "Housing",
+		Field:             "Society",
+		Frame:             f,
+		Target:            "HighValue",
+		TargetDescription: "Whether the district's median house value is above the state median (1 = yes)",
+		Descriptions: map[string]string{
+			"OceanProximity":   "Location of the district relative to the ocean",
+			"HousingMedianAge": "Median age of houses in the district in years",
+			"TotalRooms":       "Total number of rooms across all houses in the district",
+			"TotalBedrooms":    "Total number of bedrooms across all houses in the district",
+			"Population":       "Total population of the district",
+			"Households":       "Total number of households in the district",
+			"MedianIncome":     "Median household income of the district (in $10,000s)",
+			"Latitude":         "Latitude of the district centroid",
+		},
+	}
+}
+
+// ones returns a slice of k ones (weights helper).
+func ones(k int) []float64 {
+	out := make([]float64, k)
+	for i := range out {
+		out[i] = 1
+	}
+	return out
+}
+
+// ensure fmt is referenced even if future edits drop their usage.
+var _ = fmt.Sprintf

@@ -1,0 +1,79 @@
+// Command diag is a scratch diagnostic harness used while calibrating the
+// dataset generators and the simulated FM against the paper's tables. It is
+// not part of the public deliverables.
+package main
+
+import (
+	"fmt"
+	"os"
+	"sort"
+
+	"smartfeat/internal/core"
+	"smartfeat/internal/datasets"
+	"smartfeat/internal/experiments"
+	"smartfeat/internal/fm"
+)
+
+func main() {
+	cfg := experiments.QuickConfig()
+	which := "Tennis"
+	if len(os.Args) > 1 {
+		which = os.Args[1]
+	}
+	d, err := datasets.Load(which, cfg.Seed)
+	if err != nil {
+		panic(err)
+	}
+	clean := d.Frame.DropNA()
+
+	ev, err := experiments.EvalDataset(which, cfg)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("=== %s: initial per-model AUC ===\n", which)
+	printAUCs(ev.Initial.AUCs)
+	for _, m := range experiments.Methods() {
+		res := ev.Methods[m]
+		fmt.Printf("=== %s (gen=%d sel=%d err=%v) ===\n", m, res.Generated, res.Selected, res.Err)
+		printAUCs(res.AUCs)
+		for model, reason := range res.FailedModels {
+			fmt.Printf("  FAILED %s: %s\n", model, reason)
+		}
+	}
+
+	fmt.Println("=== SMARTFEAT feature list ===")
+	opts := core.Options{
+		Target: d.Target, TargetDescription: d.TargetDescription,
+		Descriptions: d.Descriptions, Model: "RF",
+		SelectorFM:     fm.NewGPT4Sim(cfg.Seed, cfg.FMErrorRate),
+		GeneratorFM:    fm.NewGPT35Sim(cfg.Seed+1, cfg.FMErrorRate),
+		SamplingBudget: cfg.SamplingBudget,
+	}
+	res, err := core.Run(clean, opts)
+	if err != nil {
+		panic(err)
+	}
+	for _, g := range res.Features {
+		fmt.Printf("  %-55s %-10s %-9s %v\n", g.Candidate.Name, g.Candidate.Operator, g.Status, g.Candidate.Inputs)
+		if g.Status == "failed" {
+			fmt.Printf("      %s\n", g.Detail)
+		}
+	}
+	fmt.Println("dropped:", res.DroppedOriginals)
+}
+
+func printAUCs(aucs map[string]float64) {
+	keys := make([]string, 0, len(aucs))
+	for k := range aucs {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	sum := 0.0
+	for _, k := range keys {
+		fmt.Printf("  %-4s %.2f\n", k, aucs[k])
+		sum += aucs[k]
+	}
+	if len(keys) > 0 {
+		fmt.Printf("  avg  %.2f\n", sum/float64(len(keys)))
+	}
+}

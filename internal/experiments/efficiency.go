@@ -1,0 +1,124 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"smartfeat/internal/core"
+	"smartfeat/internal/datasets"
+)
+
+// EfficiencyRow reports one method's feature-engineering cost on one
+// dataset: real wall-clock of the Go implementation plus the simulated FM
+// latency (the component that dominated the paper's measurements), and
+// whether the 60-minute budget was exceeded.
+type EfficiencyRow struct {
+	Dataset  string
+	Method   string
+	Elapsed  time.Duration
+	TimedOut bool
+	Detail   string
+}
+
+// EfficiencyBudget is the paper's experiment time limit.
+const EfficiencyBudget = time.Hour
+
+// RunEfficiency measures every method's feature-engineering time on the
+// given datasets (§4.2 "Efficiency").
+func RunEfficiency(names []string, cfg Config) ([]EfficiencyRow, error) {
+	var out []EfficiencyRow
+	for _, name := range names {
+		d, err := datasets.Load(name, cfg.Seed)
+		if err != nil {
+			return nil, err
+		}
+		clean := d.Frame.DropNA()
+		sf := RunSmartfeat(d, clean, cfg, core.AllOperators())
+		out = append(out, EfficiencyRow{Dataset: name, Method: MethodSmartfeat, Elapsed: sf.Elapsed, TimedOut: sf.Elapsed > EfficiencyBudget})
+		ca := RunCAAFE(d, clean, cfg)
+		caRow := EfficiencyRow{Dataset: name, Method: MethodCAAFE, Elapsed: ca.Elapsed}
+		for m, reason := range ca.FailedModels {
+			if reason == "timeout" {
+				caRow.TimedOut = true
+				caRow.Detail = fmt.Sprintf("validation timeout with %s", m)
+			}
+		}
+		out = append(out, caRow)
+		ft := RunFeaturetools(d, clean, cfg)
+		out = append(out, EfficiencyRow{Dataset: name, Method: MethodFeaturetools, Elapsed: ft.Elapsed, TimedOut: ft.Elapsed > EfficiencyBudget})
+		af := RunAutoFeat(d, clean, cfg)
+		afRow := EfficiencyRow{Dataset: name, Method: MethodAutoFeat, Elapsed: af.Elapsed}
+		if af.Err != nil {
+			afRow.TimedOut = true
+			afRow.Detail = af.Err.Error()
+		}
+		out = append(out, afRow)
+	}
+	return out, nil
+}
+
+// EfficiencyString renders the efficiency comparison.
+func EfficiencyString(rows []EfficiencyRow) string {
+	var b strings.Builder
+	b.WriteString("Efficiency: feature-engineering time per method (wall clock + simulated FM latency; 60-minute budget).\n")
+	fmt.Fprintf(&b, "%-17s %-14s %14s %s\n", "dataset", "method", "time", "notes")
+	for _, r := range rows {
+		note := r.Detail
+		if r.TimedOut && note == "" {
+			note = "timeout"
+		}
+		elapsed := r.Elapsed.Round(time.Second).String()
+		if r.TimedOut {
+			elapsed = "> 60m"
+		}
+		fmt.Fprintf(&b, "%-17s %-14s %14s %s\n", r.Dataset, r.Method, elapsed, note)
+	}
+	return b.String()
+}
+
+// DescriptionsAblation reproduces the §4.2 "Impact of Feature Descriptions"
+// experiment on the given dataset (Tennis in the paper): SMARTFEAT with the
+// full data card versus names-only input.
+type DescriptionsAblation struct {
+	Dataset         string
+	WithAvg         float64
+	WithMedian      float64
+	NamesOnlyAvg    float64
+	NamesOnlyMedian float64
+	WithFeatures    int
+	NamesFeatures   int
+}
+
+// RunDescriptionsAblation executes both regimes.
+func RunDescriptionsAblation(dataset string, cfg Config) (*DescriptionsAblation, error) {
+	d, err := datasets.Load(dataset, cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	clean := d.Frame.DropNA()
+	full := RunSmartfeat(d, clean, cfg, core.AllOperators())
+	if full.Err != nil {
+		return nil, full.Err
+	}
+	nameOnly := RunSmartfeat(d.WithoutDescriptions(), clean, cfg, core.AllOperators())
+	if nameOnly.Err != nil {
+		return nil, nameOnly.Err
+	}
+	out := &DescriptionsAblation{Dataset: dataset, WithFeatures: full.Selected, NamesFeatures: nameOnly.Selected}
+	out.WithAvg, _ = full.AvgAUC()
+	out.WithMedian, _ = full.MedianAUC()
+	out.NamesOnlyAvg, _ = nameOnly.AvgAUC()
+	out.NamesOnlyMedian, _ = nameOnly.MedianAUC()
+	return out, nil
+}
+
+// String renders the ablation.
+func (a *DescriptionsAblation) String() string {
+	return fmt.Sprintf(
+		"Impact of feature descriptions (%s):\n"+
+			"  with descriptions: avg AUC %.2f, median %.2f (%d features)\n"+
+			"  names only:        avg AUC %.2f, median %.2f (%d features)\n",
+		a.Dataset, a.WithAvg, a.WithMedian, a.WithFeatures,
+		a.NamesOnlyAvg, a.NamesOnlyMedian, a.NamesFeatures)
+}

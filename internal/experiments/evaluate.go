@@ -1,0 +1,166 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"smartfeat/internal/dataframe"
+	"smartfeat/internal/fm"
+	"smartfeat/internal/metrics"
+	"smartfeat/internal/ml"
+)
+
+// MethodResult holds one method's outcome on one dataset.
+type MethodResult struct {
+	// Method is the method name.
+	Method string
+	// AUCs maps model name → test AUC (×100, the paper's scale). A missing
+	// model means it could not be evaluated (timeout or failure).
+	AUCs map[string]float64
+	// FailedModels records per-model failures.
+	FailedModels map[string]string
+	// Err is a whole-method failure (e.g. AutoFeat timeout).
+	Err error
+	// Generated / Selected are candidate counts where the method reports
+	// them.
+	Generated, Selected int
+	// NewColumns are the surviving generated features.
+	NewColumns []string
+	// Elapsed is the feature-engineering wall-clock time (excludes model
+	// training).
+	Elapsed time.Duration
+	// FMUsage aggregates foundation-model accounting, where applicable.
+	FMUsage fm.Usage
+	// Frame is the augmented dataset the method produced (nil on failure);
+	// Table 6 ranks features over it.
+	Frame *dataframe.Frame
+}
+
+// AvgAUC is the Table 4 aggregate: the mean over evaluated models.
+func (m *MethodResult) AvgAUC() (float64, bool) {
+	if len(m.AUCs) == 0 {
+		return 0, false
+	}
+	vals := make([]float64, 0, len(m.AUCs))
+	for _, v := range m.AUCs {
+		vals = append(vals, v)
+	}
+	return metrics.Mean(vals), true
+}
+
+// MedianAUC is the Table 5 aggregate.
+func (m *MethodResult) MedianAUC() (float64, bool) {
+	if len(m.AUCs) == 0 {
+		return 0, false
+	}
+	vals := make([]float64, 0, len(m.AUCs))
+	for _, v := range m.AUCs {
+		vals = append(vals, v)
+	}
+	return metrics.Median(vals), true
+}
+
+// SupportsAllModels reports whether every requested model was evaluated —
+// the paper underlines baselines that do not.
+func (m *MethodResult) SupportsAllModels(models []string) bool {
+	for _, name := range models {
+		if _, ok := m.AUCs[name]; !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// buildModel constructs a (possibly scaled-down) downstream model.
+func buildModel(name string, seed int64, cfg Config) (ml.Classifier, error) {
+	switch name {
+	case "RF":
+		trees := cfg.ForestTrees
+		if trees <= 0 {
+			trees = 40
+		}
+		return ml.NewRandomForest(trees, seed), nil
+	case "ET":
+		trees := cfg.ForestTrees
+		if trees <= 0 {
+			trees = 40
+		}
+		return ml.NewExtraTrees(trees, seed), nil
+	case "DNN":
+		m := ml.NewMLP(seed)
+		if cfg.MLPEpochs > 0 {
+			m.Epochs = cfg.MLPEpochs
+		} else {
+			m.Epochs = 12
+		}
+		return m, nil
+	default:
+		return ml.New(name, seed)
+	}
+}
+
+// evaluateFrame runs the §4.1 protocol on an (already feature-engineered)
+// frame: factorize categoricals, 75/25 split, train every model, score AUC
+// on the held-out set. Per-model failures (e.g. infinite inputs) are
+// recorded, not fatal.
+func evaluateFrame(f *dataframe.Frame, target string, models []string, cfg Config) (map[string]float64, map[string]string, error) {
+	g := f.FactorizeAll()
+	var features []string
+	for _, n := range g.Names() {
+		if n != target {
+			features = append(features, n)
+		}
+	}
+	if len(features) == 0 {
+		return nil, nil, fmt.Errorf("experiments: no features to evaluate")
+	}
+	X, err := g.Matrix(features)
+	if err != nil {
+		return nil, nil, err
+	}
+	y, err := g.IntLabels(target)
+	if err != nil {
+		return nil, nil, err
+	}
+	testFrac := cfg.TestFrac
+	if testFrac <= 0 || testFrac >= 1 {
+		testFrac = 0.25
+	}
+	train, test := metrics.TrainTestSplit(len(X), testFrac, cfg.Seed)
+	if cfg.MaxTrainRows > 0 && len(train) > cfg.MaxTrainRows {
+		train = train[:cfg.MaxTrainRows]
+	}
+	Xtr, ytr := takeRows(X, y, train)
+	Xte, yte := takeRows(X, y, test)
+	aucs := make(map[string]float64)
+	failures := make(map[string]string)
+	for _, name := range models {
+		clf, err := buildModel(name, cfg.Seed+int64(len(name)), cfg)
+		if err != nil {
+			failures[name] = err.Error()
+			continue
+		}
+		pipe := ml.NewPipeline(clf)
+		if err := pipe.Fit(Xtr, ytr); err != nil {
+			failures[name] = err.Error()
+			continue
+		}
+		auc, err := metrics.AUC(yte, pipe.PredictProba(Xte))
+		if err != nil {
+			failures[name] = err.Error()
+			continue
+		}
+		aucs[name] = auc * 100
+	}
+	return aucs, failures, nil
+}
+
+func takeRows(X [][]float64, y []int, idx []int) ([][]float64, []int) {
+	Xo := make([][]float64, len(idx))
+	yo := make([]int, len(idx))
+	for k, i := range idx {
+		Xo[k] = X[i]
+		yo[k] = y[i]
+	}
+	return Xo, yo
+}

@@ -1,0 +1,149 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"smartfeat/internal/core"
+	"smartfeat/internal/dataframe"
+	"smartfeat/internal/datasets"
+	"smartfeat/internal/fm"
+)
+
+// InteractionCost is one point of the Figure 1 comparison: what it costs to
+// obtain a single new feature through row-level completions versus through
+// SMARTFEAT's feature-level interaction, as a function of dataset size.
+type InteractionCost struct {
+	Rows int
+	// Row-level: one FM call per row (Figure 1, left).
+	RowCalls   int
+	RowTokens  int
+	RowCostUSD float64
+	RowLatency time.Duration
+	// Feature-level: the whole SMARTFEAT pipeline (Figure 1, right).
+	FeatureCalls   int
+	FeatureTokens  int
+	FeatureCostUSD float64
+	FeatureLatency time.Duration
+	FeaturesAdded  int
+}
+
+// Figure1InteractionCosts measures both interaction styles on truncations of
+// the Bank dataset (the largest in Table 3). Row-level cost grows linearly
+// with the row count; feature-level cost depends only on the schema.
+func Figure1InteractionCosts(sizes []int, cfg Config) ([]InteractionCost, error) {
+	if len(sizes) == 0 {
+		sizes = []int{100, 1000, 10000, 41189}
+	}
+	d, err := datasets.Load("Bank", cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	full := d.Frame.DropNA()
+	var out []InteractionCost
+	for _, n := range sizes {
+		rows := n
+		if rows > full.Len() {
+			rows = full.Len()
+		}
+		idx := make([]int, rows)
+		for i := range idx {
+			idx[i] = i
+		}
+		sub := full.Take(idx)
+		point := InteractionCost{Rows: rows}
+
+		// Row-level: serialize every entry and ask for the masked value.
+		rowModel := fm.NewGPT35Sim(cfg.Seed+int64(rows), 0)
+		if _, err := core.CompleteRows(rowModel, sub, "Estimated_Subscription_Propensity", rows); err != nil {
+			return nil, err
+		}
+		ru := rowModel.Usage()
+		point.RowCalls = ru.Calls
+		point.RowTokens = ru.PromptTokens + ru.CompletionTokens
+		point.RowCostUSD = ru.SimCostUSD
+		point.RowLatency = ru.SimLatency
+
+		// Feature-level: the full SMARTFEAT pipeline on the same rows.
+		res, err := core.Run(sub, smartfeatOptions(d, cfg, core.AllOperators()))
+		if err != nil {
+			return nil, err
+		}
+		fu := res.SelectorUsage
+		fu.Add(res.GeneratorUsage)
+		point.FeatureCalls = fu.Calls
+		point.FeatureTokens = fu.PromptTokens + fu.CompletionTokens
+		point.FeatureCostUSD = fu.SimCostUSD
+		point.FeatureLatency = fu.SimLatency
+		point.FeaturesAdded = len(res.AddedColumns())
+		out = append(out, point)
+	}
+	return out, nil
+}
+
+// Figure1String renders the interaction-cost series.
+func Figure1String(points []InteractionCost) string {
+	var b strings.Builder
+	b.WriteString("Figure 1: row-level vs feature-level FM interaction cost (simulated GPT pricing).\n")
+	fmt.Fprintf(&b, "%8s | %10s %12s %12s %14s | %10s %12s %12s %14s %9s\n",
+		"rows", "row calls", "row tokens", "row $", "row latency",
+		"feat calls", "feat tokens", "feat $", "feat latency", "#features")
+	for _, p := range points {
+		fmt.Fprintf(&b, "%8d | %10d %12d %12.4f %14s | %10d %12d %12.4f %14s %9d\n",
+			p.Rows, p.RowCalls, p.RowTokens, p.RowCostUSD, p.RowLatency.Round(time.Second),
+			p.FeatureCalls, p.FeatureTokens, p.FeatureCostUSD, p.FeatureLatency.Round(time.Second), p.FeaturesAdded)
+	}
+	return b.String()
+}
+
+// Figure2Walkthrough reproduces the paper's Figure 2: the construction of
+// Bucketized Age on the Table 1 insurance example, returning a rendered
+// trace of the operator-selector and function-generator exchange.
+func Figure2Walkthrough(cfg Config) (string, error) {
+	f, err := dataframe.ReadCSVString(`Sex,Age,Age of car,Make,Claim in last 6 month,City,Safe
+M,21,6,Honda,1,SF,0
+F,35,2,Toyota,0,LA,1
+M,42,8,Ford,0,SEA,1
+F,22,14,Chevrolet,1,SF,0
+M,45,3,BMW,0,SEA,1
+F,56,5,Volkswagen,0,LA,1
+`)
+	if err != nil {
+		return "", err
+	}
+	opts := core.Options{
+		Target:            "Safe",
+		TargetDescription: "Whether the policyholder is safe (1=yes, 0=no)",
+		Descriptions: map[string]string{
+			"Sex":                   "Sex of the policyholder",
+			"Age":                   "Age of the policyholder in years",
+			"Age of car":            "Age of the insured car in years",
+			"Make":                  "Manufacturer of the car",
+			"Claim in last 6 month": "Number of claims filed in the last 6 months",
+			"City":                  "City of residence",
+		},
+		Model:       "Decision Tree",
+		SelectorFM:  fm.NewGPT4Sim(cfg.Seed, 0),
+		GeneratorFM: fm.NewGPT35Sim(cfg.Seed+1, 0),
+		Operators:   core.OperatorSet{Unary: true},
+	}
+	res, err := core.Run(f, opts)
+	if err != nil {
+		return "", err
+	}
+	var b strings.Builder
+	b.WriteString("Figure 2 walkthrough: constructing Bucketized Age on the Table 1 example.\n")
+	for _, g := range res.Features {
+		fmt.Fprintf(&b, "candidate %-28s op=%-12s status=%-10s inputs=%v\n",
+			g.Candidate.Name, g.Candidate.Operator, g.Status, g.Candidate.Inputs)
+		if g.Spec != nil && g.Spec.Kind == core.KindBucketize {
+			fmt.Fprintf(&b, "  boundaries: %v\n", g.Spec.Boundaries)
+		}
+	}
+	if col := res.Frame.Column("Bucketize_Age"); col != nil {
+		fmt.Fprintf(&b, "Bucketize_Age values: %v\n", col.Nums)
+	}
+	fmt.Fprintf(&b, "selector: %s\ngenerator: %s\n", res.SelectorUsage, res.GeneratorUsage)
+	return b.String(), nil
+}

@@ -1,0 +1,173 @@
+package experiments
+
+import (
+	"errors"
+
+	"smartfeat/internal/baselines/autofeat"
+	"smartfeat/internal/baselines/caafe"
+	"smartfeat/internal/baselines/featuretools"
+	"smartfeat/internal/core"
+	"smartfeat/internal/dataframe"
+	"smartfeat/internal/datasets"
+	"smartfeat/internal/fm"
+	"smartfeat/internal/metrics"
+)
+
+// DatasetEval bundles every method's result on one dataset.
+type DatasetEval struct {
+	Dataset string
+	Initial MethodResult
+	Methods map[string]MethodResult
+}
+
+// smartfeatOptions builds SMARTFEAT's configuration for a dataset.
+func smartfeatOptions(d *datasets.Dataset, cfg Config, operators core.OperatorSet) core.Options {
+	return core.Options{
+		Target:            d.Target,
+		TargetDescription: d.TargetDescription,
+		Descriptions:      d.Descriptions,
+		Model:             "RF",
+		SelectorFM:        fm.NewGPT4Sim(cfg.Seed, cfg.FMErrorRate),
+		GeneratorFM:       fm.NewGPT35Sim(cfg.Seed+1, cfg.FMErrorRate),
+		SamplingBudget:    cfg.SamplingBudget,
+		Operators:         operators,
+	}
+}
+
+// RunSmartfeat applies SMARTFEAT and evaluates the result.
+func RunSmartfeat(d *datasets.Dataset, clean *dataframe.Frame, cfg Config, operators core.OperatorSet) MethodResult {
+	out := MethodResult{Method: MethodSmartfeat}
+	res, err := core.Run(clean, smartfeatOptions(d, cfg, operators))
+	if err != nil {
+		out.Err = err
+		return out
+	}
+	out.Elapsed = res.Elapsed + res.SelectorUsage.SimLatency + res.GeneratorUsage.SimLatency
+	out.FMUsage = res.SelectorUsage
+	out.FMUsage.Add(res.GeneratorUsage)
+	out.Generated = len(res.Features)
+	out.NewColumns = res.AddedColumns()
+	out.Selected = len(out.NewColumns)
+	out.Frame = res.Frame
+	out.AUCs, out.FailedModels, out.Err = evaluateFrame(res.Frame, d.Target, cfg.Models, cfg)
+	return out
+}
+
+// RunFeaturetools applies the Featuretools baseline and evaluates.
+func RunFeaturetools(d *datasets.Dataset, clean *dataframe.Frame, cfg Config) MethodResult {
+	out := MethodResult{Method: MethodFeaturetools}
+	res, err := featuretools.Run(clean, d.Target, featuretools.DefaultConfig())
+	if err != nil {
+		out.Err = err
+		return out
+	}
+	out.Elapsed = res.Elapsed
+	out.Generated = res.Generated
+	out.Selected = res.Selected
+	out.NewColumns = res.NewColumns
+	out.Frame = res.Frame
+	out.AUCs, out.FailedModels, out.Err = evaluateFrame(res.Frame, d.Target, cfg.Models, cfg)
+	return out
+}
+
+// RunAutoFeat applies the AutoFeat baseline (on the factorized frame, as the
+// reference tool requires numeric input) and evaluates. A timeout becomes a
+// whole-method failure (the "-" cells of Tables 4-5).
+func RunAutoFeat(d *datasets.Dataset, clean *dataframe.Frame, cfg Config) MethodResult {
+	out := MethodResult{Method: MethodAutoFeat}
+	fact := clean.FactorizeAll()
+	afCfg := autofeat.DefaultConfig()
+	afCfg.TrainRows = trainRows(clean.Len(), cfg)
+	res, err := autofeat.Run(fact, d.Target, afCfg)
+	if err != nil {
+		out.Err = err
+		return out
+	}
+	out.Elapsed = res.Elapsed
+	out.Generated = res.Generated
+	out.Selected = res.Selected
+	out.NewColumns = res.NewColumns
+	out.Frame = res.Frame
+	out.AUCs, out.FailedModels, out.Err = evaluateFrame(res.Frame, d.Target, cfg.Models, cfg)
+	return out
+}
+
+// RunCAAFE applies CAAFE per downstream model (its validation step trains
+// the actual model), evaluating each model on its own augmented frame.
+// Per-model timeouts leave that model missing (the underlined rows); if a
+// retained divide-by-zero feature crashes every model, the whole method
+// fails (the Diabetes "-").
+func RunCAAFE(d *datasets.Dataset, clean *dataframe.Frame, cfg Config) MethodResult {
+	out := MethodResult{Method: MethodCAAFE, AUCs: map[string]float64{}, FailedModels: map[string]string{}}
+	fact := clean.FactorizeAll()
+	caafeCfg := caafe.DefaultConfig()
+	caafeCfg.Iterations = cfg.CAAFEIterations
+	caafeCfg.Seed = cfg.Seed
+	caafeCfg.TrainRows = trainRows(clean.Len(), cfg)
+	for _, ds := range cfg.Models {
+		// Each per-model CAAFE session starts a fresh FM conversation with
+		// the same seed, as rerunning the tool would.
+		model := fm.NewGPT4Sim(cfg.Seed+7, cfg.FMErrorRate)
+		res, err := caafe.Run(fact, d.Target, d.Descriptions, model, ds, caafeCfg)
+		if err != nil {
+			if errors.Is(err, caafe.ErrTimeout) {
+				out.FailedModels[ds] = "timeout"
+				continue
+			}
+			out.FailedModels[ds] = err.Error()
+			continue
+		}
+		out.Elapsed += res.Elapsed + res.Usage.SimLatency
+		out.FMUsage.Add(res.Usage)
+		out.Generated += res.Generated
+		out.Selected += res.Retained
+		if len(res.NewColumns) > 0 {
+			out.NewColumns = res.NewColumns // last model's view, representative
+			out.Frame = res.Frame
+		}
+		aucs, failures, err := evaluateFrame(res.Frame, d.Target, []string{ds}, cfg)
+		if err != nil {
+			out.FailedModels[ds] = err.Error()
+			continue
+		}
+		if v, ok := aucs[ds]; ok {
+			out.AUCs[ds] = v
+		}
+		for m, reason := range failures {
+			out.FailedModels[m] = reason
+		}
+	}
+	if len(out.AUCs) == 0 {
+		out.Err = errors.New("caafe: all downstream models failed")
+	}
+	return out
+}
+
+// trainRows computes the training-row indices of the shared evaluation
+// split, so feature-selection and validation steps inside the methods never
+// see held-out rows.
+func trainRows(n int, cfg Config) []int {
+	frac := cfg.TestFrac
+	if frac <= 0 || frac >= 1 {
+		frac = 0.25
+	}
+	train, _ := metrics.TrainTestSplit(n, frac, cfg.Seed)
+	return train
+}
+
+// EvalDataset runs the initial evaluation plus every method on one dataset.
+func EvalDataset(name string, cfg Config) (*DatasetEval, error) {
+	d, err := datasets.Load(name, cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	clean := d.Frame.DropNA()
+	ev := &DatasetEval{Dataset: name, Methods: make(map[string]MethodResult)}
+	ev.Initial = MethodResult{Method: MethodInitial}
+	ev.Initial.AUCs, ev.Initial.FailedModels, ev.Initial.Err = evaluateFrame(clean, d.Target, cfg.Models, cfg)
+	ev.Methods[MethodSmartfeat] = RunSmartfeat(d, clean, cfg, core.AllOperators())
+	ev.Methods[MethodCAAFE] = RunCAAFE(d, clean, cfg)
+	ev.Methods[MethodFeaturetools] = RunFeaturetools(d, clean, cfg)
+	ev.Methods[MethodAutoFeat] = RunAutoFeat(d, clean, cfg)
+	return ev, nil
+}

@@ -1,0 +1,336 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"smartfeat/internal/core"
+	"smartfeat/internal/dataframe"
+	"smartfeat/internal/datasets"
+	"smartfeat/internal/featselect"
+	"smartfeat/internal/metrics"
+)
+
+// Table3String renders the dataset-statistics table.
+func Table3String(cfg Config) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Table 3: Dataset statistics.\n")
+	fmt.Fprintf(&b, "%-17s %12s %12s %10s  %s\n", "", "# cat. attr", "# num. attr", "# rows", "field")
+	for _, row := range datasets.Table3(cfg.Seed) {
+		fmt.Fprintf(&b, "%-17s %12d %12d %10d  %s\n", row.Name, row.NumCat, row.NumNum, row.Rows, row.Field)
+	}
+	return b.String()
+}
+
+// ComparisonTable holds the Tables 4/5 grid: per dataset, per method, the
+// aggregated AUC (or a miss marker).
+type ComparisonTable struct {
+	// Aggregate is "average" or "median".
+	Aggregate string
+	Datasets  []string
+	// Initial maps dataset → aggregated initial AUC.
+	Initial map[string]float64
+	// Cells maps method → dataset → value; missing entry = failed ("-").
+	Cells map[string]map[string]float64
+	// Partial marks method/dataset cells that did not support all models
+	// (the paper's underline).
+	Partial map[string]map[string]bool
+	// Evals keeps the full per-dataset results for downstream analysis.
+	Evals map[string]*DatasetEval
+}
+
+// RunComparison evaluates every method on the given datasets and assembles
+// both aggregate views.
+func RunComparison(names []string, cfg Config) (avg, median *ComparisonTable, err error) {
+	avg = newComparisonTable("average", names)
+	median = newComparisonTable("median", names)
+	for _, name := range names {
+		ev, err := EvalDataset(name, cfg)
+		if err != nil {
+			return nil, nil, err
+		}
+		avg.Evals[name] = ev
+		median.Evals[name] = ev
+		if v, ok := ev.Initial.AvgAUC(); ok {
+			avg.Initial[name] = v
+		}
+		if v, ok := ev.Initial.MedianAUC(); ok {
+			median.Initial[name] = v
+		}
+		for _, method := range Methods() {
+			res := ev.Methods[method]
+			if v, ok := res.AvgAUC(); ok {
+				avg.Cells[method][name] = v
+				avg.Partial[method][name] = !res.SupportsAllModels(cfg.Models)
+			}
+			if v, ok := res.MedianAUC(); ok {
+				median.Cells[method][name] = v
+				median.Partial[method][name] = !res.SupportsAllModels(cfg.Models)
+			}
+		}
+	}
+	return avg, median, nil
+}
+
+func newComparisonTable(agg string, names []string) *ComparisonTable {
+	t := &ComparisonTable{
+		Aggregate: agg,
+		Datasets:  append([]string(nil), names...),
+		Initial:   make(map[string]float64),
+		Cells:     make(map[string]map[string]float64),
+		Partial:   make(map[string]map[string]bool),
+		Evals:     make(map[string]*DatasetEval),
+	}
+	for _, m := range Methods() {
+		t.Cells[m] = make(map[string]float64)
+		t.Partial[m] = make(map[string]bool)
+	}
+	return t
+}
+
+// String renders the table in the paper's layout: value (±delta%) per cell.
+func (t *ComparisonTable) String() string {
+	var b strings.Builder
+	title := "Table 4: Comparison of the average AUC values of different ML models."
+	if t.Aggregate == "median" {
+		title = "Table 5: Comparison of the median AUC values of different ML models."
+	}
+	b.WriteString(title + "\n")
+	fmt.Fprintf(&b, "%-14s", "Methods")
+	for _, d := range t.Datasets {
+		fmt.Fprintf(&b, " %-18s", d)
+	}
+	b.WriteByte('\n')
+	fmt.Fprintf(&b, "%-14s", MethodInitial)
+	for _, d := range t.Datasets {
+		fmt.Fprintf(&b, " %-18s", fmt.Sprintf("%.2f", t.Initial[d]))
+	}
+	b.WriteByte('\n')
+	for _, m := range Methods() {
+		fmt.Fprintf(&b, "%-14s", m)
+		for _, d := range t.Datasets {
+			v, ok := t.Cells[m][d]
+			if !ok {
+				fmt.Fprintf(&b, " %-18s", "-")
+				continue
+			}
+			base := t.Initial[d]
+			delta := ""
+			if base > 0 {
+				pct := (v - base) / base * 100
+				switch {
+				case pct > 0.5:
+					delta = fmt.Sprintf(" (+%.1f%%)", pct)
+				case pct < -0.5:
+					delta = fmt.Sprintf(" (%.1f%%)", pct)
+				default:
+					delta = " (≈)"
+				}
+			}
+			cell := fmt.Sprintf("%.2f%s", v, delta)
+			if t.Partial[m][d] {
+				cell += "*"
+			}
+			fmt.Fprintf(&b, " %-18s", cell)
+		}
+		b.WriteByte('\n')
+	}
+	b.WriteString("(* = method did not support all ML models on this dataset; '-' = failed/timeout)\n")
+	return b.String()
+}
+
+// ImportanceRow is one Table 6 row: the share of top-10 important features
+// that are newly generated, under each selection metric.
+type ImportanceRow struct {
+	Method    string
+	Generated int
+	IGAt10    float64
+	RFEAt10   float64
+	FIAt10    float64
+}
+
+// Table6FeatureImportance reproduces Table 6 on the named dataset (the paper
+// uses Tennis): for each method, the percentage of new features among the
+// top-10 by information gain, RFE and tree importance.
+func Table6FeatureImportance(dataset string, cfg Config) ([]ImportanceRow, error) {
+	d, err := datasets.Load(dataset, cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	clean := d.Frame.DropNA()
+	type applied struct {
+		name string
+		res  MethodResult
+	}
+	runs := []applied{
+		{MethodSmartfeat, RunSmartfeat(d, clean, cfg, core.AllOperators())},
+		{MethodCAAFE, RunCAAFE(d, clean, cfg)},
+		{MethodFeaturetools, RunFeaturetools(d, clean, cfg)},
+		{MethodAutoFeat, RunAutoFeat(d, clean, cfg)},
+	}
+	var rows []ImportanceRow
+	for _, r := range runs {
+		row := ImportanceRow{Method: r.name, Generated: r.res.Generated}
+		if r.res.Frame == nil || len(r.res.NewColumns) == 0 {
+			rows = append(rows, row)
+			continue
+		}
+		ig, rfe, fi, err := table6ForFrame(r.res.Frame, d.Target, r.res.NewColumns, cfg.Seed)
+		if err != nil {
+			return nil, err
+		}
+		row.IGAt10, row.RFEAt10, row.FIAt10 = ig, rfe, fi
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// table6ForFrame computes the three @10 shares given the augmented frame and
+// the set of generated columns.
+func table6ForFrame(f *dataframe.Frame, target string, newCols []string, seed int64) (ig, rfe, fi float64, err error) {
+	g := f.FactorizeAll()
+	var features []string
+	for _, n := range g.Names() {
+		if n != target {
+			features = append(features, n)
+		}
+	}
+	X, err := g.Matrix(features)
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	y, err := g.IntLabels(target)
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	isNew := make(map[string]bool, len(newCols))
+	for _, c := range newCols {
+		isNew[c] = true
+	}
+	share := func(ranked []featselect.Ranked) float64 {
+		top := featselect.TopK(ranked, 10)
+		n := 0
+		for _, name := range top {
+			if isNew[name] {
+				n++
+			}
+		}
+		if len(top) == 0 {
+			return 0
+		}
+		return 100 * float64(n) / float64(len(top))
+	}
+	igRank, err := featselect.RankMutualInfo(X, features, y)
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	rfeRank, err := featselect.RFE(X, features, y)
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	fiRank, err := featselect.TreeImportance(X, features, y, seed)
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	return share(igRank), share(rfeRank), share(fiRank), nil
+}
+
+// AblationRow is one Table 7 column: the per-model AUC for one operator
+// configuration.
+type AblationRow struct {
+	Config string
+	AUCs   map[string]float64
+	Avg    float64
+}
+
+// Table7OperatorAblation reproduces Table 7 on the named dataset (Tennis in
+// the paper): Initial, +Unary, +Binary, +High-order, +Extractor, and all.
+func Table7OperatorAblation(dataset string, cfg Config) ([]AblationRow, error) {
+	d, err := datasets.Load(dataset, cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	clean := d.Frame.DropNA()
+	configs := []struct {
+		name string
+		ops  *core.OperatorSet
+	}{
+		{"Initial", nil},
+		{"+Unary", &core.OperatorSet{Unary: true}},
+		{"+Binary", &core.OperatorSet{Binary: true}},
+		{"+High-order", &core.OperatorSet{HighOrder: true}},
+		{"+Extractor", &core.OperatorSet{Extractor: true}},
+		{"all", func() *core.OperatorSet { s := core.AllOperators(); return &s }()},
+	}
+	var rows []AblationRow
+	for _, c := range configs {
+		row := AblationRow{Config: c.name}
+		if c.ops == nil {
+			aucs, _, err := evaluateFrame(clean, d.Target, cfg.Models, cfg)
+			if err != nil {
+				return nil, err
+			}
+			row.AUCs = aucs
+		} else {
+			res := RunSmartfeat(d, clean, cfg, *c.ops)
+			if res.Err != nil {
+				return nil, res.Err
+			}
+			row.AUCs = res.AUCs
+		}
+		vals := make([]float64, 0, len(row.AUCs))
+		for _, v := range row.AUCs {
+			vals = append(vals, v)
+		}
+		row.Avg = metrics.Mean(vals)
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// Table7String renders the ablation in the paper's layout (models as rows,
+// configurations as columns).
+func Table7String(rows []AblationRow, models []string) string {
+	var b strings.Builder
+	b.WriteString("Table 7: Ablation study on operators across downstream ML models.\n")
+	fmt.Fprintf(&b, "%-6s", "")
+	for _, r := range rows {
+		fmt.Fprintf(&b, " %12s", r.Config)
+	}
+	b.WriteByte('\n')
+	for _, m := range models {
+		fmt.Fprintf(&b, "%-6s", m)
+		for _, r := range rows {
+			fmt.Fprintf(&b, " %12.2f", r.AUCs[m])
+		}
+		b.WriteByte('\n')
+	}
+	fmt.Fprintf(&b, "%-6s", "Avg")
+	for _, r := range rows {
+		fmt.Fprintf(&b, " %12.2f", r.Avg)
+	}
+	b.WriteByte('\n')
+	return b.String()
+}
+
+// Table6String renders Table 6.
+func Table6String(rows []ImportanceRow) string {
+	var b strings.Builder
+	b.WriteString("Table 6: Percentage of top-10 important features generated by each method.\n")
+	fmt.Fprintf(&b, "%-14s %12s %8s %8s %8s\n", "", "# generated", "IG@10", "RFE@10", "FI@10")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-14s %12d %7.0f%% %7.0f%% %7.0f%%\n", r.Method, r.Generated, r.IGAt10, r.RFEAt10, r.FIAt10)
+	}
+	return b.String()
+}
+
+// sortedModelNames returns map keys sorted, for deterministic rendering.
+func sortedModelNames(m map[string]float64) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

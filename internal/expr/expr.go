@@ -1,0 +1,109 @@
+package expr
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Expr is a compiled arithmetic expression over named variables.
+type Expr struct {
+	root Node
+	src  string
+}
+
+// Compile parses and validates an expression string.
+func Compile(src string) (*Expr, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks, src: src}
+	root, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	if trailing := p.next(); trailing.kind != tokEOF {
+		return nil, p.errorf(trailing, "trailing %s", trailing.kind)
+	}
+	return &Expr{root: root, src: src}, nil
+}
+
+// MustCompile is Compile that panics on error; for use with known-good
+// literals in tests and examples.
+func MustCompile(src string) *Expr {
+	e, err := Compile(src)
+	if err != nil {
+		panic(err)
+	}
+	return e
+}
+
+// Source returns the original expression text.
+func (e *Expr) Source() string { return e.src }
+
+// String renders the parsed form with explicit grouping.
+func (e *Expr) String() string { return e.root.String() }
+
+// Vars returns the sorted distinct variable names the expression references.
+func (e *Expr) Vars() []string {
+	set := make(map[string]struct{})
+	e.root.collectVars(set)
+	out := make([]string, 0, len(set))
+	for v := range set {
+		out = append(out, v)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Eval computes the expression for one variable binding. Missing variables
+// and invalid operations (÷0, log of non-positive, …) yield NaN, which the
+// dataframe layer treats as null.
+func (e *Expr) Eval(vars map[string]float64) float64 {
+	return e.root.eval(vars)
+}
+
+// EvalRows evaluates the expression for each row of a column-oriented input:
+// cols maps variable name → column slice. All referenced columns must be
+// present and share a length. Rows where any referenced value is NaN produce
+// NaN (null propagation).
+func (e *Expr) EvalRows(cols map[string][]float64) ([]float64, error) {
+	names := e.Vars()
+	n := -1
+	for _, name := range names {
+		col, ok := cols[name]
+		if !ok {
+			return nil, fmt.Errorf("expr: missing column %q for %q", name, e.src)
+		}
+		if n == -1 {
+			n = len(col)
+		} else if len(col) != n {
+			return nil, fmt.Errorf("expr: column %q length %d != %d", name, len(col), n)
+		}
+	}
+	if n == -1 {
+		// Constant expression: caller decides broadcast length; return a
+		// single value.
+		return []float64{e.root.eval(nil)}, nil
+	}
+	out := make([]float64, n)
+	vars := make(map[string]float64, len(names))
+	for i := 0; i < n; i++ {
+		null := false
+		for _, name := range names {
+			v := cols[name][i]
+			if math.IsNaN(v) {
+				null = true
+				break
+			}
+			vars[name] = v
+		}
+		if null {
+			out[i] = math.NaN()
+			continue
+		}
+		out[i] = e.root.eval(vars)
+	}
+	return out, nil
+}

@@ -1,0 +1,252 @@
+// Package featselect implements the feature-selection statistics the paper
+// evaluates generated features with (Table 6): information gain (mutual
+// information), recursive feature elimination over logistic weights, and
+// Gini-based tree importance — plus the verification filters SMARTFEAT and
+// the baselines use to discard low-quality features (§3.3).
+package featselect
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"smartfeat/internal/ml"
+)
+
+// Ranked pairs a feature name with an importance score.
+type Ranked struct {
+	Name  string
+	Score float64
+}
+
+// sortRanked orders by descending score with name tie-break for determinism.
+func sortRanked(rs []Ranked) {
+	sort.Slice(rs, func(i, j int) bool {
+		if rs[i].Score != rs[j].Score {
+			return rs[i].Score > rs[j].Score
+		}
+		return rs[i].Name < rs[j].Name
+	})
+}
+
+// TopK returns the first k names of a ranking (fewer if the ranking is
+// shorter).
+func TopK(rs []Ranked, k int) []string {
+	if k > len(rs) {
+		k = len(rs)
+	}
+	out := make([]string, k)
+	for i := 0; i < k; i++ {
+		out[i] = rs[i].Name
+	}
+	return out
+}
+
+// MutualInfo estimates I(X;Y) in nats between a numeric feature and a binary
+// label by discretizing the feature into equal-width bins (NaNs get their
+// own bin, matching the treatment of missingness as information).
+func MutualInfo(x []float64, y []int, bins int) (float64, error) {
+	if len(x) != len(y) {
+		return 0, fmt.Errorf("featselect: %d values vs %d labels", len(x), len(y))
+	}
+	if len(x) == 0 {
+		return 0, fmt.Errorf("featselect: empty input")
+	}
+	if bins < 2 {
+		bins = 10
+	}
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, v := range x {
+		if math.IsNaN(v) {
+			continue
+		}
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	nanBin := bins // extra bin index for NaNs
+	width := (hi - lo) / float64(bins)
+	binOf := func(v float64) int {
+		if math.IsNaN(v) {
+			return nanBin
+		}
+		if width == 0 {
+			return 0
+		}
+		b := int((v - lo) / width)
+		if b >= bins {
+			b = bins - 1
+		}
+		if b < 0 {
+			b = 0
+		}
+		return b
+	}
+	joint := make(map[[2]int]float64)
+	px := make(map[int]float64)
+	py := make(map[int]float64)
+	n := float64(len(x))
+	for i, v := range x {
+		b := binOf(v)
+		joint[[2]int{b, y[i]}]++
+		px[b]++
+		py[y[i]]++
+	}
+	mi := 0.0
+	for key, c := range joint {
+		pxy := c / n
+		mi += pxy * math.Log(pxy/((px[key[0]]/n)*(py[key[1]]/n)))
+	}
+	if mi < 0 {
+		mi = 0 // numerical floor
+	}
+	return mi, nil
+}
+
+// RankMutualInfo ranks features by mutual information with the label
+// (Table 6's "IG" metric).
+func RankMutualInfo(X [][]float64, names []string, y []int) ([]Ranked, error) {
+	if err := checkMatrix(X, names, y); err != nil {
+		return nil, err
+	}
+	out := make([]Ranked, len(names))
+	col := make([]float64, len(X))
+	for j, name := range names {
+		for i := range X {
+			col[i] = X[i][j]
+		}
+		mi, err := MutualInfo(col, y, 10)
+		if err != nil {
+			return nil, err
+		}
+		out[j] = Ranked{Name: name, Score: mi}
+	}
+	sortRanked(out)
+	return out, nil
+}
+
+// RFE performs recursive feature elimination with an L2 logistic regression
+// estimator over standardized features: repeatedly drop the feature with the
+// smallest absolute coefficient. The returned ranking orders features by
+// elimination round (survivors first); Score is the round at which the
+// feature survived (higher = kept longer).
+func RFE(X [][]float64, names []string, y []int) ([]Ranked, error) {
+	if err := checkMatrix(X, names, y); err != nil {
+		return nil, err
+	}
+	remaining := make([]int, len(names))
+	for j := range remaining {
+		remaining[j] = j
+	}
+	eliminationRound := make([]int, len(names))
+	round := 0
+	for len(remaining) > 1 {
+		sub := subMatrix(X, remaining)
+		lr := ml.NewLogistic()
+		lr.MaxIter = 150
+		pipe := ml.NewPipeline(lr)
+		if err := pipe.Fit(sub, y); err != nil {
+			return nil, err
+		}
+		w := lr.Weights()
+		worst, worstAbs := 0, math.Inf(1)
+		for k, wk := range w {
+			if a := math.Abs(wk); a < worstAbs {
+				worst, worstAbs = k, a
+			}
+		}
+		eliminationRound[remaining[worst]] = round
+		remaining = append(remaining[:worst], remaining[worst+1:]...)
+		round++
+	}
+	if len(remaining) == 1 {
+		eliminationRound[remaining[0]] = round
+	}
+	out := make([]Ranked, len(names))
+	for j, name := range names {
+		out[j] = Ranked{Name: name, Score: float64(eliminationRound[j])}
+	}
+	sortRanked(out)
+	return out, nil
+}
+
+// TreeImportance ranks features by mean Gini importance of a random forest
+// (Table 6's "FI" metric).
+func TreeImportance(X [][]float64, names []string, y []int, seed int64) ([]Ranked, error) {
+	if err := checkMatrix(X, names, y); err != nil {
+		return nil, err
+	}
+	f := ml.NewRandomForest(30, seed)
+	pipe := ml.NewPipeline(f)
+	if err := pipe.Fit(X, y); err != nil {
+		return nil, err
+	}
+	imp := f.Importances()
+	out := make([]Ranked, len(names))
+	for j, name := range names {
+		out[j] = Ranked{Name: name, Score: imp[j]}
+	}
+	sortRanked(out)
+	return out, nil
+}
+
+func checkMatrix(X [][]float64, names []string, y []int) error {
+	if len(X) == 0 {
+		return fmt.Errorf("featselect: empty matrix")
+	}
+	if len(X) != len(y) {
+		return fmt.Errorf("featselect: %d rows vs %d labels", len(X), len(y))
+	}
+	if len(X[0]) != len(names) {
+		return fmt.Errorf("featselect: %d columns vs %d names", len(X[0]), len(names))
+	}
+	return nil
+}
+
+func subMatrix(X [][]float64, cols []int) [][]float64 {
+	out := make([][]float64, len(X))
+	for i, row := range X {
+		r := make([]float64, len(cols))
+		for k, j := range cols {
+			r[k] = row[j]
+		}
+		out[i] = r
+	}
+	return out
+}
+
+// Pearson computes the Pearson correlation between two columns, skipping
+// rows where either value is NaN. Returns 0 when undefined.
+func Pearson(a, b []float64) float64 {
+	n := 0
+	var sa, sb float64
+	for i := range a {
+		if math.IsNaN(a[i]) || math.IsNaN(b[i]) {
+			continue
+		}
+		sa += a[i]
+		sb += b[i]
+		n++
+	}
+	if n < 2 {
+		return 0
+	}
+	ma, mb := sa/float64(n), sb/float64(n)
+	var cov, va, vb float64
+	for i := range a {
+		if math.IsNaN(a[i]) || math.IsNaN(b[i]) {
+			continue
+		}
+		da, db := a[i]-ma, b[i]-mb
+		cov += da * db
+		va += da * da
+		vb += db * db
+	}
+	if va == 0 || vb == 0 {
+		return 0
+	}
+	return cov / math.Sqrt(va*vb)
+}

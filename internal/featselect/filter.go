@@ -1,0 +1,136 @@
+package featselect
+
+import (
+	"fmt"
+
+	"smartfeat/internal/dataframe"
+)
+
+// FilterOptions configures the verification filters of §3.3: generated
+// features that are highly null, single-valued, or dummy expansions of
+// high-cardinality originals are discarded. A correlation cap is also
+// available (used by the Featuretools baseline's selection step).
+type FilterOptions struct {
+	// MaxNullFrac drops features whose null fraction exceeds it (default 0.5).
+	MaxNullFrac float64
+	// DropSingleValued drops constant features.
+	DropSingleValued bool
+	// MaxDummyCardinality drops dummy indicators whose source categorical
+	// column has more levels than this (0 disables the check).
+	MaxDummyCardinality int
+	// MaxAbsCorrelation drops a feature whose |Pearson| with an already-kept
+	// numeric feature exceeds it (0 disables; Featuretools uses 0.95).
+	MaxAbsCorrelation float64
+}
+
+// DefaultFilterOptions mirrors the paper's verification step.
+func DefaultFilterOptions() FilterOptions {
+	return FilterOptions{
+		MaxNullFrac:         0.5,
+		DropSingleValued:    true,
+		MaxDummyCardinality: 20,
+	}
+}
+
+// Dropped records one removed feature and the reason.
+type Dropped struct {
+	Name   string
+	Reason string
+}
+
+// FilterReport summarizes a verification pass.
+type FilterReport struct {
+	Kept    []string
+	Dropped []Dropped
+}
+
+// VerifyFeatures applies the filters to the candidate columns of f, mutating
+// f by dropping failures. protect marks columns that are never dropped (the
+// original features and the label). dummySource maps a dummy column to the
+// cardinality of the categorical column it came from.
+func VerifyFeatures(f *dataframe.Frame, candidates []string, protect map[string]bool, dummySource map[string]int, opts FilterOptions) FilterReport {
+	var report FilterReport
+	var keptNumeric []string // names of surviving numeric columns for the correlation check
+	for _, name := range f.Names() {
+		if protect[name] || !contains(candidates, name) {
+			if c := f.Column(name); c != nil && c.Kind == dataframe.Numeric {
+				keptNumeric = append(keptNumeric, name)
+			}
+		}
+	}
+	for _, name := range candidates {
+		col := f.Column(name)
+		if col == nil {
+			report.Dropped = append(report.Dropped, Dropped{name, "missing"})
+			continue
+		}
+		if protect[name] {
+			report.Kept = append(report.Kept, name)
+			continue
+		}
+		if reason := filterReason(f, name, dummySource, keptNumeric, opts); reason != "" {
+			f.Drop(name)
+			report.Dropped = append(report.Dropped, Dropped{name, reason})
+			continue
+		}
+		report.Kept = append(report.Kept, name)
+		if col.Kind == dataframe.Numeric {
+			keptNumeric = append(keptNumeric, name)
+		}
+	}
+	return report
+}
+
+func filterReason(f *dataframe.Frame, name string, dummySource map[string]int, keptNumeric []string, opts FilterOptions) string {
+	col := f.Column(name)
+	n := col.Len()
+	if n == 0 {
+		return "empty"
+	}
+	if opts.MaxNullFrac > 0 {
+		frac := float64(col.NullCount()) / float64(n)
+		if frac > opts.MaxNullFrac {
+			return fmt.Sprintf("null fraction %.2f > %.2f", frac, opts.MaxNullFrac)
+		}
+	}
+	if opts.DropSingleValued && col.IsConstant() {
+		return "single-valued"
+	}
+	if opts.MaxDummyCardinality > 0 {
+		if card, isDummy := dummySource[name]; isDummy && card > opts.MaxDummyCardinality {
+			return fmt.Sprintf("dummy of high-cardinality column (%d levels)", card)
+		}
+	}
+	if opts.MaxAbsCorrelation > 0 && col.Kind == dataframe.Numeric {
+		for _, other := range keptNumeric {
+			if other == name {
+				continue
+			}
+			oc := f.Column(other)
+			if oc == nil || oc.Kind != dataframe.Numeric {
+				continue
+			}
+			r := Pearson(col.Nums, oc.Nums)
+			if r > opts.MaxAbsCorrelation || r < -opts.MaxAbsCorrelation {
+				return fmt.Sprintf("|corr|=%.3f with %s", abs(r), other)
+			}
+		}
+	}
+	return ""
+}
+
+func contains(list []string, v string) bool {
+	for _, x := range list {
+		if x == v {
+			return true
+		}
+	}
+	return false
+}
+
+func abs(v float64) float64 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}

@@ -1,0 +1,472 @@
+package fm
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+)
+
+const insuranceAgenda = `Task: %TASK%
+Dataset description:
+- Sex (categorical, card=2, levels=[F|M]): Sex of the policyholder
+- Age (numeric, card=36, min=18, max=79): Age of the policyholder in years
+- Age of car (numeric, card=15, min=0, max=14): Age of the car in years
+- Make (categorical, card=6, levels=[BMW|Chevrolet|Ford|Honda|Toyota|Volkswagen]): Manufacturer of the car
+- Claim in last 6 month (numeric, card=2, min=0, max=1): Number of claims filed in the last 6 months
+- City (categorical, card=3, levels=[LA|SEA|SF]): City of residence
+Prediction class: Safe
+Downstream model: RF
+`
+
+func buildPrompt(task, extra string) string {
+	return strings.ReplaceAll(insuranceAgenda, "%TASK%", task) + extra
+}
+
+func TestEstimateTokens(t *testing.T) {
+	if EstimateTokens("") != 0 {
+		t.Fatal("empty should be 0 tokens")
+	}
+	if got := EstimateTokens("abcdefgh"); got != 3 {
+		t.Fatalf("8 chars = %d tokens, want 3", got)
+	}
+}
+
+func TestUsageAccounting(t *testing.T) {
+	m := NewScripted("hello world response")
+	if _, err := m.Complete("a prompt of some words"); err != nil {
+		t.Fatal(err)
+	}
+	u := m.Usage()
+	if u.Calls != 1 || u.PromptTokens == 0 || u.CompletionTokens == 0 {
+		t.Fatalf("usage = %+v", u)
+	}
+	if u.SimCostUSD <= 0 || u.SimLatency <= 0 {
+		t.Fatal("simulated cost/latency should accrue")
+	}
+	m.ResetUsage()
+	if m.Usage().Calls != 0 {
+		t.Fatal("reset failed")
+	}
+}
+
+func TestUsageAdd(t *testing.T) {
+	a := Usage{Calls: 1, PromptTokens: 10, CompletionTokens: 5, SimLatency: time.Second, SimCostUSD: 0.01}
+	b := a
+	a.Add(b)
+	if a.Calls != 2 || a.PromptTokens != 20 || a.SimCostUSD != 0.02 {
+		t.Fatalf("add wrong: %+v", a)
+	}
+	if !strings.Contains(a.String(), "calls=2") {
+		t.Fatal("usage string wrong")
+	}
+}
+
+func TestScriptedExhaustion(t *testing.T) {
+	m := NewScripted("only one")
+	if _, err := m.Complete("p1"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Complete("p2"); err == nil {
+		t.Fatal("exhausted scripted model should error")
+	}
+	if len(m.Prompts) != 2 {
+		t.Fatal("all prompts should be recorded")
+	}
+}
+
+func TestAgendaColumnRoundTrip(t *testing.T) {
+	cases := []AgendaColumn{
+		{Name: "Age", Description: "Age in years", Numeric: true, Cardinality: 36, Min: 18, Max: 79},
+		{Name: "City", Description: "City of residence", Numeric: false, Cardinality: 3, Levels: []string{"LA", "SEA", "SF"}},
+		{Name: "Age of car", Description: "Age of the car", Numeric: true, Cardinality: 15, Min: 0, Max: 14},
+	}
+	for _, col := range cases {
+		line := FormatAgendaColumn(col)
+		parsed, err := ParseAgendaColumn(line)
+		if err != nil {
+			t.Fatalf("parse %q: %v", line, err)
+		}
+		if parsed.Name != col.Name || parsed.Description != col.Description ||
+			parsed.Numeric != col.Numeric || parsed.Cardinality != col.Cardinality {
+			t.Fatalf("round trip changed column: %+v vs %+v", parsed, col)
+		}
+		if col.Numeric && (parsed.Min != col.Min || parsed.Max != col.Max) {
+			t.Fatalf("stats lost: %+v", parsed)
+		}
+		if !col.Numeric && len(parsed.Levels) != len(col.Levels) {
+			t.Fatalf("levels lost: %+v", parsed)
+		}
+	}
+}
+
+func TestParseAgendaColumnErrors(t *testing.T) {
+	bad := []string{"- no metadata here", "- Name (numeric, card=1 missing separator"}
+	for _, line := range bad {
+		if _, err := ParseAgendaColumn(line); err == nil {
+			t.Errorf("%q should fail", line)
+		}
+	}
+}
+
+func TestParsePromptMissingTask(t *testing.T) {
+	if _, err := parsePrompt("hello\nno task header\n"); err == nil {
+		t.Fatal("missing Task should error")
+	}
+}
+
+func TestInferRoles(t *testing.T) {
+	cases := []struct {
+		col  AgendaColumn
+		want Role
+	}{
+		{AgendaColumn{Name: "Age", Description: "Age of the policyholder", Numeric: true, Cardinality: 40, Min: 18, Max: 80}, RoleAge},
+		{AgendaColumn{Name: "YearBuilt", Description: "Construction year of the house", Numeric: true, Cardinality: 80, Min: 1900, Max: 2020}, RoleYear},
+		{AgendaColumn{Name: "Income", Description: "Annual income in USD", Numeric: true, Cardinality: 500, Min: 0, Max: 300000}, RoleMoney},
+		{AgendaColumn{Name: "NumClaims", Description: "Number of claims filed", Numeric: true, Cardinality: 5, Min: 0, Max: 4}, RoleCount},
+		{AgendaColumn{Name: "FSP.1", Description: "First serve percentage for player 1", Numeric: true, Cardinality: 60, Min: 0, Max: 100}, RoleRate},
+		{AgendaColumn{Name: "City", Description: "City of residence", Numeric: false, Cardinality: 3}, RoleGeo},
+		{AgendaColumn{Name: "record_id", Description: "Row identifier", Numeric: true, Cardinality: 1000, Min: 1, Max: 1000}, RoleID},
+		{AgendaColumn{Name: "Flag", Description: "Arbitrary marker", Numeric: true, Cardinality: 2, Min: 0, Max: 1}, RoleBinary},
+		{AgendaColumn{Name: "BMI", Description: "Body mass index", Numeric: true, Cardinality: 200, Min: 15, Max: 50}, RoleMeasure},
+		{AgendaColumn{Name: "Glucose", Description: "Plasma glucose concentration", Numeric: true, Cardinality: 130, Min: 40, Max: 200}, RoleMeasure},
+		{AgendaColumn{Name: "misc", Description: "Unremarkable column", Numeric: true, Cardinality: 100, Min: 0, Max: 1000}, RoleGeneric},
+	}
+	for _, c := range cases {
+		if got := InferRole(c.col); got != c.want {
+			t.Errorf("InferRole(%s) = %v, want %v", c.col.Name, got, c.want)
+		}
+	}
+}
+
+func TestProposeUnaryAge(t *testing.T) {
+	m := NewSimulated(SimulatedConfig{Seed: 1})
+	resp, err := m.Complete(buildPrompt(TaskProposeUnary,
+		"Attribute: Age\nConsider the unary operators on the attribute \"Age\" that can generate helpful features to predict \"Safe\". List all appropriate operators with confidence levels.\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(resp, "bucketize (certain)") {
+		t.Fatalf("age should bucketize with certainty:\n%s", resp)
+	}
+}
+
+func TestProposeUnaryCategorical(t *testing.T) {
+	m := NewSimulated(SimulatedConfig{Seed: 1})
+	resp, err := m.Complete(buildPrompt(TaskProposeUnary, "Attribute: Make\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(resp, "get_dummies") {
+		t.Fatalf("categorical should propose dummies:\n%s", resp)
+	}
+}
+
+func TestProposeUnaryUnknownAttribute(t *testing.T) {
+	m := NewSimulated(SimulatedConfig{Seed: 1})
+	if _, err := m.Complete(buildPrompt(TaskProposeUnary, "Attribute: Ghost\n")); err == nil {
+		t.Fatal("unknown attribute should error")
+	}
+}
+
+func TestSampleBinaryShape(t *testing.T) {
+	m := NewSimulated(SimulatedConfig{Seed: 2})
+	resp, err := m.Complete(buildPrompt(TaskSampleBinary, "Sample one helpful binary arithmetic combination.\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got binarySample
+	if err := json.Unmarshal([]byte(resp), &got); err != nil {
+		t.Fatalf("binary sample not JSON: %v\n%s", err, resp)
+	}
+	if got.Left == got.Right {
+		t.Fatal("binary sample must use two distinct columns")
+	}
+	valid := map[string]bool{"add": true, "subtract": true, "multiply": true, "divide": true}
+	if !valid[got.Op] {
+		t.Fatalf("invalid op %q", got.Op)
+	}
+}
+
+func TestSampleHighOrderShape(t *testing.T) {
+	m := NewSimulated(SimulatedConfig{Seed: 3})
+	resp, err := m.Complete(buildPrompt(TaskSampleHighOrder, "Sample one groupby feature.\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got highOrderSample
+	if err := json.Unmarshal([]byte(resp), &got); err != nil {
+		t.Fatalf("high-order sample not JSON: %v\n%s", err, resp)
+	}
+	if len(got.GroupbyCol) == 0 || got.AggCol == "" || got.Function == "" {
+		t.Fatalf("incomplete sample: %+v", got)
+	}
+	for _, g := range got.GroupbyCol {
+		if g == got.AggCol {
+			t.Fatal("agg col must not be a groupby col")
+		}
+	}
+}
+
+func TestSampleHighOrderPrefersClaimHistory(t *testing.T) {
+	// Over many samples, the claim-history column (count role) should be the
+	// most frequent aggregation target — the F3 behaviour.
+	m := NewSimulated(SimulatedConfig{Seed: 4})
+	counts := map[string]int{}
+	for i := 0; i < 60; i++ {
+		resp, err := m.Complete(buildPrompt(TaskSampleHighOrder, "Sample one groupby feature.\n"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var got highOrderSample
+		if err := json.Unmarshal([]byte(resp), &got); err != nil {
+			t.Fatal(err)
+		}
+		counts[got.AggCol]++
+	}
+	best, bestN := "", 0
+	for k, v := range counts {
+		if v > bestN {
+			best, bestN = k, v
+		}
+	}
+	if best != "Claim in last 6 month" {
+		t.Fatalf("expected claim history to dominate aggregation, got %v", counts)
+	}
+}
+
+func TestSampleExtractorDensity(t *testing.T) {
+	m := NewSimulated(SimulatedConfig{Seed: 5})
+	sawExternal := false
+	for i := 0; i < 30 && !sawExternal; i++ {
+		resp, err := m.Complete(buildPrompt(TaskSampleExtractor, "Sample one extractor feature.\n"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var got extractorSample
+		if err := json.Unmarshal([]byte(resp), &got); err != nil {
+			t.Fatalf("extractor sample not JSON: %v\n%s", err, resp)
+		}
+		if got.Kind == "external" && strings.Contains(got.Name, "Population_Density") {
+			sawExternal = true
+		}
+	}
+	if !sawExternal {
+		t.Fatal("extractor sampling never proposed the density feature")
+	}
+}
+
+func TestGenerateFunctionBucketize(t *testing.T) {
+	m := NewSimulated(SimulatedConfig{Seed: 6})
+	resp, err := m.Complete(buildPrompt(TaskGenerateFunction,
+		"New feature: Bucketized_Age\nRelevant columns: Age\nOperator: bucketize\nDescription: Bucketization of Age attribute\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var spec struct {
+		Kind       string    `json:"kind"`
+		Input      string    `json:"input"`
+		Boundaries []float64 `json:"boundaries"`
+	}
+	if err := json.Unmarshal([]byte(resp), &spec); err != nil {
+		t.Fatalf("spec not JSON: %v\n%s", err, resp)
+	}
+	if spec.Kind != "bucketize" || spec.Input != "Age" {
+		t.Fatalf("spec = %+v", spec)
+	}
+	// The knowledge base uses the practical 21-year-old insurance threshold.
+	if len(spec.Boundaries) == 0 || spec.Boundaries[0] != 21 {
+		t.Fatalf("age boundaries should start at 21: %v", spec.Boundaries)
+	}
+}
+
+func TestGenerateFunctionYearsSince(t *testing.T) {
+	m := NewSimulated(SimulatedConfig{Seed: 7})
+	resp, err := m.Complete(buildPrompt(TaskGenerateFunction,
+		"New feature: Manufacturing_Year\nRelevant columns: Age of car\nOperator: years_since\nDescription: Manufacturing year of the car\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(resp, "2024 - `Age of car`") {
+		t.Fatalf("years_since should subtract from current year: %s", resp)
+	}
+}
+
+func TestGenerateFunctionDensityMapping(t *testing.T) {
+	m := NewSimulated(SimulatedConfig{Seed: 8})
+	resp, err := m.Complete(buildPrompt(TaskGenerateFunction,
+		"New feature: Population_Density_City\nRelevant columns: City\nOperator: extractor\nDescription: Population density (people per square mile) extracted from City using open-world knowledge\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var spec struct {
+		Kind    string             `json:"kind"`
+		Input   string             `json:"input"`
+		Mapping map[string]float64 `json:"mapping"`
+	}
+	if err := json.Unmarshal([]byte(resp), &spec); err != nil {
+		t.Fatalf("spec not JSON: %v\n%s", err, resp)
+	}
+	if spec.Kind != "mapvalues" || spec.Input != "City" {
+		t.Fatalf("spec = %+v", spec)
+	}
+	if spec.Mapping["SF"] != 18838 {
+		t.Fatalf("SF density = %v, want 18838", spec.Mapping["SF"])
+	}
+}
+
+func TestGenerateFunctionBinary(t *testing.T) {
+	m := NewSimulated(SimulatedConfig{Seed: 9})
+	resp, err := m.Complete(buildPrompt(TaskGenerateFunction,
+		"New feature: Age_divide_Car\nRelevant columns: Age, Age of car\nOperator: divide\nDescription: Ratio\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(resp, "Age / `Age of car`") {
+		t.Fatalf("binary expr wrong: %s", resp)
+	}
+}
+
+func TestGenerateFunctionErrors(t *testing.T) {
+	m := NewSimulated(SimulatedConfig{Seed: 10})
+	if _, err := m.Complete(buildPrompt(TaskGenerateFunction, "New feature: X\nOperator: bucketize\n")); err == nil {
+		t.Fatal("missing relevant columns should error")
+	}
+	if _, err := m.Complete(buildPrompt(TaskGenerateFunction, "New feature: X\nRelevant columns: Age\nOperator: teleport\n")); err == nil {
+		t.Fatal("unknown operator should error")
+	}
+}
+
+func TestCompleteRowDensity(t *testing.T) {
+	m := NewSimulated(SimulatedConfig{Seed: 11})
+	resp, err := m.Complete("Task: complete-row\nNew feature: Population_Density_City\nRow: Sex: M, Age: 21, City: SF, Population_Density_City: ?\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp != "18838" {
+		t.Fatalf("density completion = %s, want 18838", resp)
+	}
+}
+
+func TestCompleteRowUnknownIsDeterministic(t *testing.T) {
+	m := NewSimulated(SimulatedConfig{Seed: 12})
+	p := "Task: complete-row\nNew feature: Mystery_Score\nRow: A: 1, B: 2, Mystery_Score: ?\n"
+	r1, err := m.Complete(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, _ := m.Complete(p)
+	if r1 != r2 {
+		t.Fatal("hallucinated completions must be deterministic")
+	}
+}
+
+func TestCompleteRowMissingRow(t *testing.T) {
+	m := NewSimulated(SimulatedConfig{Seed: 13})
+	if _, err := m.Complete("Task: complete-row\nNew feature: X\n"); err == nil {
+		t.Fatal("missing row should error")
+	}
+}
+
+func TestErrorInjection(t *testing.T) {
+	m := NewSimulated(SimulatedConfig{Seed: 14, ErrorRate: 1})
+	resp, err := m.Complete(buildPrompt(TaskSampleHighOrder, "Sample one groupby feature.\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got highOrderSample
+	if json.Unmarshal([]byte(resp), &got) == nil && len(got.GroupbyCol) > 0 && got.AggCol != "" {
+		t.Fatalf("with ErrorRate=1 the output should be corrupted, got valid %q", resp)
+	}
+}
+
+func TestSimulatedDeterminism(t *testing.T) {
+	p := buildPrompt(TaskSampleBinary, "Sample one combination.\n")
+	a := NewSimulated(SimulatedConfig{Seed: 42})
+	b := NewSimulated(SimulatedConfig{Seed: 42})
+	for i := 0; i < 5; i++ {
+		ra, err := a.Complete(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rb, _ := b.Complete(p)
+		if ra != rb {
+			t.Fatalf("same seed diverged at call %d", i)
+		}
+	}
+}
+
+func TestPricingProfiles(t *testing.T) {
+	g4 := NewGPT4Sim(1, 0)
+	g35 := NewGPT35Sim(1, 0)
+	p := buildPrompt(TaskProposeUnary, "Attribute: Age\n")
+	if _, err := g4.Complete(p); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := g35.Complete(p); err != nil {
+		t.Fatal(err)
+	}
+	if g4.Usage().SimCostUSD <= g35.Usage().SimCostUSD {
+		t.Fatal("GPT-4 profile should cost more than GPT-3.5 for the same exchange")
+	}
+	if g4.Name() != "gpt-4-sim" || g35.Name() != "gpt-3.5-turbo-sim" {
+		t.Fatal("names wrong")
+	}
+}
+
+func TestLookupDensityFallback(t *testing.T) {
+	v1 := lookupDensity("Gotham")
+	v2 := lookupDensity("Gotham")
+	if v1 != v2 {
+		t.Fatal("hallucinated density must be deterministic")
+	}
+	if v1 < 500 || v1 > 20000 {
+		t.Fatalf("hallucinated density out of range: %v", v1)
+	}
+	if lookupDensity("seattle") != 9287 {
+		t.Fatal("case-insensitive lookup failed")
+	}
+}
+
+func TestQuoteIdent(t *testing.T) {
+	cases := map[string]string{
+		"Age":        "Age",
+		"FSW.1":      "FSW.1",
+		"Age of car": "`Age of car`",
+		"a+b":        "`a+b`",
+		"2cool":      "`2cool`",
+		"":           "``",
+	}
+	for in, want := range cases {
+		if got := quoteIdent(in); got != want {
+			t.Errorf("quoteIdent(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestBucketBoundariesKnowledge(t *testing.T) {
+	age := AgendaColumn{Name: "Age", Description: "Age of person", Numeric: true, Min: 18, Max: 80, Cardinality: 60}
+	b := bucketBoundaries(age)
+	if b[0] != 21 {
+		t.Fatalf("person age boundaries = %v", b)
+	}
+	carAge := AgendaColumn{Name: "Age of car", Description: "Age of the car", Numeric: true, Min: 0, Max: 14, Cardinality: 15}
+	b = bucketBoundaries(carAge)
+	if b[0] != 3 {
+		t.Fatalf("car age boundaries = %v", b)
+	}
+	bmi := AgendaColumn{Name: "BMI", Description: "Body mass index", Numeric: true, Min: 15, Max: 50, Cardinality: 100}
+	b = bucketBoundaries(bmi)
+	if b[0] != 18.5 {
+		t.Fatalf("bmi boundaries = %v", b)
+	}
+	generic := AgendaColumn{Name: "misc", Description: "whatever", Numeric: true, Min: 0, Max: 100, Cardinality: 50}
+	b = bucketBoundaries(generic)
+	if len(b) != 3 || b[0] != 25 || b[1] != 50 || b[2] != 75 {
+		t.Fatalf("generic boundaries = %v", b)
+	}
+	degenerate := AgendaColumn{Name: "k", Numeric: true, Min: 5, Max: 5}
+	if b = bucketBoundaries(degenerate); len(b) != 1 {
+		t.Fatalf("degenerate boundaries = %v", b)
+	}
+}

@@ -1,0 +1,148 @@
+package fm
+
+import "strings"
+
+// Role is the semantic category the simulated FM infers for a column from
+// its name and description — the stand-in for an LLM's contextual reading of
+// a data card. Roles drive which operators the knowledge base proposes.
+type Role int
+
+// Column roles, ordered roughly by specificity.
+const (
+	RoleGeneric  Role = iota
+	RoleAge           // ages of people or things
+	RoleYear          // calendar years
+	RoleDate          // YYYYMMDD-encoded dates
+	RoleMoney         // prices, incomes, balances
+	RoleCount         // event or object counts
+	RoleRate          // percentages, ratios, probabilities
+	RoleScore         // indices, scores, grades
+	RoleMeasure       // physical/biometric measurements
+	RoleDuration      // durations and tenures
+	RoleGeo           // cities, states, stations, regions
+	RoleID            // identifiers
+	RoleBinary        // two-valued numerics
+	RoleSeason        // week/month-of-year style seasonal indices
+)
+
+// String implements fmt.Stringer.
+func (r Role) String() string {
+	switch r {
+	case RoleAge:
+		return "age"
+	case RoleYear:
+		return "year"
+	case RoleDate:
+		return "date"
+	case RoleMoney:
+		return "money"
+	case RoleCount:
+		return "count"
+	case RoleRate:
+		return "rate"
+	case RoleScore:
+		return "score"
+	case RoleMeasure:
+		return "measurement"
+	case RoleDuration:
+		return "duration"
+	case RoleGeo:
+		return "geo"
+	case RoleID:
+		return "id"
+	case RoleBinary:
+		return "binary"
+	case RoleSeason:
+		return "season"
+	default:
+		return "generic"
+	}
+}
+
+// roleKeywords maps roles to indicator keywords searched in the lowercased
+// "name: description" text with word-boundary matching (so "percentage" does
+// not trigger the "age" role, nor "concentration" the "ratio" one). Order
+// matters: earlier entries win.
+var roleKeywords = []struct {
+	role Role
+	kws  []string
+}{
+	{RoleDate, []string{"yyyymmdd", "date of", "date", "birthdate"}},
+	{RoleSeason, []string{"week of", "month of", "day of year", "season", "week number"}},
+	{RoleMeasure, []string{"bmi", "pressure", "glucose", "insulin", "cholesterol", "temperature", "humidity", "precip", "wind", "heart rate", "skin", "body mass", "weight", "height", "thickness", "pedigree"}},
+	{RoleAge, []string{"age"}},
+	{RoleYear, []string{"year built", "calendar year", "year", "yr"}},
+	{RoleMoney, []string{"price", "income", "balance", "salary", "cost", "amount", "charge", "premium", "loan", "fee", "revenue", "wage", "earnings", "capital", "value of", "payment", "house value", "median value"}},
+	{RoleRate, []string{"rate", "ratio", "pct", "percent", "%", "probability", "frequency", "share of", "proportion", "percentage"}},
+	{RoleCount, []string{"count", "number of", "num", "# of", "claim", "claims", "children", "rooms", "bedrooms", "households", "population", "times", "visits", "attempts", "won", "errors", "aces", "points won", "campaign", "contacts", "wins", "faults", "serves"}},
+	{RoleScore, []string{"score", "index", "gpa", "grade", "rank", "rating", "lsat", "ufe"}},
+	{RoleDuration, []string{"duration", "months", "tenure", "days since", "hours", "minutes", "seconds", "length of"}},
+	{RoleGeo, []string{"city", "state", "country", "region", "location", "zip", "station", "address", "latitude", "longitude", "neighborhood", "borough", "district", "area name"}},
+	{RoleID, []string{"id", "identifier", "record number", "serial"}},
+}
+
+// isWordChar reports whether r extends an alphabetic word for the purposes
+// of keyword boundary checks.
+func isWordChar(b byte) bool {
+	return (b >= 'a' && b <= 'z') || (b >= 'A' && b <= 'Z')
+}
+
+// containsWord reports whether kw appears in text at word boundaries:
+// keyword edges that are letters must not touch neighbouring letters.
+func containsWord(text, kw string) bool {
+	if kw == "" {
+		return false
+	}
+	for start := 0; start <= len(text)-len(kw); {
+		i := strings.Index(text[start:], kw)
+		if i < 0 {
+			return false
+		}
+		i += start
+		end := i + len(kw)
+		beforeOK := !isWordChar(kw[0]) || i == 0 || !isWordChar(text[i-1])
+		afterOK := !isWordChar(kw[len(kw)-1]) || end >= len(text) || !isWordChar(text[end])
+		if beforeOK && afterOK {
+			return true
+		}
+		start = i + 1
+	}
+	return false
+}
+
+// InferRole guesses the semantic role of a column given its name,
+// description, kind and basic statistics. It mirrors how an LLM reads a data
+// card: names and descriptions dominate; value statistics disambiguate.
+func InferRole(col AgendaColumn) Role {
+	text := strings.ToLower(col.Name + ": " + col.Description)
+	// Exact-name ID check before the keyword scan ("id" alone is too noisy).
+	lname := strings.ToLower(strings.TrimSpace(col.Name))
+	if lname == "id" || strings.HasSuffix(lname, "_id") || strings.HasSuffix(lname, ".id") {
+		return RoleID
+	}
+	for _, entry := range roleKeywords {
+		for _, kw := range entry.kws {
+			if containsWord(text, kw) {
+				// Statistical sanity checks for value-coded roles.
+				switch entry.role {
+				case RoleYear:
+					if col.Numeric && (col.Min < 1500 || col.Max > 2300) {
+						continue
+					}
+				case RoleDate:
+					if col.Numeric && col.Min < 10000101 {
+						continue
+					}
+				}
+				return entry.role
+			}
+		}
+	}
+	if col.Numeric && col.Cardinality == 2 {
+		return RoleBinary
+	}
+	if col.Numeric && col.Min >= 1900 && col.Max <= 2100 && col.Cardinality > 2 && strings.Contains(text, "built") {
+		return RoleYear
+	}
+	return RoleGeneric
+}

@@ -1,0 +1,167 @@
+// Package metrics implements the evaluation protocol from the paper:
+// ROC-AUC as the primary metric, seeded 75/25 train-test splits and
+// stratified k-fold cross-validation.
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// AUC computes the area under the ROC curve via the rank statistic
+// (Mann-Whitney U) with midrank tie handling — the same definition
+// sklearn.metrics.roc_auc_score uses. Scores are P(y=1); labels are 0/1.
+func AUC(labels []int, scores []float64) (float64, error) {
+	if len(labels) != len(scores) {
+		return 0, fmt.Errorf("metrics: %d labels vs %d scores", len(labels), len(scores))
+	}
+	n := len(labels)
+	if n == 0 {
+		return 0, fmt.Errorf("metrics: empty input")
+	}
+	pos, neg := 0, 0
+	for i, l := range labels {
+		if math.IsNaN(scores[i]) {
+			return 0, fmt.Errorf("metrics: NaN score at row %d", i)
+		}
+		switch l {
+		case 1:
+			pos++
+		case 0:
+			neg++
+		default:
+			return 0, fmt.Errorf("metrics: non-binary label %d", l)
+		}
+	}
+	if pos == 0 || neg == 0 {
+		return 0, fmt.Errorf("metrics: AUC undefined with a single class (pos=%d neg=%d)", pos, neg)
+	}
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool { return scores[idx[a]] < scores[idx[b]] })
+	// Midranks over tie groups.
+	ranks := make([]float64, n)
+	for i := 0; i < n; {
+		j := i
+		for j < n && scores[idx[j]] == scores[idx[i]] {
+			j++
+		}
+		mid := float64(i+j+1) / 2 // average of 1-based ranks i+1..j
+		for k := i; k < j; k++ {
+			ranks[idx[k]] = mid
+		}
+		i = j
+	}
+	sumPos := 0.0
+	for i, l := range labels {
+		if l == 1 {
+			sumPos += ranks[i]
+		}
+	}
+	u := sumPos - float64(pos)*float64(pos+1)/2
+	return u / (float64(pos) * float64(neg)), nil
+}
+
+// Accuracy computes the fraction of correct 0.5-thresholded predictions.
+func Accuracy(labels []int, scores []float64) (float64, error) {
+	if len(labels) != len(scores) {
+		return 0, fmt.Errorf("metrics: %d labels vs %d scores", len(labels), len(scores))
+	}
+	if len(labels) == 0 {
+		return 0, fmt.Errorf("metrics: empty input")
+	}
+	correct := 0
+	for i, l := range labels {
+		pred := 0
+		if scores[i] >= 0.5 {
+			pred = 1
+		}
+		if pred == l {
+			correct++
+		}
+	}
+	return float64(correct) / float64(len(labels)), nil
+}
+
+// TrainTestSplit returns shuffled row indices for a (1-testFrac)/testFrac
+// split, seeded for reproducibility (the paper uses 75/25).
+func TrainTestSplit(n int, testFrac float64, seed int64) (train, test []int) {
+	rng := rand.New(rand.NewSource(seed))
+	perm := rng.Perm(n)
+	nTest := int(math.Round(float64(n) * testFrac))
+	if nTest < 1 && n > 1 {
+		nTest = 1
+	}
+	if nTest >= n {
+		nTest = n - 1
+	}
+	test = append([]int(nil), perm[:nTest]...)
+	train = append([]int(nil), perm[nTest:]...)
+	sort.Ints(train)
+	sort.Ints(test)
+	return train, test
+}
+
+// StratifiedKFold partitions rows into k folds preserving the class balance;
+// fold i is the i-th test set. Panics-free: returns an error when k exceeds
+// the size of either class.
+func StratifiedKFold(labels []int, k int, seed int64) ([][]int, error) {
+	if k < 2 {
+		return nil, fmt.Errorf("metrics: k must be ≥ 2, got %d", k)
+	}
+	var pos, neg []int
+	for i, l := range labels {
+		if l == 1 {
+			pos = append(pos, i)
+		} else {
+			neg = append(neg, i)
+		}
+	}
+	if len(pos) < k || len(neg) < k {
+		return nil, fmt.Errorf("metrics: class too small for %d folds (pos=%d neg=%d)", k, len(pos), len(neg))
+	}
+	rng := rand.New(rand.NewSource(seed))
+	rng.Shuffle(len(pos), func(i, j int) { pos[i], pos[j] = pos[j], pos[i] })
+	rng.Shuffle(len(neg), func(i, j int) { neg[i], neg[j] = neg[j], neg[i] })
+	folds := make([][]int, k)
+	for i, idx := range pos {
+		folds[i%k] = append(folds[i%k], idx)
+	}
+	for i, idx := range neg {
+		folds[i%k] = append(folds[i%k], idx)
+	}
+	for _, f := range folds {
+		sort.Ints(f)
+	}
+	return folds, nil
+}
+
+// Mean returns the arithmetic mean, NaN for empty input.
+func Mean(vals []float64) float64 {
+	if len(vals) == 0 {
+		return math.NaN()
+	}
+	s := 0.0
+	for _, v := range vals {
+		s += v
+	}
+	return s / float64(len(vals))
+}
+
+// Median returns the median, NaN for empty input.
+func Median(vals []float64) float64 {
+	if len(vals) == 0 {
+		return math.NaN()
+	}
+	cp := append([]float64(nil), vals...)
+	sort.Float64s(cp)
+	n := len(cp)
+	if n%2 == 1 {
+		return cp[n/2]
+	}
+	return (cp[n/2-1] + cp[n/2]) / 2
+}

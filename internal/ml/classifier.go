@@ -1,0 +1,104 @@
+// Package ml implements the downstream classification models the paper
+// evaluates generated features with — logistic regression, Gaussian naive
+// Bayes, CART decision trees, random forests, extra-trees and a small MLP —
+// together with the preprocessing (imputation, standardisation) they need.
+// All models expose calibrated-ish probability scores so ROC-AUC is
+// meaningful.
+package ml
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Classifier is a binary classifier producing P(y=1) scores.
+type Classifier interface {
+	// Fit trains on a row-major feature matrix and 0/1 labels.
+	Fit(X [][]float64, y []int) error
+	// PredictProba returns P(y=1) for each row. Must be called after Fit.
+	PredictProba(X [][]float64) []float64
+	// Name identifies the model family (LR, NB, RF, ET, DNN).
+	Name() string
+}
+
+// ModelNames lists the five downstream models in the paper's order.
+var ModelNames = []string{"LR", "NB", "RF", "ET", "DNN"}
+
+// New constructs a model by its paper abbreviation with default parameters
+// (the paper uses sklearn defaults; these are scaled-down equivalents tuned
+// for a pure-Go runtime).
+func New(name string, seed int64) (Classifier, error) {
+	switch name {
+	case "LR":
+		return NewLogistic(), nil
+	case "NB":
+		return NewGaussianNB(), nil
+	case "RF":
+		return NewRandomForest(40, seed), nil
+	case "ET":
+		return NewExtraTrees(40, seed), nil
+	case "DNN":
+		return NewMLP(seed), nil
+	default:
+		return nil, fmt.Errorf("ml: unknown model %q (want one of %v)", name, ModelNames)
+	}
+}
+
+// validate checks the shape invariants shared by every Fit implementation.
+func validate(X [][]float64, y []int) error {
+	if len(X) == 0 {
+		return fmt.Errorf("ml: empty training set")
+	}
+	if len(X) != len(y) {
+		return fmt.Errorf("ml: %d rows but %d labels", len(X), len(y))
+	}
+	d := len(X[0])
+	if d == 0 {
+		return fmt.Errorf("ml: zero features")
+	}
+	for i, row := range X {
+		if len(row) != d {
+			return fmt.Errorf("ml: ragged matrix at row %d", i)
+		}
+	}
+	for i, v := range y {
+		if v != 0 && v != 1 {
+			return fmt.Errorf("ml: label %d at row %d is not binary", v, i)
+		}
+	}
+	return nil
+}
+
+// hasNaN reports whether the matrix contains any NaN (models require the
+// caller to impute first; Pipeline does this).
+func hasNaN(X [][]float64) bool {
+	for _, row := range X {
+		for _, v := range row {
+			if math.IsNaN(v) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// sigmoid is the logistic link, numerically clamped.
+func sigmoid(z float64) float64 {
+	if z > 35 {
+		return 1
+	}
+	if z < -35 {
+		return 0
+	}
+	return 1 / (1 + math.Exp(-z))
+}
+
+// bootstrapSample draws n indices with replacement.
+func bootstrapSample(rng *rand.Rand, n int) []int {
+	out := make([]int, n)
+	for i := range out {
+		out[i] = rng.Intn(n)
+	}
+	return out
+}

@@ -1,0 +1,170 @@
+package ml
+
+import (
+	"math"
+	"math/rand"
+	"runtime"
+	"sync"
+)
+
+// Forest is an ensemble of CART trees. With Bootstrap=true and greedy splits
+// it is a random forest; with Bootstrap=false and random splits it is
+// extra-trees (sklearn's ExtraTreesClassifier).
+type Forest struct {
+	// NumTrees is the ensemble size.
+	NumTrees int
+	// MaxDepth bounds each tree (0 → default 12).
+	MaxDepth int
+	// MinSamplesLeaf for each tree (0 → 1 for RF, 1 for ET).
+	MinSamplesLeaf int
+	// Bootstrap resamples the training set per tree.
+	Bootstrap bool
+	// RandomSplits selects the extra-trees split rule.
+	RandomSplits bool
+	// Seed drives all per-tree randomness.
+	Seed int64
+
+	name   string
+	trees  []*Tree
+	numFea int
+	fitted bool
+}
+
+// NewRandomForest builds a random forest configuration ("RF").
+func NewRandomForest(numTrees int, seed int64) *Forest {
+	return &Forest{
+		NumTrees:  numTrees,
+		Bootstrap: true,
+		Seed:      seed,
+		name:      "RF",
+	}
+}
+
+// NewExtraTrees builds an extra-trees configuration ("ET").
+func NewExtraTrees(numTrees int, seed int64) *Forest {
+	return &Forest{
+		NumTrees:     numTrees,
+		RandomSplits: true,
+		Seed:         seed,
+		name:         "ET",
+	}
+}
+
+// Name implements Classifier.
+func (f *Forest) Name() string {
+	if f.name == "" {
+		return "Forest"
+	}
+	return f.name
+}
+
+// Fit implements Classifier. Trees are trained in parallel.
+func (f *Forest) Fit(X [][]float64, y []int) error {
+	if err := validate(X, y); err != nil {
+		return err
+	}
+	if f.NumTrees <= 0 {
+		f.NumTrees = 40
+	}
+	d := len(X[0])
+	f.numFea = d
+	maxFeatures := int(math.Ceil(math.Sqrt(float64(d))))
+	f.trees = make([]*Tree, f.NumTrees)
+	rng := rand.New(rand.NewSource(f.Seed))
+	seeds := make([]int64, f.NumTrees)
+	for i := range seeds {
+		seeds[i] = rng.Int63()
+	}
+	workers := runtime.GOMAXPROCS(0)
+	if workers > f.NumTrees {
+		workers = f.NumTrees
+	}
+	var wg sync.WaitGroup
+	jobs := make(chan int)
+	errOnce := sync.Once{}
+	var fitErr error
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for ti := range jobs {
+				tree := NewTree(TreeConfig{
+					MaxDepth:       f.MaxDepth,
+					MinSamplesLeaf: f.MinSamplesLeaf,
+					MaxFeatures:    maxFeatures,
+					RandomSplits:   f.RandomSplits,
+					Seed:           seeds[ti],
+				})
+				Xi, yi := X, y
+				if f.Bootstrap {
+					sampleRng := rand.New(rand.NewSource(seeds[ti] ^ 0x5f5f5f5f))
+					rows := bootstrapSample(sampleRng, len(X))
+					Xi = make([][]float64, len(rows))
+					yi = make([]int, len(rows))
+					for k, r := range rows {
+						Xi[k] = X[r]
+						yi[k] = y[r]
+					}
+				}
+				if err := tree.Fit(Xi, yi); err != nil {
+					errOnce.Do(func() { fitErr = err })
+					continue
+				}
+				f.trees[ti] = tree
+			}
+		}()
+	}
+	for ti := 0; ti < f.NumTrees; ti++ {
+		jobs <- ti
+	}
+	close(jobs)
+	wg.Wait()
+	if fitErr != nil {
+		return fitErr
+	}
+	f.fitted = true
+	return nil
+}
+
+// PredictProba implements Classifier: the mean of per-tree leaf frequencies.
+func (f *Forest) PredictProba(X [][]float64) []float64 {
+	out := make([]float64, len(X))
+	if !f.fitted {
+		return out
+	}
+	for _, t := range f.trees {
+		p := t.PredictProba(X)
+		for i, v := range p {
+			out[i] += v
+		}
+	}
+	for i := range out {
+		out[i] /= float64(len(f.trees))
+	}
+	return out
+}
+
+// Importances averages normalized Gini importances over trees — the
+// tree-based feature importance used by Table 6's FI@10 metric.
+func (f *Forest) Importances() []float64 {
+	out := make([]float64, f.numFea)
+	if !f.fitted {
+		return out
+	}
+	for _, t := range f.trees {
+		imp := t.Importances()
+		for j, v := range imp {
+			out[j] += v
+		}
+	}
+	total := 0.0
+	for _, v := range out {
+		total += v
+	}
+	if total > 0 {
+		for j := range out {
+			out[j] /= total
+		}
+	}
+	return out
+}

@@ -1,0 +1,116 @@
+package ml
+
+import "math"
+
+// Logistic is L2-regularized logistic regression trained with full-batch
+// gradient descent and an adaptive step (the paper's "LR" downstream model;
+// sklearn's LogisticRegression default is also L2).
+type Logistic struct {
+	// Lambda is the L2 penalty strength.
+	Lambda float64
+	// MaxIter bounds the gradient steps.
+	MaxIter int
+	// Tol stops early when the gradient norm falls below it.
+	Tol float64
+
+	weights []float64
+	bias    float64
+	fitted  bool
+}
+
+// NewLogistic returns a Logistic with defaults comparable to sklearn
+// (C=1.0 → lambda=1/n applied per-sample below).
+func NewLogistic() *Logistic {
+	return &Logistic{Lambda: 1e-3, MaxIter: 300, Tol: 1e-6}
+}
+
+// Name implements Classifier.
+func (lr *Logistic) Name() string { return "LR" }
+
+// Fit implements Classifier.
+func (lr *Logistic) Fit(X [][]float64, y []int) error {
+	if err := validate(X, y); err != nil {
+		return err
+	}
+	n, d := len(X), len(X[0])
+	lr.weights = make([]float64, d)
+	lr.bias = 0
+	gradW := make([]float64, d)
+	step := 0.5
+	prevLoss := math.Inf(1)
+	for iter := 0; iter < lr.MaxIter; iter++ {
+		for j := range gradW {
+			gradW[j] = 0
+		}
+		gradB := 0.0
+		loss := 0.0
+		for i, row := range X {
+			z := lr.bias
+			for j, v := range row {
+				z += lr.weights[j] * v
+			}
+			p := sigmoid(z)
+			e := p - float64(y[i])
+			for j, v := range row {
+				gradW[j] += e * v
+			}
+			gradB += e
+			// Cross-entropy with clamping for the stopping criterion.
+			pc := math.Min(math.Max(p, 1e-12), 1-1e-12)
+			if y[i] == 1 {
+				loss -= math.Log(pc)
+			} else {
+				loss -= math.Log(1 - pc)
+			}
+		}
+		norm := 0.0
+		for j := range gradW {
+			gradW[j] = gradW[j]/float64(n) + lr.Lambda*lr.weights[j]
+			norm += gradW[j] * gradW[j]
+		}
+		gradB /= float64(n)
+		norm += gradB * gradB
+		if math.Sqrt(norm) < lr.Tol {
+			break
+		}
+		loss /= float64(n)
+		// Backtracking-flavoured step control: shrink when the loss rises.
+		if loss > prevLoss {
+			step *= 0.5
+			if step < 1e-6 {
+				break
+			}
+		}
+		prevLoss = loss
+		for j := range lr.weights {
+			lr.weights[j] -= step * gradW[j]
+		}
+		lr.bias -= step * gradB
+	}
+	lr.fitted = true
+	return nil
+}
+
+// PredictProba implements Classifier.
+func (lr *Logistic) PredictProba(X [][]float64) []float64 {
+	out := make([]float64, len(X))
+	if !lr.fitted {
+		return out
+	}
+	for i, row := range X {
+		z := lr.bias
+		for j, v := range row {
+			if j < len(lr.weights) {
+				z += lr.weights[j] * v
+			}
+		}
+		out[i] = sigmoid(z)
+	}
+	return out
+}
+
+// Weights exposes the learned coefficients (used by recursive feature
+// elimination in the featselect package).
+func (lr *Logistic) Weights() []float64 {
+	return append([]float64(nil), lr.weights...)
+}

@@ -1,0 +1,329 @@
+package ml
+
+import (
+	"math"
+	"math/rand"
+)
+
+// MLP is a feed-forward network with two hidden ReLU layers of 100 units and
+// a sigmoid output, trained with Adam on mini-batches — the paper's "DNN"
+// (two hidden layers, 100 units each, ReLU).
+type MLP struct {
+	// Hidden is the width of both hidden layers (default 100, as in §4.1).
+	Hidden int
+	// Epochs is the number of passes over the training data.
+	Epochs int
+	// BatchSize for mini-batch SGD.
+	BatchSize int
+	// LearningRate for Adam.
+	LearningRate float64
+	// Seed drives init and shuffling.
+	Seed int64
+
+	w1, w2, w3 [][]float64 // layer weights
+	b1, b2     []float64
+	b3         float64
+	fitted     bool
+}
+
+// NewMLP returns the paper's DNN configuration.
+func NewMLP(seed int64) *MLP {
+	return &MLP{Hidden: 100, Epochs: 20, BatchSize: 64, LearningRate: 1e-3, Seed: seed}
+}
+
+// Name implements Classifier.
+func (m *MLP) Name() string { return "DNN" }
+
+// adam holds per-parameter Adam state.
+type adam struct {
+	m, v []float64
+	t    int
+	lr   float64
+}
+
+func newAdam(n int, lr float64) *adam {
+	return &adam{m: make([]float64, n), v: make([]float64, n), lr: lr}
+}
+
+// step applies one Adam update to params given grads.
+func (a *adam) step(params, grads []float64) {
+	const beta1, beta2, eps = 0.9, 0.999, 1e-8
+	a.t++
+	bc1 := 1 - math.Pow(beta1, float64(a.t))
+	bc2 := 1 - math.Pow(beta2, float64(a.t))
+	for i := range params {
+		g := grads[i]
+		a.m[i] = beta1*a.m[i] + (1-beta1)*g
+		a.v[i] = beta2*a.v[i] + (1-beta2)*g*g
+		params[i] -= a.lr * (a.m[i] / bc1) / (math.Sqrt(a.v[i]/bc2) + eps)
+	}
+}
+
+// Fit implements Classifier.
+func (m *MLP) Fit(X [][]float64, y []int) error {
+	if err := validate(X, y); err != nil {
+		return err
+	}
+	if m.Hidden <= 0 {
+		m.Hidden = 100
+	}
+	if m.Epochs <= 0 {
+		m.Epochs = 20
+	}
+	if m.BatchSize <= 0 {
+		m.BatchSize = 64
+	}
+	if m.LearningRate <= 0 {
+		m.LearningRate = 1e-3
+	}
+	rng := rand.New(rand.NewSource(m.Seed))
+	n, d, h := len(X), len(X[0]), m.Hidden
+
+	// He initialisation for the ReLU layers.
+	initLayer := func(rows, cols int) [][]float64 {
+		w := make([][]float64, rows)
+		scale := math.Sqrt(2 / float64(cols))
+		for i := range w {
+			w[i] = make([]float64, cols)
+			for j := range w[i] {
+				w[i][j] = rng.NormFloat64() * scale
+			}
+		}
+		return w
+	}
+	m.w1 = initLayer(h, d)
+	m.w2 = initLayer(h, h)
+	m.w3 = initLayer(1, h)
+	m.b1 = make([]float64, h)
+	m.b2 = make([]float64, h)
+	m.b3 = 0
+
+	// Flatten parameter views for Adam.
+	flat := func(w [][]float64) []float64 {
+		out := make([]float64, 0, len(w)*len(w[0]))
+		for _, row := range w {
+			out = append(out, row...)
+		}
+		return out
+	}
+	_ = flat // weights are updated in place below, one Adam state per tensor
+
+	optW1 := newAdam(h*d, m.LearningRate)
+	optB1 := newAdam(h, m.LearningRate)
+	optW2 := newAdam(h*h, m.LearningRate)
+	optB2 := newAdam(h, m.LearningRate)
+	optW3 := newAdam(h, m.LearningRate)
+	optB3 := newAdam(1, m.LearningRate)
+
+	gW1 := make([]float64, h*d)
+	gW2 := make([]float64, h*h)
+	gW3 := make([]float64, h)
+	gB1 := make([]float64, h)
+	gB2 := make([]float64, h)
+	gB3 := make([]float64, 1)
+
+	z1 := make([]float64, h)
+	a1 := make([]float64, h)
+	z2 := make([]float64, h)
+	a2 := make([]float64, h)
+	d2 := make([]float64, h)
+	d1 := make([]float64, h)
+
+	order := rng.Perm(n)
+	pW1 := make([]float64, h*d)
+	pW2 := make([]float64, h*h)
+	pW3 := make([]float64, h)
+	pack := func() {
+		for i := 0; i < h; i++ {
+			copy(pW1[i*d:(i+1)*d], m.w1[i])
+			copy(pW2[i*h:(i+1)*h], m.w2[i])
+			pW3[i] = m.w3[0][i]
+		}
+	}
+	unpack := func() {
+		for i := 0; i < h; i++ {
+			copy(m.w1[i], pW1[i*d:(i+1)*d])
+			copy(m.w2[i], pW2[i*h:(i+1)*h])
+			m.w3[0][i] = pW3[i]
+		}
+	}
+	pack()
+
+	for epoch := 0; epoch < m.Epochs; epoch++ {
+		// Reshuffle each epoch.
+		for i := n - 1; i > 0; i-- {
+			j := rng.Intn(i + 1)
+			order[i], order[j] = order[j], order[i]
+		}
+		for start := 0; start < n; start += m.BatchSize {
+			end := start + m.BatchSize
+			if end > n {
+				end = n
+			}
+			batch := order[start:end]
+			bs := float64(len(batch))
+			for i := range gW1 {
+				gW1[i] = 0
+			}
+			for i := range gW2 {
+				gW2[i] = 0
+			}
+			for i := range gW3 {
+				gW3[i] = 0
+			}
+			for i := range gB1 {
+				gB1[i] = 0
+			}
+			for i := range gB2 {
+				gB2[i] = 0
+			}
+			gB3[0] = 0
+			for _, idx := range batch {
+				x := X[idx]
+				// Forward.
+				for i := 0; i < h; i++ {
+					s := m.b1[i]
+					row := pW1[i*d : (i+1)*d]
+					for j, v := range x {
+						s += row[j] * v
+					}
+					z1[i] = s
+					if s > 0 {
+						a1[i] = s
+					} else {
+						a1[i] = 0
+					}
+				}
+				for i := 0; i < h; i++ {
+					s := m.b2[i]
+					row := pW2[i*h : (i+1)*h]
+					for j := 0; j < h; j++ {
+						s += row[j] * a1[j]
+					}
+					z2[i] = s
+					if s > 0 {
+						a2[i] = s
+					} else {
+						a2[i] = 0
+					}
+				}
+				z3 := m.b3
+				for j := 0; j < h; j++ {
+					z3 += pW3[j] * a2[j]
+				}
+				p := sigmoid(z3)
+				// Backward (binary cross-entropy).
+				dz3 := p - float64(y[idx])
+				for j := 0; j < h; j++ {
+					gW3[j] += dz3 * a2[j]
+					d2[j] = dz3 * pW3[j]
+					if z2[j] <= 0 {
+						d2[j] = 0
+					}
+				}
+				gB3[0] += dz3
+				for i := 0; i < h; i++ {
+					if d2[i] == 0 {
+						continue
+					}
+					grow := gW2[i*h : (i+1)*h]
+					for j := 0; j < h; j++ {
+						grow[j] += d2[i] * a1[j]
+					}
+					gB2[i] += d2[i]
+				}
+				for j := 0; j < h; j++ {
+					s := 0.0
+					for i := 0; i < h; i++ {
+						if d2[i] != 0 {
+							s += d2[i] * pW2[i*h+j]
+						}
+					}
+					if z1[j] <= 0 {
+						s = 0
+					}
+					d1[j] = s
+				}
+				for i := 0; i < h; i++ {
+					if d1[i] == 0 {
+						continue
+					}
+					grow := gW1[i*d : (i+1)*d]
+					for j, v := range x {
+						grow[j] += d1[i] * v
+					}
+					gB1[i] += d1[i]
+				}
+			}
+			inv := 1 / bs
+			scaleInPlace(gW1, inv)
+			scaleInPlace(gW2, inv)
+			scaleInPlace(gW3, inv)
+			scaleInPlace(gB1, inv)
+			scaleInPlace(gB2, inv)
+			gB3[0] *= inv
+			optW1.step(pW1, gW1)
+			optB1.step(m.b1, gB1)
+			optW2.step(pW2, gW2)
+			optB2.step(m.b2, gB2)
+			optW3.step(pW3, gW3)
+			b3s := []float64{m.b3}
+			optB3.step(b3s, gB3)
+			m.b3 = b3s[0]
+		}
+	}
+	unpack()
+	m.fitted = true
+	return nil
+}
+
+func scaleInPlace(v []float64, s float64) {
+	for i := range v {
+		v[i] *= s
+	}
+}
+
+// PredictProba implements Classifier.
+func (m *MLP) PredictProba(X [][]float64) []float64 {
+	out := make([]float64, len(X))
+	if !m.fitted {
+		return out
+	}
+	h := m.Hidden
+	a1 := make([]float64, h)
+	a2 := make([]float64, h)
+	for r, x := range X {
+		for i := 0; i < h; i++ {
+			s := m.b1[i]
+			row := m.w1[i]
+			for j, v := range x {
+				if j < len(row) {
+					s += row[j] * v
+				}
+			}
+			if s > 0 {
+				a1[i] = s
+			} else {
+				a1[i] = 0
+			}
+		}
+		for i := 0; i < h; i++ {
+			s := m.b2[i]
+			row := m.w2[i]
+			for j := 0; j < h; j++ {
+				s += row[j] * a1[j]
+			}
+			if s > 0 {
+				a2[i] = s
+			} else {
+				a2[i] = 0
+			}
+		}
+		z := m.b3
+		for j := 0; j < h; j++ {
+			z += m.w3[0][j] * a2[j]
+		}
+		out[r] = sigmoid(z)
+	}
+	return out
+}

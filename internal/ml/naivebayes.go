@@ -1,0 +1,121 @@
+package ml
+
+import "math"
+
+// GaussianNB is Gaussian naive Bayes: each feature is modelled as an
+// independent normal per class (sklearn's GaussianNB analogue, including its
+// variance smoothing).
+type GaussianNB struct {
+	// VarSmoothing is added to every variance as a fraction of the largest
+	// feature variance, exactly as sklearn does (default 1e-9).
+	VarSmoothing float64
+
+	prior  [2]float64   // log class priors
+	mean   [2][]float64 // per-class feature means
+	vari   [2][]float64 // per-class feature variances
+	fitted bool
+}
+
+// NewGaussianNB returns a GaussianNB with sklearn-default smoothing.
+func NewGaussianNB() *GaussianNB {
+	return &GaussianNB{VarSmoothing: 1e-9}
+}
+
+// Name implements Classifier.
+func (nb *GaussianNB) Name() string { return "NB" }
+
+// Fit implements Classifier.
+func (nb *GaussianNB) Fit(X [][]float64, y []int) error {
+	if err := validate(X, y); err != nil {
+		return err
+	}
+	n, d := len(X), len(X[0])
+	var counts [2]int
+	for c := 0; c < 2; c++ {
+		nb.mean[c] = make([]float64, d)
+		nb.vari[c] = make([]float64, d)
+	}
+	for i, row := range X {
+		c := y[i]
+		counts[c]++
+		for j, v := range row {
+			nb.mean[c][j] += v
+		}
+	}
+	for c := 0; c < 2; c++ {
+		if counts[c] == 0 {
+			// Degenerate single-class training set: flat prior keeps scoring
+			// defined (probability collapses to the observed class).
+			nb.prior[c] = math.Inf(-1)
+			continue
+		}
+		for j := range nb.mean[c] {
+			nb.mean[c][j] /= float64(counts[c])
+		}
+		nb.prior[c] = math.Log(float64(counts[c]) / float64(n))
+	}
+	for i, row := range X {
+		c := y[i]
+		for j, v := range row {
+			diff := v - nb.mean[c][j]
+			nb.vari[c][j] += diff * diff
+		}
+	}
+	maxVar := 0.0
+	for c := 0; c < 2; c++ {
+		if counts[c] == 0 {
+			continue
+		}
+		for j := range nb.vari[c] {
+			nb.vari[c][j] /= float64(counts[c])
+			if nb.vari[c][j] > maxVar {
+				maxVar = nb.vari[c][j]
+			}
+		}
+	}
+	eps := nb.VarSmoothing * maxVar
+	if eps == 0 {
+		eps = 1e-12
+	}
+	for c := 0; c < 2; c++ {
+		for j := range nb.vari[c] {
+			nb.vari[c][j] += eps
+		}
+	}
+	nb.fitted = true
+	return nil
+}
+
+// PredictProba implements Classifier.
+func (nb *GaussianNB) PredictProba(X [][]float64) []float64 {
+	out := make([]float64, len(X))
+	if !nb.fitted {
+		return out
+	}
+	for i, row := range X {
+		var logp [2]float64
+		for c := 0; c < 2; c++ {
+			lp := nb.prior[c]
+			if math.IsInf(lp, -1) {
+				logp[c] = lp
+				continue
+			}
+			for j, v := range row {
+				va := nb.vari[c][j]
+				diff := v - nb.mean[c][j]
+				lp += -0.5*math.Log(2*math.Pi*va) - diff*diff/(2*va)
+			}
+			logp[c] = lp
+		}
+		// Normalise in log space.
+		m := math.Max(logp[0], logp[1])
+		if math.IsInf(m, -1) {
+			out[i] = 0.5
+			continue
+		}
+		p0 := math.Exp(logp[0] - m)
+		p1 := math.Exp(logp[1] - m)
+		out[i] = p1 / (p0 + p1)
+	}
+	return out
+}

@@ -1,0 +1,168 @@
+package ml
+
+import (
+	"fmt"
+	"math"
+)
+
+// Imputer replaces NaN cells with per-column training means (sklearn's
+// SimpleImputer(strategy="mean") analogue).
+type Imputer struct {
+	means []float64
+	fit   bool
+}
+
+// Fit learns column means over non-NaN entries. A column that is entirely
+// NaN imputes to zero.
+func (im *Imputer) Fit(X [][]float64) error {
+	if len(X) == 0 {
+		return fmt.Errorf("ml: imputer fit on empty matrix")
+	}
+	d := len(X[0])
+	sums := make([]float64, d)
+	counts := make([]int, d)
+	for _, row := range X {
+		for j, v := range row {
+			if !math.IsNaN(v) {
+				sums[j] += v
+				counts[j]++
+			}
+		}
+	}
+	im.means = make([]float64, d)
+	for j := range im.means {
+		if counts[j] > 0 {
+			im.means[j] = sums[j] / float64(counts[j])
+		}
+	}
+	im.fit = true
+	return nil
+}
+
+// Transform returns a copy of X with NaNs replaced by the learned means.
+func (im *Imputer) Transform(X [][]float64) [][]float64 {
+	out := make([][]float64, len(X))
+	for i, row := range X {
+		r := make([]float64, len(row))
+		for j, v := range row {
+			if math.IsNaN(v) && j < len(im.means) {
+				r[j] = im.means[j]
+			} else {
+				r[j] = v
+			}
+		}
+		out[i] = r
+	}
+	return out
+}
+
+// Scaler standardizes columns to zero mean and unit variance using training
+// statistics (sklearn's StandardScaler analogue). Constant columns pass
+// through as zeros.
+type Scaler struct {
+	means []float64
+	stds  []float64
+	fit   bool
+}
+
+// Fit learns per-column mean and standard deviation.
+func (sc *Scaler) Fit(X [][]float64) error {
+	if len(X) == 0 {
+		return fmt.Errorf("ml: scaler fit on empty matrix")
+	}
+	d := len(X[0])
+	n := float64(len(X))
+	sc.means = make([]float64, d)
+	sc.stds = make([]float64, d)
+	for _, row := range X {
+		for j, v := range row {
+			sc.means[j] += v
+		}
+	}
+	for j := range sc.means {
+		sc.means[j] /= n
+	}
+	for _, row := range X {
+		for j, v := range row {
+			d := v - sc.means[j]
+			sc.stds[j] += d * d
+		}
+	}
+	for j := range sc.stds {
+		sc.stds[j] = math.Sqrt(sc.stds[j] / n)
+	}
+	sc.fit = true
+	return nil
+}
+
+// Transform returns a standardized copy of X.
+func (sc *Scaler) Transform(X [][]float64) [][]float64 {
+	out := make([][]float64, len(X))
+	for i, row := range X {
+		r := make([]float64, len(row))
+		for j, v := range row {
+			if j < len(sc.stds) && sc.stds[j] > 0 {
+				r[j] = (v - sc.means[j]) / sc.stds[j]
+			} else {
+				r[j] = 0
+			}
+		}
+		out[i] = r
+	}
+	return out
+}
+
+// Pipeline wraps a classifier with mean imputation and (for the models that
+// need it) standardization — the evaluation protocol the paper applies
+// uniformly to every method's feature output.
+type Pipeline struct {
+	model   Classifier
+	imputer Imputer
+	scaler  Scaler
+	scale   bool
+}
+
+// NewPipeline builds the preprocessing pipeline for a model. Linear and
+// neural models are standardized; tree and NB models only need imputation.
+func NewPipeline(model Classifier) *Pipeline {
+	scale := model.Name() == "LR" || model.Name() == "DNN"
+	return &Pipeline{model: model, scale: scale}
+}
+
+// Name returns the wrapped model's name.
+func (p *Pipeline) Name() string { return p.model.Name() }
+
+// Fit trains the preprocessing and the model. Like sklearn's input
+// validation, it rejects infinite values: imputation repairs NaN, but a
+// feature containing ±Inf (e.g. an unguarded divide-by-zero from a code
+// generation tool) fails the fit — the failure mode the paper reports for
+// CAAFE on the Diabetes dataset.
+func (p *Pipeline) Fit(X [][]float64, y []int) error {
+	if err := p.imputer.Fit(X); err != nil {
+		return err
+	}
+	Xi := p.imputer.Transform(X)
+	for i, row := range Xi {
+		for j, v := range row {
+			if math.IsInf(v, 0) {
+				return fmt.Errorf("ml: input contains infinity at row %d column %d", i, j)
+			}
+		}
+	}
+	if p.scale {
+		if err := p.scaler.Fit(Xi); err != nil {
+			return err
+		}
+		Xi = p.scaler.Transform(Xi)
+	}
+	return p.model.Fit(Xi, y)
+}
+
+// PredictProba applies the fitted preprocessing and scores the rows.
+func (p *Pipeline) PredictProba(X [][]float64) []float64 {
+	Xi := p.imputer.Transform(X)
+	if p.scale {
+		Xi = p.scaler.Transform(Xi)
+	}
+	return p.model.PredictProba(Xi)
+}

@@ -1,0 +1,244 @@
+package ml
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// TreeConfig controls CART growth.
+type TreeConfig struct {
+	// MaxDepth bounds tree depth (0 means the practical default of 12).
+	MaxDepth int
+	// MinSamplesLeaf is the smallest admissible leaf (0 means 1).
+	MinSamplesLeaf int
+	// MaxFeatures is how many features to consider per split
+	// (0 means all; forests set √d).
+	MaxFeatures int
+	// RandomSplits picks one uniform random threshold per feature instead of
+	// scanning all cut points — the extra-trees split rule.
+	RandomSplits bool
+	// Seed drives feature subsampling and random thresholds.
+	Seed int64
+}
+
+type treeNode struct {
+	feature     int
+	thresh      float64
+	left, right int     // children indices; -1 for leaves
+	prob        float64 // P(y=1) among training rows at this node
+}
+
+// Tree is a CART binary classification tree using Gini impurity.
+type Tree struct {
+	cfg        TreeConfig
+	nodes      []treeNode
+	importance []float64
+	rng        *rand.Rand
+	fitted     bool
+}
+
+// NewTree returns a tree with the given configuration.
+func NewTree(cfg TreeConfig) *Tree {
+	if cfg.MaxDepth <= 0 {
+		cfg.MaxDepth = 12
+	}
+	if cfg.MinSamplesLeaf <= 0 {
+		cfg.MinSamplesLeaf = 1
+	}
+	return &Tree{cfg: cfg, rng: rand.New(rand.NewSource(cfg.Seed))}
+}
+
+// Name implements Classifier.
+func (t *Tree) Name() string { return "Tree" }
+
+// Fit implements Classifier.
+func (t *Tree) Fit(X [][]float64, y []int) error {
+	if err := validate(X, y); err != nil {
+		return err
+	}
+	d := len(X[0])
+	t.nodes = t.nodes[:0]
+	t.importance = make([]float64, d)
+	idx := make([]int, len(X))
+	for i := range idx {
+		idx[i] = i
+	}
+	t.build(X, y, idx, 0)
+	t.fitted = true
+	return nil
+}
+
+// gini computes Gini impurity from positive count and total.
+func gini(pos, n int) float64 {
+	if n == 0 {
+		return 0
+	}
+	p := float64(pos) / float64(n)
+	return 2 * p * (1 - p)
+}
+
+// build grows the subtree over idx and returns its node index.
+func (t *Tree) build(X [][]float64, y []int, idx []int, depth int) int {
+	pos := 0
+	for _, i := range idx {
+		pos += y[i]
+	}
+	node := treeNode{left: -1, right: -1, prob: float64(pos) / float64(len(idx))}
+	self := len(t.nodes)
+	t.nodes = append(t.nodes, node)
+	if depth >= t.cfg.MaxDepth || pos == 0 || pos == len(idx) || len(idx) < 2*t.cfg.MinSamplesLeaf {
+		return self
+	}
+	feat, thresh, gain := t.bestSplit(X, y, idx, pos)
+	if feat < 0 || gain <= 1e-12 {
+		return self
+	}
+	var leftIdx, rightIdx []int
+	for _, i := range idx {
+		if X[i][feat] <= thresh {
+			leftIdx = append(leftIdx, i)
+		} else {
+			rightIdx = append(rightIdx, i)
+		}
+	}
+	if len(leftIdx) < t.cfg.MinSamplesLeaf || len(rightIdx) < t.cfg.MinSamplesLeaf {
+		return self
+	}
+	t.importance[feat] += float64(len(idx)) * gain
+	l := t.build(X, y, leftIdx, depth+1)
+	r := t.build(X, y, rightIdx, depth+1)
+	t.nodes[self].feature = feat
+	t.nodes[self].thresh = thresh
+	t.nodes[self].left = l
+	t.nodes[self].right = r
+	return self
+}
+
+// bestSplit searches candidate features for the split with the largest Gini
+// decrease. Returns (-1, 0, 0) when no admissible split exists.
+func (t *Tree) bestSplit(X [][]float64, y []int, idx []int, pos int) (int, float64, float64) {
+	d := len(X[0])
+	feats := t.candidateFeatures(d)
+	n := len(idx)
+	parent := gini(pos, n)
+	bestFeat, bestThresh, bestGain := -1, 0.0, 0.0
+	if t.cfg.RandomSplits {
+		for _, f := range feats {
+			lo, hi := math.Inf(1), math.Inf(-1)
+			for _, i := range idx {
+				v := X[i][f]
+				if v < lo {
+					lo = v
+				}
+				if v > hi {
+					hi = v
+				}
+			}
+			if hi <= lo {
+				continue
+			}
+			thresh := lo + t.rng.Float64()*(hi-lo)
+			ln, lp := 0, 0
+			for _, i := range idx {
+				if X[i][f] <= thresh {
+					ln++
+					lp += y[i]
+				}
+			}
+			rn, rp := n-ln, pos-lp
+			if ln < t.cfg.MinSamplesLeaf || rn < t.cfg.MinSamplesLeaf {
+				continue
+			}
+			gain := parent - (float64(ln)*gini(lp, ln)+float64(rn)*gini(rp, rn))/float64(n)
+			if gain > bestGain {
+				bestFeat, bestThresh, bestGain = f, thresh, gain
+			}
+		}
+		return bestFeat, bestThresh, bestGain
+	}
+	order := make([]int, n)
+	for _, f := range feats {
+		copy(order, idx)
+		sort.Slice(order, func(a, b int) bool { return X[order[a]][f] < X[order[b]][f] })
+		ln, lp := 0, 0
+		for k := 0; k < n-1; k++ {
+			i := order[k]
+			ln++
+			lp += y[i]
+			// Only cut between distinct values.
+			if X[order[k+1]][f] == X[i][f] {
+				continue
+			}
+			rn, rp := n-ln, pos-lp
+			if ln < t.cfg.MinSamplesLeaf || rn < t.cfg.MinSamplesLeaf {
+				continue
+			}
+			gain := parent - (float64(ln)*gini(lp, ln)+float64(rn)*gini(rp, rn))/float64(n)
+			if gain > bestGain {
+				bestFeat, bestGain = f, gain
+				bestThresh = (X[i][f] + X[order[k+1]][f]) / 2
+			}
+		}
+	}
+	return bestFeat, bestThresh, bestGain
+}
+
+// candidateFeatures returns the feature subset considered at a node.
+func (t *Tree) candidateFeatures(d int) []int {
+	if t.cfg.MaxFeatures <= 0 || t.cfg.MaxFeatures >= d {
+		out := make([]int, d)
+		for i := range out {
+			out[i] = i
+		}
+		return out
+	}
+	perm := t.rng.Perm(d)
+	return perm[:t.cfg.MaxFeatures]
+}
+
+// PredictProba implements Classifier.
+func (t *Tree) PredictProba(X [][]float64) []float64 {
+	out := make([]float64, len(X))
+	if !t.fitted || len(t.nodes) == 0 {
+		return out
+	}
+	for i, row := range X {
+		out[i] = t.predictRow(row)
+	}
+	return out
+}
+
+func (t *Tree) predictRow(row []float64) float64 {
+	n := 0
+	for {
+		node := t.nodes[n]
+		if node.left < 0 {
+			return node.prob
+		}
+		if row[node.feature] <= node.thresh {
+			n = node.left
+		} else {
+			n = node.right
+		}
+	}
+}
+
+// Importances returns normalized Gini importance per feature (sums to 1 when
+// any split occurred) — the "FI" metric of Table 6.
+func (t *Tree) Importances() []float64 {
+	out := append([]float64(nil), t.importance...)
+	total := 0.0
+	for _, v := range out {
+		total += v
+	}
+	if total > 0 {
+		for j := range out {
+			out[j] /= total
+		}
+	}
+	return out
+}
+
+// NodeCount reports the number of tree nodes (for tests and diagnostics).
+func (t *Tree) NodeCount() int { return len(t.nodes) }
