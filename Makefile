@@ -1,0 +1,32 @@
+GO ?= go
+PKGS := ./...
+# Kernel-level microbenchmarks (tree/forest/linear fits, ColMatrix, group-by).
+KERNEL_BENCH := BenchmarkTreeFit|BenchmarkForestFit|BenchmarkExtraTreesFit|BenchmarkLogisticFit|BenchmarkMatrixTakeRows|BenchmarkColMatrix|BenchmarkRowMajorMatrix|BenchmarkDropNANoNulls|BenchmarkSeriesStd|BenchmarkGroupKeys
+
+.PHONY: test race bench bench-kernel bench-cpu fmt vet
+
+test:
+	$(GO) build $(PKGS)
+	$(GO) test $(PKGS)
+
+race:
+	$(GO) test -race $(PKGS)
+
+# Full benchmark sweep: every paper table/figure plus the kernel benches.
+bench:
+	$(GO) test -bench . -benchmem -run xxx $(PKGS)
+
+# Just the hot-path kernel benches (fast; use for before/after comparisons).
+bench-kernel:
+	$(GO) test ./internal/ml ./internal/dataframe -bench '$(KERNEL_BENCH)' -benchmem -run xxx -count 3
+
+# CPU profile of forest training; inspect with `go tool pprof cpu.out`.
+bench-cpu:
+	$(GO) test ./internal/ml -bench 'BenchmarkForestFit' -run xxx -cpuprofile cpu.out -benchtime 5s
+	@echo "profile written to cpu.out (and ml.test); open with: go tool pprof cpu.out"
+
+fmt:
+	gofmt -l -w .
+
+vet:
+	$(GO) vet $(PKGS)

@@ -12,8 +12,9 @@
 //	experiments -descriptions       # feature-description ablation
 //	experiments -all                # everything
 //
-// Add -quick for the scaled-down configuration and -datasets to restrict the
-// comparison to a comma-separated subset.
+// Add -quick for the scaled-down configuration, -datasets to restrict the
+// comparison to a comma-separated subset, and -workers to bound the
+// (dataset × method × model) evaluation parallelism.
 package main
 
 import (
@@ -35,6 +36,7 @@ func main() {
 	quick := flag.Bool("quick", false, "use the scaled-down configuration")
 	seed := flag.Int64("seed", 0, "override the experiment seed")
 	names := flag.String("datasets", "", "comma-separated dataset subset (default: all eight)")
+	workers := flag.Int("workers", 0, "evaluation parallelism: (dataset × method) cells and per-model training (0 = GOMAXPROCS, 1 = sequential; results are identical at any setting)")
 	flag.Parse()
 
 	cfg := experiments.DefaultConfig()
@@ -44,6 +46,7 @@ func main() {
 	if *seed != 0 {
 		cfg.Seed = *seed
 	}
+	cfg.Workers = *workers
 	selected := datasets.Names()
 	if *names != "" {
 		selected = nil

@@ -5,19 +5,24 @@
 //
 //	smartfeat -in data.csv -target Label [-model RF] [-budget 10] [-out out.csv]
 //	smartfeat -dataset Tennis            # run on a built-in evaluation dataset
+//	smartfeat -dataset Tennis -evaluate  # also score initial vs augmented AUC
 //
 // A report of every candidate feature (operator, status, inputs) and the
-// foundation-model usage accounting is printed to stderr.
+// foundation-model usage accounting is printed to stderr. With -evaluate,
+// the five downstream models are trained on the parallel columnar harness
+// before and after feature engineering and the per-model AUCs are compared.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
 
 	"smartfeat/internal/core"
 	"smartfeat/internal/dataframe"
 	"smartfeat/internal/datasets"
+	"smartfeat/internal/experiments"
 	"smartfeat/internal/fm"
 )
 
@@ -31,14 +36,16 @@ func main() {
 	errorRate := flag.Float64("error-rate", 0.02, "simulated FM generation-error rate")
 	out := flag.String("out", "", "output CSV path (default stdout)")
 	rowBudget := flag.Float64("row-budget", 0, "USD budget permitting full row-level completions")
+	evaluate := flag.Bool("evaluate", false, "train the downstream models on the initial and augmented frames and report AUCs to stderr")
+	workers := flag.Int("workers", 0, "model-training parallelism for -evaluate (0 = GOMAXPROCS)")
 	flag.Parse()
-	if err := run(*in, *dataset, *target, *model, *budget, *seed, *errorRate, *out, *rowBudget); err != nil {
+	if err := run(*in, *dataset, *target, *model, *budget, *seed, *errorRate, *out, *rowBudget, *evaluate, *workers); err != nil {
 		fmt.Fprintln(os.Stderr, "smartfeat:", err)
 		os.Exit(1)
 	}
 }
 
-func run(in, dataset, target, model string, budget int, seed int64, errorRate float64, out string, rowBudget float64) error {
+func run(in, dataset, target, model string, budget int, seed int64, errorRate float64, out string, rowBudget float64, evaluate bool, workers int) error {
 	var frame *dataframe.Frame
 	descriptions := map[string]string{}
 	targetDesc := ""
@@ -69,7 +76,8 @@ func run(in, dataset, target, model string, budget int, seed int64, errorRate fl
 		return fmt.Errorf("provide -in FILE or -dataset NAME")
 	}
 
-	res, err := core.Run(frame.DropNA(), core.Options{
+	clean := frame.DropNA()
+	res, err := core.Run(clean, core.Options{
 		Target:            target,
 		TargetDescription: targetDesc,
 		Descriptions:      descriptions,
@@ -95,6 +103,12 @@ func run(in, dataset, target, model string, budget int, seed int64, errorRate fl
 	fmt.Fprintf(os.Stderr, "selector  FM: %s\n", res.SelectorUsage)
 	fmt.Fprintf(os.Stderr, "generator FM: %s\n", res.GeneratorUsage)
 
+	if evaluate {
+		if err := evaluateAUCs(clean, res.Frame, target, seed, workers); err != nil {
+			return err
+		}
+	}
+
 	w := os.Stdout
 	if out != "" {
 		file, err := os.Create(out)
@@ -105,4 +119,40 @@ func run(in, dataset, target, model string, budget int, seed int64, errorRate fl
 		w = file
 	}
 	return res.Frame.WriteCSV(w)
+}
+
+// evaluateAUCs trains the five downstream models on the initial and
+// augmented frames (§4.1 protocol, parallel columnar harness) and prints the
+// per-model AUC comparison to stderr.
+func evaluateAUCs(initial, augmented *dataframe.Frame, target string, seed int64, workers int) error {
+	cfg := experiments.QuickConfig()
+	cfg.Seed = seed
+	cfg.Workers = workers
+	before, beforeFail, err := experiments.EvaluateFrame(initial, target, cfg.Models, cfg)
+	if err != nil {
+		return err
+	}
+	after, afterFail, err := experiments.EvaluateFrame(augmented, target, cfg.Models, cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "downstream AUC (×100, 75/25 split):\n")
+	names := append([]string(nil), cfg.Models...)
+	sort.Strings(names)
+	for _, m := range names {
+		b, bok := before[m]
+		a, aok := after[m]
+		switch {
+		case bok && aok:
+			fmt.Fprintf(os.Stderr, "  %-4s initial %6.2f → augmented %6.2f (%+.2f)\n", m, b, a, a-b)
+		case bok:
+			fmt.Fprintf(os.Stderr, "  %-4s initial %6.2f → augmented failed: %s\n", m, b, afterFail[m])
+		case aok:
+			// Feature engineering rescued a model the raw frame broke.
+			fmt.Fprintf(os.Stderr, "  %-4s initial failed (%s) → augmented %6.2f\n", m, beforeFail[m], a)
+		default:
+			fmt.Fprintf(os.Stderr, "  %-4s initial failed: %s\n", m, beforeFail[m])
+		}
+	}
+	return nil
 }

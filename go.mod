@@ -1,0 +1,3 @@
+module smartfeat
+
+go 1.24.0

@@ -260,7 +260,7 @@ func Run(input *dataframe.Frame, target string, cfg Config) (*Result, error) {
 // trainResidual fits a logistic model on the original features over the
 // training rows and returns label − P(y=1) per training row. Nil on failure.
 func trainResidual(f *dataframe.Frame, base []string, target string, trainRows []int) []float64 {
-	X, err := f.Matrix(base)
+	X, err := f.ColMatrix(base)
 	if err != nil {
 		return nil
 	}
@@ -272,10 +272,9 @@ func trainResidual(f *dataframe.Frame, base []string, target string, trainRows [
 			rows[i] = i
 		}
 	}
-	Xtr := make([][]float64, len(rows))
+	Xtr := X.TakeRows(rows)
 	ytr := make([]int, len(rows))
 	for k, i := range rows {
-		Xtr[k] = X[i]
 		ytr[k] = int(yCol.Nums[i])
 	}
 	lr := ml.NewLogistic()

@@ -389,28 +389,28 @@ func validationAUC(f *dataframe.Frame, features []string, allLabels []int, targe
 	if len(features) == 0 {
 		return 0, fmt.Errorf("caafe: no features")
 	}
-	Xfull, err := f.Matrix(features)
+	Xfull, err := f.ColMatrix(features)
 	if err != nil {
 		return 0, err
 	}
-	X := make([][]float64, len(rows))
+	X := Xfull.TakeRows(rows)
 	labels := make([]int, len(rows))
 	for k, i := range rows {
-		X[k] = append([]float64(nil), Xfull[i]...)
 		labels[k] = allLabels[i]
 	}
 	// Tolerant cleaning: ±Inf → NaN → mean imputation inside the pipeline.
-	for _, row := range X {
-		for j, v := range row {
+	for j := 0; j < X.Cols(); j++ {
+		col := X.Col(j)
+		for i, v := range col {
 			if math.IsInf(v, 0) {
-				row[j] = math.NaN()
+				col[i] = math.NaN()
 			}
 		}
 	}
 	_ = target
-	train, test := metrics.TrainTestSplit(len(X), 0.25, seed)
-	Xtr, ytr := takeRows(X, labels, train)
-	Xte, yte := takeRows(X, labels, test)
+	train, test := metrics.TrainTestSplit(X.Rows(), 0.25, seed)
+	Xtr, ytr := X.TakeRows(train), metrics.TakeLabels(labels, train)
+	Xte, yte := X.TakeRows(test), metrics.TakeLabels(labels, test)
 	clf, err := validationModel(downstream, seed)
 	if err != nil {
 		return 0, err
@@ -447,16 +447,6 @@ func numericFeatureNames(f *dataframe.Frame, target string) []string {
 		}
 	}
 	return out
-}
-
-func takeRows(X [][]float64, y []int, idx []int) ([][]float64, []int) {
-	Xo := make([][]float64, len(idx))
-	yo := make([]int, len(idx))
-	for k, i := range idx {
-		Xo[k] = X[i]
-		yo[k] = y[i]
-	}
-	return Xo, yo
 }
 
 func sanitize(name string) string {

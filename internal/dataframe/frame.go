@@ -170,17 +170,36 @@ func (f *Frame) Head(n int) *Frame {
 }
 
 // DropNA returns a new frame with every row containing a null removed.
+// When no column has nulls — the common case on generated datasets — it
+// returns a clone without building a row-index slice or gathering through
+// Take. Null detection runs column-wise over contiguous storage.
 func (f *Frame) DropNA() *Frame {
-	var rows []int
-	for i := 0; i < f.Len(); i++ {
-		ok := true
-		for _, c := range f.cols {
-			if c.IsNull(i) {
-				ok = false
-				break
+	bad := make([]bool, f.Len())
+	anyBad := false
+	for _, c := range f.cols {
+		if c.Kind == Numeric {
+			for i, v := range c.Nums {
+				if math.IsNaN(v) {
+					bad[i] = true
+					anyBad = true
+				}
 			}
 		}
-		if ok {
+		if c.Null != nil {
+			for i, isNull := range c.Null {
+				if isNull {
+					bad[i] = true
+					anyBad = true
+				}
+			}
+		}
+	}
+	if !anyBad {
+		return f.Clone()
+	}
+	rows := make([]int, 0, f.Len())
+	for i, b := range bad {
+		if !b {
 			rows = append(rows, i)
 		}
 	}

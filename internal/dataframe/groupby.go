@@ -4,7 +4,6 @@ import (
 	"fmt"
 	"math"
 	"sort"
-	"strings"
 )
 
 // AggFunc names an aggregation applied within each group.
@@ -107,16 +106,16 @@ func (f *Frame) groupKeys(groupCols []string) ([]string, error) {
 		cols[j] = c
 	}
 	keys := make([]string, f.Len())
-	var b strings.Builder
+	buf := make([]byte, 0, 64)
 	for i := 0; i < f.Len(); i++ {
-		b.Reset()
+		buf = buf[:0]
 		for j, c := range cols {
 			if j > 0 {
-				b.WriteByte('\x1f')
+				buf = append(buf, '\x1f')
 			}
-			b.WriteString(c.key(i))
+			buf = c.appendKey(buf, i)
 		}
-		keys[i] = b.String()
+		keys[i] = string(buf)
 	}
 	return keys, nil
 }

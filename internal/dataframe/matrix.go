@@ -1,0 +1,40 @@
+package dataframe
+
+import (
+	"fmt"
+	"math"
+
+	"smartfeat/internal/ml"
+)
+
+// ColMatrix extracts the named numeric columns as a flat column-major
+// ml.Matrix, the compute format of the ml package. Each frame column is one
+// contiguous copy; nulls become NaN for the pipeline's imputer to repair.
+// This replaces the row-major Matrix for the training path: no per-row
+// slice allocations and no transposition on the way into the models.
+func (f *Frame) ColMatrix(names []string) (*ml.Matrix, error) {
+	cols := make([]*Series, len(names))
+	for j, n := range names {
+		c := f.Column(n)
+		if c == nil {
+			return nil, fmt.Errorf("dataframe: no column %q", n)
+		}
+		if c.Kind != Numeric {
+			return nil, fmt.Errorf("dataframe: column %q is not numeric", n)
+		}
+		cols[j] = c
+	}
+	out := ml.NewMatrix(f.Len(), len(names))
+	for j, c := range cols {
+		dst := out.Col(j)
+		copy(dst, c.Nums)
+		if c.Null != nil {
+			for i, isNull := range c.Null {
+				if isNull {
+					dst[i] = math.NaN()
+				}
+			}
+		}
+	}
+	return out, nil
+}

@@ -9,6 +9,7 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"strconv"
 )
 
 // Kind discriminates the physical type of a Series.
@@ -179,21 +180,39 @@ func (s *Series) validNums() []float64 {
 	return out
 }
 
+// numStats accumulates count, sum and min/max of the non-null values in a
+// single allocation-free pass. The sum visits values in row order — the same
+// accumulation order as summing a gathered valid-values slice — so Mean is
+// bit-identical to the historical two-pass implementation.
+func (s *Series) numStats() (count int, sum, lo, hi float64) {
+	lo, hi = math.Inf(1), math.Inf(-1)
+	for i, v := range s.Nums {
+		if s.IsNull(i) {
+			continue
+		}
+		count++
+		sum += v
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	return count, sum, lo, hi
+}
+
 // Mean returns the mean of non-null values of a numeric series (NaN if empty
 // or categorical).
 func (s *Series) Mean() float64 {
 	if s.Kind != Numeric {
 		return math.NaN()
 	}
-	vals := s.validNums()
-	if len(vals) == 0 {
+	count, sum, _, _ := s.numStats()
+	if count == 0 {
 		return math.NaN()
 	}
-	sum := 0.0
-	for _, v := range vals {
-		sum += v
-	}
-	return sum / float64(len(vals))
+	return sum / float64(count)
 }
 
 // Std returns the population standard deviation of non-null values.
@@ -201,47 +220,44 @@ func (s *Series) Std() float64 {
 	if s.Kind != Numeric {
 		return math.NaN()
 	}
-	vals := s.validNums()
-	if len(vals) == 0 {
+	count, sum, _, _ := s.numStats()
+	if count == 0 {
 		return math.NaN()
 	}
-	m := s.Mean()
+	m := sum / float64(count)
 	ss := 0.0
-	for _, v := range vals {
+	for i, v := range s.Nums {
+		if s.IsNull(i) {
+			continue
+		}
 		d := v - m
 		ss += d * d
 	}
-	return math.Sqrt(ss / float64(len(vals)))
+	return math.Sqrt(ss / float64(count))
 }
 
 // Min returns the minimum non-null value (NaN if none).
 func (s *Series) Min() float64 {
-	vals := s.validNums()
-	if len(vals) == 0 {
+	if s.Kind != Numeric {
 		return math.NaN()
 	}
-	m := vals[0]
-	for _, v := range vals[1:] {
-		if v < m {
-			m = v
-		}
+	count, _, lo, _ := s.numStats()
+	if count == 0 {
+		return math.NaN()
 	}
-	return m
+	return lo
 }
 
 // Max returns the maximum non-null value (NaN if none).
 func (s *Series) Max() float64 {
-	vals := s.validNums()
-	if len(vals) == 0 {
+	if s.Kind != Numeric {
 		return math.NaN()
 	}
-	m := vals[0]
-	for _, v := range vals[1:] {
-		if v > m {
-			m = v
-		}
+	count, _, _, hi := s.numStats()
+	if count == 0 {
+		return math.NaN()
 	}
-	return m
+	return hi
 }
 
 // Quantile returns the q-th quantile (0 ≤ q ≤ 1) of non-null values using
@@ -313,14 +329,19 @@ func (s *Series) IsConstant() bool {
 	return s.Cardinality() <= 1
 }
 
-// key returns a group-by key for row i, namespaced by kind so that the
-// numeric 1 and the string "1" do not collide.
-func (s *Series) key(i int) string {
+// appendKey appends row i's group-by key to buf and returns the extended
+// slice, namespaced by kind so that the numeric 1 and the string "1" do not
+// collide. Appending into a caller-reused buffer replaces the historical
+// fmt.Sprintf-built keys: group-by no longer allocates a formatted string
+// per row (strconv.AppendFloat with 'g'/-1 produces exactly fmt's %g text).
+func (s *Series) appendKey(buf []byte, i int) []byte {
 	if s.IsNull(i) {
-		return "\x00null"
+		return append(buf, "\x00null"...)
 	}
 	if s.Kind == Numeric {
-		return "n:" + fmt.Sprintf("%g", s.Nums[i])
+		buf = append(buf, 'n', ':')
+		return strconv.AppendFloat(buf, s.Nums[i], 'g', -1, 64)
 	}
-	return "s:" + s.Strs[i]
+	buf = append(buf, 's', ':')
+	return append(buf, s.Strs[i]...)
 }

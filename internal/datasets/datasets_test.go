@@ -156,7 +156,7 @@ func evalRawAUC(t *testing.T, d *Dataset, maxRows int) float64 {
 			featNames = append(featNames, n)
 		}
 	}
-	X, err := f.Matrix(featNames)
+	X, err := f.ColMatrix(featNames)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -164,9 +164,9 @@ func evalRawAUC(t *testing.T, d *Dataset, maxRows int) float64 {
 	if err != nil {
 		t.Fatal(err)
 	}
-	train, test := metrics.TrainTestSplit(len(X), 0.25, 11)
-	Xtr, ytr := takeRows(X, y, train)
-	Xte, yte := takeRows(X, y, test)
+	train, test := metrics.TrainTestSplit(X.Rows(), 0.25, 11)
+	Xtr, ytr := X.TakeRows(train), metrics.TakeLabels(y, train)
+	Xte, yte := X.TakeRows(test), metrics.TakeLabels(y, test)
 	pipe := ml.NewPipeline(ml.NewLogistic())
 	if err := pipe.Fit(Xtr, ytr); err != nil {
 		t.Fatal(err)
@@ -176,16 +176,6 @@ func evalRawAUC(t *testing.T, d *Dataset, maxRows int) float64 {
 		t.Fatal(err)
 	}
 	return auc
-}
-
-func takeRows(X [][]float64, y []int, idx []int) ([][]float64, []int) {
-	Xo := make([][]float64, len(idx))
-	yo := make([]int, len(idx))
-	for k, i := range idx {
-		Xo[k] = X[i]
-		yo[k] = y[i]
-	}
-	return Xo, yo
 }
 
 func TestRawSignalRegimes(t *testing.T) {

@@ -33,6 +33,17 @@ type Config struct {
 	CAAFEIterations int
 	// FMErrorRate is the simulated generation-error rate.
 	FMErrorRate float64
+	// Workers bounds the evaluation harness's parallelism. The bound is
+	// per fan-out level, not global: RunComparison fans datasets, each
+	// EvalDataset fans its five method cells, and each EvaluateFrame fans
+	// its models (forests additionally run their own GOMAXPROCS tree pool),
+	// so peak concurrency can reach the product of the levels — keep
+	// Workers modest on large grids. 0 means GOMAXPROCS per level (except
+	// RunEfficiency, which stays sequential for uncontended timings);
+	// 1 forces fully sequential execution. Results are bit-identical at any
+	// setting because every cell derives its randomness from fixed
+	// per-cell seeds.
+	Workers int
 }
 
 // DefaultConfig is the full evaluation configuration.

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"smartfeat/internal/core"
+	"smartfeat/internal/dataframe"
 	"smartfeat/internal/datasets"
 )
 
@@ -25,37 +26,60 @@ type EfficiencyRow struct {
 const EfficiencyBudget = time.Hour
 
 // RunEfficiency measures every method's feature-engineering time on the
-// given datasets (§4.2 "Efficiency").
+// given datasets (§4.2 "Efficiency"). The (dataset × method) cells can fan
+// out on a bounded worker pool; the row order of the result is the
+// sequential (dataset, method) order regardless of scheduling. Because each
+// cell reports its own wall-clock time, concurrent cells contend for CPU
+// and stretch each other's timings — so unlike the comparison harness,
+// this entry point stays sequential unless Workers > 1 is set explicitly
+// (fan out only when throughput matters more than timing fidelity).
 func RunEfficiency(names []string, cfg Config) ([]EfficiencyRow, error) {
-	var out []EfficiencyRow
-	for _, name := range names {
+	type loaded struct {
+		d     *datasets.Dataset
+		clean *dataframe.Frame
+	}
+	data := make([]loaded, len(names))
+	for k, name := range names {
 		d, err := datasets.Load(name, cfg.Seed)
 		if err != nil {
 			return nil, err
 		}
-		clean := d.Frame.DropNA()
-		sf := RunSmartfeat(d, clean, cfg, core.AllOperators())
-		out = append(out, EfficiencyRow{Dataset: name, Method: MethodSmartfeat, Elapsed: sf.Elapsed, TimedOut: sf.Elapsed > EfficiencyBudget})
-		ca := RunCAAFE(d, clean, cfg)
-		caRow := EfficiencyRow{Dataset: name, Method: MethodCAAFE, Elapsed: ca.Elapsed}
-		for m, reason := range ca.FailedModels {
-			if reason == "timeout" {
-				caRow.TimedOut = true
-				caRow.Detail = fmt.Sprintf("validation timeout with %s", m)
-			}
-		}
-		out = append(out, caRow)
-		ft := RunFeaturetools(d, clean, cfg)
-		out = append(out, EfficiencyRow{Dataset: name, Method: MethodFeaturetools, Elapsed: ft.Elapsed, TimedOut: ft.Elapsed > EfficiencyBudget})
-		af := RunAutoFeat(d, clean, cfg)
-		afRow := EfficiencyRow{Dataset: name, Method: MethodAutoFeat, Elapsed: af.Elapsed}
-		if af.Err != nil {
-			afRow.TimedOut = true
-			afRow.Detail = af.Err.Error()
-		}
-		out = append(out, afRow)
+		data[k] = loaded{d: d, clean: d.Frame.DropNA()}
 	}
-	return out, nil
+	methods := Methods()
+	rows := make([]EfficiencyRow, len(names)*len(methods))
+	workers := cfg.Workers // 0 → sequential here, for uncontended timings
+	forEachIndex(workers, len(rows), func(i int) {
+		dsi, mi := i/len(methods), i%len(methods)
+		name, d, clean := names[dsi], data[dsi].d, data[dsi].clean
+		switch methods[mi] {
+		case MethodSmartfeat:
+			sf := RunSmartfeat(d, clean, cfg, core.AllOperators())
+			rows[i] = EfficiencyRow{Dataset: name, Method: MethodSmartfeat, Elapsed: sf.Elapsed, TimedOut: sf.Elapsed > EfficiencyBudget}
+		case MethodCAAFE:
+			ca := RunCAAFE(d, clean, cfg)
+			caRow := EfficiencyRow{Dataset: name, Method: MethodCAAFE, Elapsed: ca.Elapsed}
+			for m, reason := range ca.FailedModels {
+				if reason == "timeout" {
+					caRow.TimedOut = true
+					caRow.Detail = fmt.Sprintf("validation timeout with %s", m)
+				}
+			}
+			rows[i] = caRow
+		case MethodFeaturetools:
+			ft := RunFeaturetools(d, clean, cfg)
+			rows[i] = EfficiencyRow{Dataset: name, Method: MethodFeaturetools, Elapsed: ft.Elapsed, TimedOut: ft.Elapsed > EfficiencyBudget}
+		case MethodAutoFeat:
+			af := RunAutoFeat(d, clean, cfg)
+			afRow := EfficiencyRow{Dataset: name, Method: MethodAutoFeat, Elapsed: af.Elapsed}
+			if af.Err != nil {
+				afRow.TimedOut = true
+				afRow.Detail = af.Err.Error()
+			}
+			rows[i] = afRow
+		}
+	})
+	return rows, nil
 }
 
 // EfficiencyString renders the efficiency comparison.

@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"fmt"
+	"sort"
 	"time"
 
 	"smartfeat/internal/dataframe"
@@ -36,16 +37,29 @@ type MethodResult struct {
 	Frame *dataframe.Frame
 }
 
+// aucValues returns the per-model AUCs in sorted model-name order. Summing
+// in map iteration order made the aggregates nondeterministic in the last
+// ulp from run to run; a fixed order keeps every table cell bit-stable (and
+// lets the parallel harness be compared cell-for-cell against sequential).
+func (m *MethodResult) aucValues() []float64 {
+	names := make([]string, 0, len(m.AUCs))
+	for k := range m.AUCs {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	vals := make([]float64, len(names))
+	for i, k := range names {
+		vals[i] = m.AUCs[k]
+	}
+	return vals
+}
+
 // AvgAUC is the Table 4 aggregate: the mean over evaluated models.
 func (m *MethodResult) AvgAUC() (float64, bool) {
 	if len(m.AUCs) == 0 {
 		return 0, false
 	}
-	vals := make([]float64, 0, len(m.AUCs))
-	for _, v := range m.AUCs {
-		vals = append(vals, v)
-	}
-	return metrics.Mean(vals), true
+	return metrics.Mean(m.aucValues()), true
 }
 
 // MedianAUC is the Table 5 aggregate.
@@ -53,11 +67,7 @@ func (m *MethodResult) MedianAUC() (float64, bool) {
 	if len(m.AUCs) == 0 {
 		return 0, false
 	}
-	vals := make([]float64, 0, len(m.AUCs))
-	for _, v := range m.AUCs {
-		vals = append(vals, v)
-	}
-	return metrics.Median(vals), true
+	return metrics.Median(m.aucValues()), true
 }
 
 // SupportsAllModels reports whether every requested model was evaluated —
@@ -99,11 +109,13 @@ func buildModel(name string, seed int64, cfg Config) (ml.Classifier, error) {
 	}
 }
 
-// evaluateFrame runs the §4.1 protocol on an (already feature-engineered)
+// EvaluateFrame runs the §4.1 protocol on an (already feature-engineered)
 // frame: factorize categoricals, 75/25 split, train every model, score AUC
 // on the held-out set. Per-model failures (e.g. infinite inputs) are
-// recorded, not fatal.
-func evaluateFrame(f *dataframe.Frame, target string, models []string, cfg Config) (map[string]float64, map[string]string, error) {
+// recorded, not fatal. The per-model trainings are independent — each model
+// derives its randomness from a fixed per-model seed — so they run on a
+// bounded worker pool with bit-identical results to the sequential order.
+func EvaluateFrame(f *dataframe.Frame, target string, models []string, cfg Config) (map[string]float64, map[string]string, error) {
 	g := f.FactorizeAll()
 	var features []string
 	for _, n := range g.Names() {
@@ -114,7 +126,7 @@ func evaluateFrame(f *dataframe.Frame, target string, models []string, cfg Confi
 	if len(features) == 0 {
 		return nil, nil, fmt.Errorf("experiments: no features to evaluate")
 	}
-	X, err := g.Matrix(features)
+	X, err := g.ColMatrix(features)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -126,41 +138,45 @@ func evaluateFrame(f *dataframe.Frame, target string, models []string, cfg Confi
 	if testFrac <= 0 || testFrac >= 1 {
 		testFrac = 0.25
 	}
-	train, test := metrics.TrainTestSplit(len(X), testFrac, cfg.Seed)
+	train, test := metrics.TrainTestSplit(X.Rows(), testFrac, cfg.Seed)
 	if cfg.MaxTrainRows > 0 && len(train) > cfg.MaxTrainRows {
 		train = train[:cfg.MaxTrainRows]
 	}
-	Xtr, ytr := takeRows(X, y, train)
-	Xte, yte := takeRows(X, y, test)
-	aucs := make(map[string]float64)
-	failures := make(map[string]string)
-	for _, name := range models {
+	Xtr, ytr := X.TakeRows(train), metrics.TakeLabels(y, train)
+	Xte, yte := X.TakeRows(test), metrics.TakeLabels(y, test)
+	type outcome struct {
+		auc     float64
+		ok      bool
+		failure string
+	}
+	results := make([]outcome, len(models))
+	forEachIndex(cfg.workers(), len(models), func(k int) {
+		name := models[k]
 		clf, err := buildModel(name, cfg.Seed+int64(len(name)), cfg)
 		if err != nil {
-			failures[name] = err.Error()
-			continue
+			results[k] = outcome{failure: err.Error()}
+			return
 		}
 		pipe := ml.NewPipeline(clf)
 		if err := pipe.Fit(Xtr, ytr); err != nil {
-			failures[name] = err.Error()
-			continue
+			results[k] = outcome{failure: err.Error()}
+			return
 		}
 		auc, err := metrics.AUC(yte, pipe.PredictProba(Xte))
 		if err != nil {
-			failures[name] = err.Error()
-			continue
+			results[k] = outcome{failure: err.Error()}
+			return
 		}
-		aucs[name] = auc * 100
+		results[k] = outcome{auc: auc * 100, ok: true}
+	})
+	aucs := make(map[string]float64)
+	failures := make(map[string]string)
+	for k, name := range models {
+		if results[k].ok {
+			aucs[name] = results[k].auc
+		} else {
+			failures[name] = results[k].failure
+		}
 	}
 	return aucs, failures, nil
-}
-
-func takeRows(X [][]float64, y []int, idx []int) ([][]float64, []int) {
-	Xo := make([][]float64, len(idx))
-	yo := make([]int, len(idx))
-	for k, i := range idx {
-		Xo[k] = X[i]
-		yo[k] = y[i]
-	}
-	return Xo, yo
 }

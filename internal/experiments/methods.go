@@ -49,7 +49,7 @@ func RunSmartfeat(d *datasets.Dataset, clean *dataframe.Frame, cfg Config, opera
 	out.NewColumns = res.AddedColumns()
 	out.Selected = len(out.NewColumns)
 	out.Frame = res.Frame
-	out.AUCs, out.FailedModels, out.Err = evaluateFrame(res.Frame, d.Target, cfg.Models, cfg)
+	out.AUCs, out.FailedModels, out.Err = EvaluateFrame(res.Frame, d.Target, cfg.Models, cfg)
 	return out
 }
 
@@ -66,7 +66,7 @@ func RunFeaturetools(d *datasets.Dataset, clean *dataframe.Frame, cfg Config) Me
 	out.Selected = res.Selected
 	out.NewColumns = res.NewColumns
 	out.Frame = res.Frame
-	out.AUCs, out.FailedModels, out.Err = evaluateFrame(res.Frame, d.Target, cfg.Models, cfg)
+	out.AUCs, out.FailedModels, out.Err = EvaluateFrame(res.Frame, d.Target, cfg.Models, cfg)
 	return out
 }
 
@@ -88,7 +88,7 @@ func RunAutoFeat(d *datasets.Dataset, clean *dataframe.Frame, cfg Config) Method
 	out.Selected = res.Selected
 	out.NewColumns = res.NewColumns
 	out.Frame = res.Frame
-	out.AUCs, out.FailedModels, out.Err = evaluateFrame(res.Frame, d.Target, cfg.Models, cfg)
+	out.AUCs, out.FailedModels, out.Err = EvaluateFrame(res.Frame, d.Target, cfg.Models, cfg)
 	return out
 }
 
@@ -125,7 +125,7 @@ func RunCAAFE(d *datasets.Dataset, clean *dataframe.Frame, cfg Config) MethodRes
 			out.NewColumns = res.NewColumns // last model's view, representative
 			out.Frame = res.Frame
 		}
-		aucs, failures, err := evaluateFrame(res.Frame, d.Target, []string{ds}, cfg)
+		aucs, failures, err := EvaluateFrame(res.Frame, d.Target, []string{ds}, cfg)
 		if err != nil {
 			out.FailedModels[ds] = err.Error()
 			continue
@@ -156,6 +156,10 @@ func trainRows(n int, cfg Config) []int {
 }
 
 // EvalDataset runs the initial evaluation plus every method on one dataset.
+// The five cells (initial + four methods) are independent — every method
+// clones the input frame and builds its own seeded FM simulators — so they
+// fan out on the shared worker pool with results identical to the
+// sequential order.
 func EvalDataset(name string, cfg Config) (*DatasetEval, error) {
 	d, err := datasets.Load(name, cfg.Seed)
 	if err != nil {
@@ -163,11 +167,25 @@ func EvalDataset(name string, cfg Config) (*DatasetEval, error) {
 	}
 	clean := d.Frame.DropNA()
 	ev := &DatasetEval{Dataset: name, Methods: make(map[string]MethodResult)}
-	ev.Initial = MethodResult{Method: MethodInitial}
-	ev.Initial.AUCs, ev.Initial.FailedModels, ev.Initial.Err = evaluateFrame(clean, d.Target, cfg.Models, cfg)
-	ev.Methods[MethodSmartfeat] = RunSmartfeat(d, clean, cfg, core.AllOperators())
-	ev.Methods[MethodCAAFE] = RunCAAFE(d, clean, cfg)
-	ev.Methods[MethodFeaturetools] = RunFeaturetools(d, clean, cfg)
-	ev.Methods[MethodAutoFeat] = RunAutoFeat(d, clean, cfg)
+	tasks := []func() MethodResult{
+		func() MethodResult {
+			r := MethodResult{Method: MethodInitial}
+			r.AUCs, r.FailedModels, r.Err = EvaluateFrame(clean, d.Target, cfg.Models, cfg)
+			return r
+		},
+		func() MethodResult { return RunSmartfeat(d, clean, cfg, core.AllOperators()) },
+		func() MethodResult { return RunCAAFE(d, clean, cfg) },
+		func() MethodResult { return RunFeaturetools(d, clean, cfg) },
+		func() MethodResult { return RunAutoFeat(d, clean, cfg) },
+	}
+	results := make([]MethodResult, len(tasks))
+	forEachIndex(cfg.workers(), len(tasks), func(i int) {
+		results[i] = tasks[i]()
+	})
+	ev.Initial = results[0]
+	ev.Methods[MethodSmartfeat] = results[1]
+	ev.Methods[MethodCAAFE] = results[2]
+	ev.Methods[MethodFeaturetools] = results[3]
+	ev.Methods[MethodAutoFeat] = results[4]
 	return ev, nil
 }

@@ -1,0 +1,52 @@
+package experiments
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// workers resolves the configured evaluation parallelism (0 → GOMAXPROCS).
+func (cfg Config) workers() int {
+	if cfg.Workers > 0 {
+		return cfg.Workers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// forEachIndex runs fn(0) … fn(n-1) on a bounded worker pool. Every task
+// writes only to its own result slot and derives its randomness from fixed
+// per-task seeds, so the outcome is bit-identical to the sequential order no
+// matter how the pool schedules. With workers ≤ 1 it degenerates to a plain
+// loop (no goroutines) — the sequential reference the equivalence tests pin
+// against.
+func forEachIndex(workers, n int, fn func(int)) {
+	if n <= 0 {
+		return
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	next := int64(-1)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(atomic.AddInt64(&next, 1))
+				if i >= n {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+}

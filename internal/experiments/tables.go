@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync/atomic"
 
 	"smartfeat/internal/core"
 	"smartfeat/internal/dataframe"
@@ -41,15 +42,34 @@ type ComparisonTable struct {
 }
 
 // RunComparison evaluates every method on the given datasets and assembles
-// both aggregate views.
+// both aggregate views. The (dataset × method) grid fans out on a bounded
+// worker pool (Config.Workers); per-cell seeding keeps every cell
+// bit-identical to the sequential order, and the tables are assembled
+// sequentially afterwards in dataset order.
 func RunComparison(names []string, cfg Config) (avg, median *ComparisonTable, err error) {
 	avg = newComparisonTable("average", names)
 	median = newComparisonTable("median", names)
-	for _, name := range names {
-		ev, err := EvalDataset(name, cfg)
-		if err != nil {
-			return nil, nil, err
+	evals := make([]*DatasetEval, len(names))
+	errs := make([]error, len(names))
+	var failed atomic.Bool
+	forEachIndex(cfg.workers(), len(names), func(i int) {
+		// Fail fast: once any dataset errors, skip the cells that have not
+		// started yet instead of training their full method × model grids.
+		if failed.Load() {
+			return
 		}
+		evals[i], errs[i] = EvalDataset(names[i], cfg)
+		if errs[i] != nil {
+			failed.Store(true)
+		}
+	})
+	for _, e := range errs {
+		if e != nil {
+			return nil, nil, e
+		}
+	}
+	for k, name := range names {
+		ev := evals[k]
 		avg.Evals[name] = ev
 		median.Evals[name] = ev
 		if v, ok := ev.Initial.AvgAUC(); ok {
@@ -196,7 +216,7 @@ func table6ForFrame(f *dataframe.Frame, target string, newCols []string, seed in
 			features = append(features, n)
 		}
 	}
-	X, err := g.Matrix(features)
+	X, err := g.ColMatrix(features)
 	if err != nil {
 		return 0, 0, 0, err
 	}
@@ -267,7 +287,7 @@ func Table7OperatorAblation(dataset string, cfg Config) ([]AblationRow, error) {
 	for _, c := range configs {
 		row := AblationRow{Config: c.name}
 		if c.ops == nil {
-			aucs, _, err := evaluateFrame(clean, d.Target, cfg.Models, cfg)
+			aucs, _, err := EvaluateFrame(clean, d.Target, cfg.Models, cfg)
 			if err != nil {
 				return nil, err
 			}
@@ -279,9 +299,10 @@ func Table7OperatorAblation(dataset string, cfg Config) ([]AblationRow, error) {
 			}
 			row.AUCs = res.AUCs
 		}
+		// Average in sorted model order so the cell is bit-stable run to run.
 		vals := make([]float64, 0, len(row.AUCs))
-		for _, v := range row.AUCs {
-			vals = append(vals, v)
+		for _, name := range sortedModelNames(row.AUCs) {
+			vals = append(vals, row.AUCs[name])
 		}
 		row.Avg = metrics.Mean(vals)
 		rows = append(rows, row)

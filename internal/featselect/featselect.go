@@ -107,18 +107,15 @@ func MutualInfo(x []float64, y []int, bins int) (float64, error) {
 }
 
 // RankMutualInfo ranks features by mutual information with the label
-// (Table 6's "IG" metric).
-func RankMutualInfo(X [][]float64, names []string, y []int) ([]Ranked, error) {
+// (Table 6's "IG" metric). The columnar matrix hands each feature over as a
+// contiguous slice — no per-feature gather.
+func RankMutualInfo(X *ml.Matrix, names []string, y []int) ([]Ranked, error) {
 	if err := checkMatrix(X, names, y); err != nil {
 		return nil, err
 	}
 	out := make([]Ranked, len(names))
-	col := make([]float64, len(X))
 	for j, name := range names {
-		for i := range X {
-			col[i] = X[i][j]
-		}
-		mi, err := MutualInfo(col, y, 10)
+		mi, err := MutualInfo(X.Col(j), y, 10)
 		if err != nil {
 			return nil, err
 		}
@@ -133,7 +130,7 @@ func RankMutualInfo(X [][]float64, names []string, y []int) ([]Ranked, error) {
 // smallest absolute coefficient. The returned ranking orders features by
 // elimination round (survivors first); Score is the round at which the
 // feature survived (higher = kept longer).
-func RFE(X [][]float64, names []string, y []int) ([]Ranked, error) {
+func RFE(X *ml.Matrix, names []string, y []int) ([]Ranked, error) {
 	if err := checkMatrix(X, names, y); err != nil {
 		return nil, err
 	}
@@ -144,7 +141,7 @@ func RFE(X [][]float64, names []string, y []int) ([]Ranked, error) {
 	eliminationRound := make([]int, len(names))
 	round := 0
 	for len(remaining) > 1 {
-		sub := subMatrix(X, remaining)
+		sub := X.SelectCols(remaining)
 		lr := ml.NewLogistic()
 		lr.MaxIter = 150
 		pipe := ml.NewPipeline(lr)
@@ -175,7 +172,7 @@ func RFE(X [][]float64, names []string, y []int) ([]Ranked, error) {
 
 // TreeImportance ranks features by mean Gini importance of a random forest
 // (Table 6's "FI" metric).
-func TreeImportance(X [][]float64, names []string, y []int, seed int64) ([]Ranked, error) {
+func TreeImportance(X *ml.Matrix, names []string, y []int, seed int64) ([]Ranked, error) {
 	if err := checkMatrix(X, names, y); err != nil {
 		return nil, err
 	}
@@ -193,29 +190,17 @@ func TreeImportance(X [][]float64, names []string, y []int, seed int64) ([]Ranke
 	return out, nil
 }
 
-func checkMatrix(X [][]float64, names []string, y []int) error {
-	if len(X) == 0 {
+func checkMatrix(X *ml.Matrix, names []string, y []int) error {
+	if X == nil || X.Rows() == 0 {
 		return fmt.Errorf("featselect: empty matrix")
 	}
-	if len(X) != len(y) {
-		return fmt.Errorf("featselect: %d rows vs %d labels", len(X), len(y))
+	if X.Rows() != len(y) {
+		return fmt.Errorf("featselect: %d rows vs %d labels", X.Rows(), len(y))
 	}
-	if len(X[0]) != len(names) {
-		return fmt.Errorf("featselect: %d columns vs %d names", len(X[0]), len(names))
+	if X.Cols() != len(names) {
+		return fmt.Errorf("featselect: %d columns vs %d names", X.Cols(), len(names))
 	}
 	return nil
-}
-
-func subMatrix(X [][]float64, cols []int) [][]float64 {
-	out := make([][]float64, len(X))
-	for i, row := range X {
-		r := make([]float64, len(cols))
-		for k, j := range cols {
-			r[k] = row[j]
-		}
-		out[i] = r
-	}
-	return out
 }
 
 // Pearson computes the Pearson correlation between two columns, skipping

@@ -6,19 +6,22 @@ import (
 	"testing"
 
 	"smartfeat/internal/dataframe"
+	"smartfeat/internal/ml"
 )
 
 // buildSignalData creates features where column 0 carries the label signal,
 // column 1 is weak, column 2 is noise.
-func buildSignalData(n int, seed int64) ([][]float64, []string, []int) {
+func buildSignalData(n int, seed int64) (*ml.Matrix, []string, []int) {
 	rng := rand.New(rand.NewSource(seed))
-	X := make([][]float64, n)
+	X := ml.NewMatrix(n, 3)
 	y := make([]int, n)
-	for i := range X {
+	for i := 0; i < n; i++ {
 		signal := rng.NormFloat64()
 		weak := signal + 3*rng.NormFloat64()
 		noise := rng.NormFloat64()
-		X[i] = []float64{signal, weak, noise}
+		X.Set(i, 0, signal)
+		X.Set(i, 1, weak)
+		X.Set(i, 2, noise)
 		if signal > 0 {
 			y[i] = 1
 		}
@@ -149,10 +152,11 @@ func TestCheckMatrixErrors(t *testing.T) {
 	if _, err := RankMutualInfo(nil, nil, nil); err == nil {
 		t.Fatal("empty should error")
 	}
-	if _, err := RankMutualInfo([][]float64{{1}}, []string{"a", "b"}, []int{1}); err == nil {
+	one := ml.NewMatrix(1, 1)
+	if _, err := RankMutualInfo(one, []string{"a", "b"}, []int{1}); err == nil {
 		t.Fatal("name mismatch should error")
 	}
-	if _, err := RFE([][]float64{{1}}, []string{"a"}, []int{1, 0}); err == nil {
+	if _, err := RFE(one, []string{"a"}, []int{1, 0}); err == nil {
 		t.Fatal("label mismatch should error")
 	}
 }

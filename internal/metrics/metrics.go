@@ -140,6 +140,16 @@ func StratifiedKFold(labels []int, k int, seed int64) ([][]int, error) {
 	return folds, nil
 }
 
+// TakeLabels gathers y at the given row indices — the label-side companion
+// of ml.Matrix.TakeRows for the splits TrainTestSplit produces.
+func TakeLabels(y []int, idx []int) []int {
+	out := make([]int, len(idx))
+	for k, i := range idx {
+		out[k] = y[i]
+	}
+	return out
+}
+
 // Mean returns the arithmetic mean, NaN for empty input.
 func Mean(vals []float64) float64 {
 	if len(vals) == 0 {

@@ -1,0 +1,80 @@
+// Microbenchmarks for the columnar ML kernel. Baseline (row-major
+// [][]float64, sort.Slice split finding) vs the flat-matrix kernel is
+// recorded in PERF.md; these benches keep the numbers measurable in the
+// BENCH trajectory.
+package ml
+
+import (
+	"testing"
+)
+
+func benchMatrix(b *testing.B, n, d int) (*Matrix, []int) {
+	b.Helper()
+	X, y := synthLinear(n, d, 99)
+	m, err := MatrixFromRows(X)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return m, y
+}
+
+func BenchmarkTreeFit(b *testing.B) {
+	X, y := benchMatrix(b, 2000, 20)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr := NewTree(TreeConfig{MaxDepth: 10, Seed: 1})
+		if err := tr.Fit(X, y); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkForestFit(b *testing.B) {
+	X, y := benchMatrix(b, 2000, 20)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f := NewRandomForest(40, 1)
+		if err := f.Fit(X, y); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkExtraTreesFit(b *testing.B) {
+	X, y := benchMatrix(b, 2000, 20)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f := NewExtraTrees(40, 1)
+		if err := f.Fit(X, y); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkLogisticFit(b *testing.B) {
+	X, y := benchMatrix(b, 2000, 20)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		lr := NewLogistic()
+		if err := lr.Fit(X, y); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkMatrixTakeRows(b *testing.B) {
+	X, _ := benchMatrix(b, 4000, 30)
+	idx := make([]int, 3000)
+	for i := range idx {
+		idx[i] = (i * 7) % 4000
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = X.TakeRows(idx)
+	}
+}

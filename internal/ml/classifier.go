@@ -14,10 +14,10 @@ import (
 
 // Classifier is a binary classifier producing P(y=1) scores.
 type Classifier interface {
-	// Fit trains on a row-major feature matrix and 0/1 labels.
-	Fit(X [][]float64, y []int) error
+	// Fit trains on a columnar feature matrix and 0/1 labels.
+	Fit(X *Matrix, y []int) error
 	// PredictProba returns P(y=1) for each row. Must be called after Fit.
-	PredictProba(X [][]float64) []float64
+	PredictProba(X *Matrix) []float64
 	// Name identifies the model family (LR, NB, RF, ET, DNN).
 	Name() string
 }
@@ -46,21 +46,15 @@ func New(name string, seed int64) (Classifier, error) {
 }
 
 // validate checks the shape invariants shared by every Fit implementation.
-func validate(X [][]float64, y []int) error {
-	if len(X) == 0 {
+func validate(X *Matrix, y []int) error {
+	if X == nil || X.Rows() == 0 {
 		return fmt.Errorf("ml: empty training set")
 	}
-	if len(X) != len(y) {
-		return fmt.Errorf("ml: %d rows but %d labels", len(X), len(y))
+	if X.Rows() != len(y) {
+		return fmt.Errorf("ml: %d rows but %d labels", X.Rows(), len(y))
 	}
-	d := len(X[0])
-	if d == 0 {
+	if X.Cols() == 0 {
 		return fmt.Errorf("ml: zero features")
-	}
-	for i, row := range X {
-		if len(row) != d {
-			return fmt.Errorf("ml: ragged matrix at row %d", i)
-		}
 	}
 	for i, v := range y {
 		if v != 0 && v != 1 {
@@ -68,19 +62,6 @@ func validate(X [][]float64, y []int) error {
 		}
 	}
 	return nil
-}
-
-// hasNaN reports whether the matrix contains any NaN (models require the
-// caller to impute first; Pipeline does this).
-func hasNaN(X [][]float64) bool {
-	for _, row := range X {
-		for _, v := range row {
-			if math.IsNaN(v) {
-				return true
-			}
-		}
-	}
-	return false
 }
 
 // sigmoid is the logistic link, numerically clamped.

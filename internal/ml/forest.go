@@ -58,15 +58,17 @@ func (f *Forest) Name() string {
 	return f.name
 }
 
-// Fit implements Classifier. Trees are trained in parallel.
-func (f *Forest) Fit(X [][]float64, y []int) error {
+// Fit implements Classifier. Trees are trained in parallel. Bootstrap trees
+// share the columnar matrix and train over a resampled row-index set — no
+// per-tree copy of the data.
+func (f *Forest) Fit(X *Matrix, y []int) error {
 	if err := validate(X, y); err != nil {
 		return err
 	}
 	if f.NumTrees <= 0 {
 		f.NumTrees = 40
 	}
-	d := len(X[0])
+	d := X.Cols()
 	f.numFea = d
 	maxFeatures := int(math.Ceil(math.Sqrt(float64(d))))
 	f.trees = make([]*Tree, f.NumTrees)
@@ -95,18 +97,17 @@ func (f *Forest) Fit(X [][]float64, y []int) error {
 					RandomSplits:   f.RandomSplits,
 					Seed:           seeds[ti],
 				})
-				Xi, yi := X, y
+				var rows []int
 				if f.Bootstrap {
 					sampleRng := rand.New(rand.NewSource(seeds[ti] ^ 0x5f5f5f5f))
-					rows := bootstrapSample(sampleRng, len(X))
-					Xi = make([][]float64, len(rows))
-					yi = make([]int, len(rows))
-					for k, r := range rows {
-						Xi[k] = X[r]
-						yi[k] = y[r]
+					rows = bootstrapSample(sampleRng, X.Rows())
+				} else {
+					rows = make([]int, X.Rows())
+					for i := range rows {
+						rows[i] = i
 					}
 				}
-				if err := tree.Fit(Xi, yi); err != nil {
+				if err := tree.fitRows(X, y, rows); err != nil {
 					errOnce.Do(func() { fitErr = err })
 					continue
 				}
@@ -127,8 +128,8 @@ func (f *Forest) Fit(X [][]float64, y []int) error {
 }
 
 // PredictProba implements Classifier: the mean of per-tree leaf frequencies.
-func (f *Forest) PredictProba(X [][]float64) []float64 {
-	out := make([]float64, len(X))
+func (f *Forest) PredictProba(X *Matrix) []float64 {
+	out := make([]float64, X.Rows())
 	if !f.fitted {
 		return out
 	}

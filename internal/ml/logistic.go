@@ -4,7 +4,11 @@ import "math"
 
 // Logistic is L2-regularized logistic regression trained with full-batch
 // gradient descent and an adaptive step (the paper's "LR" downstream model;
-// sklearn's LogisticRegression default is also L2).
+// sklearn's LogisticRegression default is also L2). The fit runs as
+// column sweeps over the flat matrix: the logit vector accumulates one
+// feature column at a time and each weight gradient is a dot product of a
+// contiguous column with the error vector — the same floating-point
+// accumulation order as the row-major loop, so results are bit-identical.
 type Logistic struct {
 	// Lambda is the L2 penalty strength.
 	Lambda float64
@@ -28,33 +32,37 @@ func NewLogistic() *Logistic {
 func (lr *Logistic) Name() string { return "LR" }
 
 // Fit implements Classifier.
-func (lr *Logistic) Fit(X [][]float64, y []int) error {
+func (lr *Logistic) Fit(X *Matrix, y []int) error {
 	if err := validate(X, y); err != nil {
 		return err
 	}
-	n, d := len(X), len(X[0])
+	n, d := X.Rows(), X.Cols()
 	lr.weights = make([]float64, d)
 	lr.bias = 0
 	gradW := make([]float64, d)
+	z := make([]float64, n)
+	e := make([]float64, n)
 	step := 0.5
 	prevLoss := math.Inf(1)
 	for iter := 0; iter < lr.MaxIter; iter++ {
-		for j := range gradW {
-			gradW[j] = 0
+		// z = bias + Xw, accumulated feature-by-feature so each z[i] sums
+		// its terms in ascending j — identical order to a per-row loop.
+		for i := range z {
+			z[i] = lr.bias
+		}
+		for j := 0; j < d; j++ {
+			w := lr.weights[j]
+			col := X.Col(j)
+			for i, v := range col {
+				z[i] += w * v
+			}
 		}
 		gradB := 0.0
 		loss := 0.0
-		for i, row := range X {
-			z := lr.bias
-			for j, v := range row {
-				z += lr.weights[j] * v
-			}
-			p := sigmoid(z)
-			e := p - float64(y[i])
-			for j, v := range row {
-				gradW[j] += e * v
-			}
-			gradB += e
+		for i := range z {
+			p := sigmoid(z[i])
+			e[i] = p - float64(y[i])
+			gradB += e[i]
 			// Cross-entropy with clamping for the stopping criterion.
 			pc := math.Min(math.Max(p, 1e-12), 1-1e-12)
 			if y[i] == 1 {
@@ -62,6 +70,14 @@ func (lr *Logistic) Fit(X [][]float64, y []int) error {
 			} else {
 				loss -= math.Log(1 - pc)
 			}
+		}
+		for j := 0; j < d; j++ {
+			col := X.Col(j)
+			g := 0.0
+			for i, v := range col {
+				g += e[i] * v
+			}
+			gradW[j] = g
 		}
 		norm := 0.0
 		for j := range gradW {
@@ -92,19 +108,28 @@ func (lr *Logistic) Fit(X [][]float64, y []int) error {
 }
 
 // PredictProba implements Classifier.
-func (lr *Logistic) PredictProba(X [][]float64) []float64 {
-	out := make([]float64, len(X))
+func (lr *Logistic) PredictProba(X *Matrix) []float64 {
+	out := make([]float64, X.Rows())
 	if !lr.fitted {
 		return out
 	}
-	for i, row := range X {
-		z := lr.bias
-		for j, v := range row {
-			if j < len(lr.weights) {
-				z += lr.weights[j] * v
-			}
+	d := X.Cols()
+	if d > len(lr.weights) {
+		d = len(lr.weights)
+	}
+	z := make([]float64, X.Rows())
+	for i := range z {
+		z[i] = lr.bias
+	}
+	for j := 0; j < d; j++ {
+		w := lr.weights[j]
+		col := X.Col(j)
+		for i, v := range col {
+			z[i] += w * v
 		}
-		out[i] = sigmoid(z)
+	}
+	for i, v := range z {
+		out[i] = sigmoid(v)
 	}
 	return out
 }

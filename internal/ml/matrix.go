@@ -1,0 +1,127 @@
+package ml
+
+import (
+	"fmt"
+	"math"
+)
+
+// Matrix is a dense feature matrix stored as one flat column-major
+// []float64: column j occupies data[j*rows : (j+1)*rows]. Column-major
+// layout is the compute-friendly orientation for every model in this
+// package — tree split finding, imputation, scaling and the linear models
+// all sweep whole columns — and it keeps each column contiguous so the hot
+// loops are linear scans instead of pointer-chasing across row slices.
+type Matrix struct {
+	rows, cols int
+	data       []float64
+}
+
+// NewMatrix allocates a zeroed rows×cols matrix.
+func NewMatrix(rows, cols int) *Matrix {
+	return &Matrix{rows: rows, cols: cols, data: make([]float64, rows*cols)}
+}
+
+// MatrixFromRows converts a row-major [][]float64 (the classic sklearn-style
+// shape) into a columnar Matrix. Rows must be rectangular.
+func MatrixFromRows(X [][]float64) (*Matrix, error) {
+	if len(X) == 0 {
+		return nil, fmt.Errorf("ml: empty matrix")
+	}
+	d := len(X[0])
+	m := NewMatrix(len(X), d)
+	for i, row := range X {
+		if len(row) != d {
+			return nil, fmt.Errorf("ml: ragged matrix at row %d", i)
+		}
+		for j, v := range row {
+			m.data[j*m.rows+i] = v
+		}
+	}
+	return m, nil
+}
+
+// Rows returns the number of rows.
+func (m *Matrix) Rows() int { return m.rows }
+
+// Cols returns the number of columns (features).
+func (m *Matrix) Cols() int { return m.cols }
+
+// At returns the element at row i, column j.
+func (m *Matrix) At(i, j int) float64 { return m.data[j*m.rows+i] }
+
+// Set writes the element at row i, column j.
+func (m *Matrix) Set(i, j int, v float64) { m.data[j*m.rows+i] = v }
+
+// Col returns column j as a contiguous view into the underlying storage.
+// Mutating the returned slice mutates the matrix.
+func (m *Matrix) Col(j int) []float64 { return m.data[j*m.rows : (j+1)*m.rows] }
+
+// Row gathers row i into buf (grown as needed) and returns it. The gather is
+// strided; models that are inherently row-oriented (the MLP's per-sample
+// SGD) use it with a reused buffer.
+func (m *Matrix) Row(i int, buf []float64) []float64 {
+	if cap(buf) < m.cols {
+		buf = make([]float64, m.cols)
+	}
+	buf = buf[:m.cols]
+	for j := 0; j < m.cols; j++ {
+		buf[j] = m.data[j*m.rows+i]
+	}
+	return buf
+}
+
+// Clone returns a deep copy.
+func (m *Matrix) Clone() *Matrix {
+	out := &Matrix{rows: m.rows, cols: m.cols, data: make([]float64, len(m.data))}
+	copy(out.data, m.data)
+	return out
+}
+
+// TakeRows returns a new matrix holding the given rows, in order (rows may
+// repeat, as in bootstrap sampling). Each output column is gathered from one
+// contiguous input column.
+func (m *Matrix) TakeRows(idx []int) *Matrix {
+	out := NewMatrix(len(idx), m.cols)
+	for j := 0; j < m.cols; j++ {
+		src := m.Col(j)
+		dst := out.Col(j)
+		for k, i := range idx {
+			dst[k] = src[i]
+		}
+	}
+	return out
+}
+
+// SelectCols returns a new matrix holding the given columns, in order. With
+// column-major storage this is a sequence of contiguous copies.
+func (m *Matrix) SelectCols(cols []int) *Matrix {
+	out := NewMatrix(m.rows, len(cols))
+	for k, j := range cols {
+		copy(out.Col(k), m.Col(j))
+	}
+	return out
+}
+
+// ToRows materializes the row-major [][]float64 view (for interop and tests).
+func (m *Matrix) ToRows() [][]float64 {
+	out := make([][]float64, m.rows)
+	flat := make([]float64, m.rows*m.cols)
+	for i := range out {
+		row := flat[i*m.cols : (i+1)*m.cols]
+		for j := 0; j < m.cols; j++ {
+			row[j] = m.data[j*m.rows+i]
+		}
+		out[i] = row
+	}
+	return out
+}
+
+// HasNaN reports whether any element is NaN.
+func (m *Matrix) HasNaN() bool {
+	for _, v := range m.data {
+		if math.IsNaN(v) {
+			return true
+		}
+	}
+	return false
+}

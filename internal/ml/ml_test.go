@@ -47,15 +47,25 @@ func synthXOR(n int, seed int64) ([][]float64, []int) {
 	return X, y
 }
 
+// mustMatrix converts a row-major test fixture into the columnar Matrix.
+func mustMatrix(t testing.TB, X [][]float64) *Matrix {
+	t.Helper()
+	m, err := MatrixFromRows(X)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
 func fitAUC(t *testing.T, c Classifier, X [][]float64, y []int) float64 {
 	t.Helper()
 	train, test := metrics.TrainTestSplit(len(X), 0.25, 7)
 	Xtr, ytr := take(X, y, train)
 	Xte, yte := take(X, y, test)
-	if err := c.Fit(Xtr, ytr); err != nil {
+	if err := c.Fit(mustMatrix(t, Xtr), ytr); err != nil {
 		t.Fatalf("%s fit: %v", c.Name(), err)
 	}
-	auc, err := metrics.AUC(yte, c.PredictProba(Xte))
+	auc, err := metrics.AUC(yte, c.PredictProba(mustMatrix(t, Xte)))
 	if err != nil {
 		t.Fatalf("%s auc: %v", c.Name(), err)
 	}
@@ -70,6 +80,61 @@ func take(X [][]float64, y []int, idx []int) ([][]float64, []int) {
 		yo[k] = y[i]
 	}
 	return Xo, yo
+}
+
+func TestMatrixRoundTrip(t *testing.T) {
+	rows := [][]float64{{1, 2, 3}, {4, 5, 6}}
+	m := mustMatrix(t, rows)
+	if m.Rows() != 2 || m.Cols() != 3 {
+		t.Fatalf("shape = %d×%d", m.Rows(), m.Cols())
+	}
+	if m.At(1, 2) != 6 || m.At(0, 1) != 2 {
+		t.Fatal("At wrong")
+	}
+	if got := m.Col(1); got[0] != 2 || got[1] != 5 {
+		t.Fatalf("Col(1) = %v", got)
+	}
+	if got := m.Row(1, nil); got[0] != 4 || got[2] != 6 {
+		t.Fatalf("Row(1) = %v", got)
+	}
+	back := m.ToRows()
+	for i := range rows {
+		for j := range rows[i] {
+			if back[i][j] != rows[i][j] {
+				t.Fatalf("round trip mismatch at %d,%d", i, j)
+			}
+		}
+	}
+	if _, err := MatrixFromRows([][]float64{{1}, {2, 3}}); err == nil {
+		t.Fatal("ragged should error")
+	}
+	if _, err := MatrixFromRows(nil); err == nil {
+		t.Fatal("empty should error")
+	}
+}
+
+func TestMatrixTakeRowsSelectCols(t *testing.T) {
+	m := mustMatrix(t, [][]float64{{1, 2}, {3, 4}, {5, 6}})
+	sub := m.TakeRows([]int{2, 0, 2})
+	want := [][]float64{{5, 6}, {1, 2}, {5, 6}}
+	got := sub.ToRows()
+	for i := range want {
+		for j := range want[i] {
+			if got[i][j] != want[i][j] {
+				t.Fatalf("TakeRows mismatch: %v", got)
+			}
+		}
+	}
+	cols := m.SelectCols([]int{1})
+	if cols.Cols() != 1 || cols.At(2, 0) != 6 {
+		t.Fatalf("SelectCols wrong: %v", cols.ToRows())
+	}
+	// Mutating a clone must not touch the original.
+	cl := m.Clone()
+	cl.Set(0, 0, 99)
+	if m.At(0, 0) != 1 {
+		t.Fatal("Clone should deep copy")
+	}
 }
 
 func TestLogisticLearnsLinear(t *testing.T) {
@@ -157,7 +222,7 @@ func TestForestImportancesFindSignalFeature(t *testing.T) {
 		}
 	}
 	f := NewRandomForest(20, 11)
-	if err := f.Fit(X, y); err != nil {
+	if err := f.Fit(mustMatrix(t, X), y); err != nil {
 		t.Fatal(err)
 	}
 	imp := f.Importances()
@@ -175,29 +240,29 @@ func TestValidateRejectsBadInput(t *testing.T) {
 	if err := c.Fit(nil, nil); err == nil {
 		t.Fatal("empty should error")
 	}
-	if err := c.Fit([][]float64{{1}}, []int{1, 0}); err == nil {
+	one := mustMatrix(t, [][]float64{{1}})
+	if err := c.Fit(one, []int{1, 0}); err == nil {
 		t.Fatal("length mismatch should error")
 	}
-	if err := c.Fit([][]float64{{1}, {2, 3}}, []int{0, 1}); err == nil {
-		t.Fatal("ragged should error")
-	}
-	if err := c.Fit([][]float64{{1}, {2}}, []int{0, 2}); err == nil {
+	two := mustMatrix(t, [][]float64{{1}, {2}})
+	if err := c.Fit(two, []int{0, 2}); err == nil {
 		t.Fatal("non-binary labels should error")
 	}
-	if err := c.Fit([][]float64{{}, {}}, []int{0, 1}); err == nil {
+	if err := c.Fit(NewMatrix(2, 0), []int{0, 1}); err == nil {
 		t.Fatal("zero features should error")
 	}
 }
 
 func TestSingleClassTraining(t *testing.T) {
 	// Models should not crash when trained on one class.
-	X := [][]float64{{1}, {2}, {3}}
+	X := mustMatrix(t, [][]float64{{1}, {2}, {3}})
 	y := []int{1, 1, 1}
+	probe := mustMatrix(t, [][]float64{{1.5}})
 	for _, c := range []Classifier{NewLogistic(), NewGaussianNB(), NewTree(TreeConfig{}), NewRandomForest(5, 1), NewExtraTrees(5, 1)} {
 		if err := c.Fit(X, y); err != nil {
 			t.Fatalf("%s single class fit: %v", c.Name(), err)
 		}
-		p := c.PredictProba([][]float64{{1.5}})
+		p := c.PredictProba(probe)
 		if math.IsNaN(p[0]) {
 			t.Fatalf("%s produced NaN", c.Name())
 		}
@@ -220,9 +285,10 @@ func TestNewFactory(t *testing.T) {
 }
 
 func TestPredictBeforeFit(t *testing.T) {
+	probe := mustMatrix(t, [][]float64{{1, 2}})
 	for _, name := range ModelNames {
 		c, _ := New(name, 1)
-		p := c.PredictProba([][]float64{{1, 2}})
+		p := c.PredictProba(probe)
 		if len(p) != 1 {
 			t.Fatalf("%s: predict before fit should return zeros, got %v", name, p)
 		}
@@ -231,19 +297,19 @@ func TestPredictBeforeFit(t *testing.T) {
 
 func TestImputer(t *testing.T) {
 	im := &Imputer{}
-	X := [][]float64{{1, math.NaN()}, {3, 4}, {math.NaN(), 8}}
+	X := mustMatrix(t, [][]float64{{1, math.NaN()}, {3, 4}, {math.NaN(), 8}})
 	if err := im.Fit(X); err != nil {
 		t.Fatal(err)
 	}
 	out := im.Transform(X)
-	if out[2][0] != 2 { // mean of 1,3
-		t.Fatalf("imputed %v, want 2", out[2][0])
+	if out.At(2, 0) != 2 { // mean of 1,3
+		t.Fatalf("imputed %v, want 2", out.At(2, 0))
 	}
-	if out[0][1] != 6 { // mean of 4,8
-		t.Fatalf("imputed %v, want 6", out[0][1])
+	if out.At(0, 1) != 6 { // mean of 4,8
+		t.Fatalf("imputed %v, want 6", out.At(0, 1))
 	}
 	// Original untouched.
-	if !math.IsNaN(X[0][1]) {
+	if !math.IsNaN(X.At(0, 1)) {
 		t.Fatal("transform should not mutate input")
 	}
 	if err := im.Fit(nil); err == nil {
@@ -253,27 +319,27 @@ func TestImputer(t *testing.T) {
 
 func TestImputerAllNaNColumn(t *testing.T) {
 	im := &Imputer{}
-	X := [][]float64{{math.NaN()}, {math.NaN()}}
+	X := mustMatrix(t, [][]float64{{math.NaN()}, {math.NaN()}})
 	if err := im.Fit(X); err != nil {
 		t.Fatal(err)
 	}
 	out := im.Transform(X)
-	if out[0][0] != 0 {
+	if out.At(0, 0) != 0 {
 		t.Fatal("all-NaN column should impute to 0")
 	}
 }
 
 func TestScaler(t *testing.T) {
 	sc := &Scaler{}
-	X := [][]float64{{1, 5}, {3, 5}, {5, 5}}
+	X := mustMatrix(t, [][]float64{{1, 5}, {3, 5}, {5, 5}})
 	if err := sc.Fit(X); err != nil {
 		t.Fatal(err)
 	}
 	out := sc.Transform(X)
-	if math.Abs(out[0][0]+1.2247) > 1e-3 {
-		t.Fatalf("scaled %v", out[0][0])
+	if math.Abs(out.At(0, 0)+1.2247) > 1e-3 {
+		t.Fatalf("scaled %v", out.At(0, 0))
 	}
-	if out[0][1] != 0 || out[2][1] != 0 {
+	if out.At(0, 1) != 0 || out.At(2, 1) != 0 {
 		t.Fatal("constant column should map to 0")
 	}
 }
@@ -285,14 +351,15 @@ func TestPipelineHandlesNaNs(t *testing.T) {
 	for i := 0; i < 40; i++ {
 		X[rng.Intn(len(X))][rng.Intn(4)] = math.NaN()
 	}
+	m := mustMatrix(t, X)
 	p := NewPipeline(NewLogistic())
 	if p.Name() != "LR" {
 		t.Fatal("pipeline name should delegate")
 	}
-	if err := p.Fit(X, y); err != nil {
+	if err := p.Fit(m, y); err != nil {
 		t.Fatal(err)
 	}
-	scores := p.PredictProba(X)
+	scores := p.PredictProba(m)
 	for _, s := range scores {
 		if math.IsNaN(s) {
 			t.Fatal("pipeline output should never be NaN")
@@ -300,27 +367,29 @@ func TestPipelineHandlesNaNs(t *testing.T) {
 	}
 }
 
-func TestHasNaN(t *testing.T) {
-	if hasNaN([][]float64{{1, 2}}) {
+func TestMatrixHasNaN(t *testing.T) {
+	if mustMatrix(t, [][]float64{{1, 2}}).HasNaN() {
 		t.Fatal("no NaN present")
 	}
-	if !hasNaN([][]float64{{1, math.NaN()}}) {
+	if !mustMatrix(t, [][]float64{{1, math.NaN()}}).HasNaN() {
 		t.Fatal("NaN not detected")
 	}
 }
 
 func TestDeterminism(t *testing.T) {
 	X, y := synthLinear(300, 4, 30)
+	m := mustMatrix(t, X)
+	probe := mustMatrix(t, X[:10])
 	for _, name := range []string{"RF", "ET", "DNN"} {
 		a, _ := New(name, 42)
 		b, _ := New(name, 42)
-		if err := a.Fit(X, y); err != nil {
+		if err := a.Fit(m, y); err != nil {
 			t.Fatal(err)
 		}
-		if err := b.Fit(X, y); err != nil {
+		if err := b.Fit(m, y); err != nil {
 			t.Fatal(err)
 		}
-		pa, pb := a.PredictProba(X[:10]), b.PredictProba(X[:10])
+		pa, pb := a.PredictProba(probe), b.PredictProba(probe)
 		for i := range pa {
 			if pa[i] != pb[i] {
 				t.Fatalf("%s not deterministic for equal seeds: %v vs %v", name, pa[i], pb[i])

@@ -59,8 +59,10 @@ func (a *adam) step(params, grads []float64) {
 	}
 }
 
-// Fit implements Classifier.
-func (m *MLP) Fit(X [][]float64, y []int) error {
+// Fit implements Classifier. The mini-batch SGD loop is inherently
+// row-oriented, so each sample is gathered from the columnar matrix into a
+// reused buffer; the arithmetic is unchanged from the row-major version.
+func (m *MLP) Fit(X *Matrix, y []int) error {
 	if err := validate(X, y); err != nil {
 		return err
 	}
@@ -77,7 +79,7 @@ func (m *MLP) Fit(X [][]float64, y []int) error {
 		m.LearningRate = 1e-3
 	}
 	rng := rand.New(rand.NewSource(m.Seed))
-	n, d, h := len(X), len(X[0]), m.Hidden
+	n, d, h := X.Rows(), X.Cols(), m.Hidden
 
 	// He initialisation for the ReLU layers.
 	initLayer := func(rows, cols int) [][]float64 {
@@ -130,6 +132,7 @@ func (m *MLP) Fit(X [][]float64, y []int) error {
 	d1 := make([]float64, h)
 
 	order := rng.Perm(n)
+	xbuf := make([]float64, d)
 	pW1 := make([]float64, h*d)
 	pW2 := make([]float64, h*h)
 	pW3 := make([]float64, h)
@@ -179,7 +182,7 @@ func (m *MLP) Fit(X [][]float64, y []int) error {
 			}
 			gB3[0] = 0
 			for _, idx := range batch {
-				x := X[idx]
+				x := X.Row(idx, xbuf)
 				// Forward.
 				for i := 0; i < h; i++ {
 					s := m.b1[i]
@@ -284,15 +287,17 @@ func scaleInPlace(v []float64, s float64) {
 }
 
 // PredictProba implements Classifier.
-func (m *MLP) PredictProba(X [][]float64) []float64 {
-	out := make([]float64, len(X))
+func (m *MLP) PredictProba(X *Matrix) []float64 {
+	out := make([]float64, X.Rows())
 	if !m.fitted {
 		return out
 	}
 	h := m.Hidden
 	a1 := make([]float64, h)
 	a2 := make([]float64, h)
-	for r, x := range X {
+	xbuf := make([]float64, X.Cols())
+	for r := range out {
+		x := X.Row(r, xbuf)
 		for i := 0; i < h; i++ {
 			s := m.b1[i]
 			row := m.w1[i]

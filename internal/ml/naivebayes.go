@@ -4,7 +4,9 @@ import "math"
 
 // GaussianNB is Gaussian naive Bayes: each feature is modelled as an
 // independent normal per class (sklearn's GaussianNB analogue, including its
-// variance smoothing).
+// variance smoothing). Moment estimation sweeps the flat matrix one
+// contiguous column at a time; per-(class, feature) accumulation visits rows
+// in ascending order, matching the row-major implementation bit for bit.
 type GaussianNB struct {
 	// VarSmoothing is added to every variance as a fraction of the largest
 	// feature variance, exactly as sklearn does (default 1e-9).
@@ -25,21 +27,23 @@ func NewGaussianNB() *GaussianNB {
 func (nb *GaussianNB) Name() string { return "NB" }
 
 // Fit implements Classifier.
-func (nb *GaussianNB) Fit(X [][]float64, y []int) error {
+func (nb *GaussianNB) Fit(X *Matrix, y []int) error {
 	if err := validate(X, y); err != nil {
 		return err
 	}
-	n, d := len(X), len(X[0])
+	n, d := X.Rows(), X.Cols()
 	var counts [2]int
 	for c := 0; c < 2; c++ {
 		nb.mean[c] = make([]float64, d)
 		nb.vari[c] = make([]float64, d)
 	}
-	for i, row := range X {
-		c := y[i]
+	for _, c := range y {
 		counts[c]++
-		for j, v := range row {
-			nb.mean[c][j] += v
+	}
+	for j := 0; j < d; j++ {
+		col := X.Col(j)
+		for i, v := range col {
+			nb.mean[y[i]][j] += v
 		}
 	}
 	for c := 0; c < 2; c++ {
@@ -54,9 +58,10 @@ func (nb *GaussianNB) Fit(X [][]float64, y []int) error {
 		}
 		nb.prior[c] = math.Log(float64(counts[c]) / float64(n))
 	}
-	for i, row := range X {
-		c := y[i]
-		for j, v := range row {
+	for j := 0; j < d; j++ {
+		col := X.Col(j)
+		for i, v := range col {
+			c := y[i]
 			diff := v - nb.mean[c][j]
 			nb.vari[c][j] += diff * diff
 		}
@@ -87,12 +92,15 @@ func (nb *GaussianNB) Fit(X [][]float64, y []int) error {
 }
 
 // PredictProba implements Classifier.
-func (nb *GaussianNB) PredictProba(X [][]float64) []float64 {
-	out := make([]float64, len(X))
+func (nb *GaussianNB) PredictProba(X *Matrix) []float64 {
+	out := make([]float64, X.Rows())
 	if !nb.fitted {
 		return out
 	}
-	for i, row := range X {
+	var buf []float64
+	for i := range out {
+		row := X.Row(i, buf)
+		buf = row
 		var logp [2]float64
 		for c := 0; c < 2; c++ {
 			lp := nb.prior[c]

@@ -6,7 +6,8 @@ import (
 )
 
 // Imputer replaces NaN cells with per-column training means (sklearn's
-// SimpleImputer(strategy="mean") analogue).
+// SimpleImputer(strategy="mean") analogue). On the columnar matrix each
+// column's statistics come from one contiguous scan.
 type Imputer struct {
 	means []float64
 	fit   bool
@@ -14,25 +15,22 @@ type Imputer struct {
 
 // Fit learns column means over non-NaN entries. A column that is entirely
 // NaN imputes to zero.
-func (im *Imputer) Fit(X [][]float64) error {
-	if len(X) == 0 {
+func (im *Imputer) Fit(X *Matrix) error {
+	if X == nil || X.Rows() == 0 {
 		return fmt.Errorf("ml: imputer fit on empty matrix")
 	}
-	d := len(X[0])
-	sums := make([]float64, d)
-	counts := make([]int, d)
-	for _, row := range X {
-		for j, v := range row {
+	d := X.Cols()
+	im.means = make([]float64, d)
+	for j := 0; j < d; j++ {
+		sum, count := 0.0, 0
+		for _, v := range X.Col(j) {
 			if !math.IsNaN(v) {
-				sums[j] += v
-				counts[j]++
+				sum += v
+				count++
 			}
 		}
-	}
-	im.means = make([]float64, d)
-	for j := range im.means {
-		if counts[j] > 0 {
-			im.means[j] = sums[j] / float64(counts[j])
+		if count > 0 {
+			im.means[j] = sum / float64(count)
 		}
 	}
 	im.fit = true
@@ -40,18 +38,16 @@ func (im *Imputer) Fit(X [][]float64) error {
 }
 
 // Transform returns a copy of X with NaNs replaced by the learned means.
-func (im *Imputer) Transform(X [][]float64) [][]float64 {
-	out := make([][]float64, len(X))
-	for i, row := range X {
-		r := make([]float64, len(row))
-		for j, v := range row {
-			if math.IsNaN(v) && j < len(im.means) {
-				r[j] = im.means[j]
-			} else {
-				r[j] = v
+func (im *Imputer) Transform(X *Matrix) *Matrix {
+	out := X.Clone()
+	for j := 0; j < out.Cols() && j < len(im.means); j++ {
+		col := out.Col(j)
+		m := im.means[j]
+		for i, v := range col {
+			if math.IsNaN(v) {
+				col[i] = m
 			}
 		}
-		out[i] = r
 	}
 	return out
 }
@@ -66,29 +62,24 @@ type Scaler struct {
 }
 
 // Fit learns per-column mean and standard deviation.
-func (sc *Scaler) Fit(X [][]float64) error {
-	if len(X) == 0 {
+func (sc *Scaler) Fit(X *Matrix) error {
+	if X == nil || X.Rows() == 0 {
 		return fmt.Errorf("ml: scaler fit on empty matrix")
 	}
-	d := len(X[0])
-	n := float64(len(X))
+	d := X.Cols()
+	n := float64(X.Rows())
 	sc.means = make([]float64, d)
 	sc.stds = make([]float64, d)
-	for _, row := range X {
-		for j, v := range row {
+	for j := 0; j < d; j++ {
+		col := X.Col(j)
+		for _, v := range col {
 			sc.means[j] += v
 		}
-	}
-	for j := range sc.means {
 		sc.means[j] /= n
-	}
-	for _, row := range X {
-		for j, v := range row {
-			d := v - sc.means[j]
-			sc.stds[j] += d * d
+		for _, v := range col {
+			dv := v - sc.means[j]
+			sc.stds[j] += dv * dv
 		}
-	}
-	for j := range sc.stds {
 		sc.stds[j] = math.Sqrt(sc.stds[j] / n)
 	}
 	sc.fit = true
@@ -96,18 +87,20 @@ func (sc *Scaler) Fit(X [][]float64) error {
 }
 
 // Transform returns a standardized copy of X.
-func (sc *Scaler) Transform(X [][]float64) [][]float64 {
-	out := make([][]float64, len(X))
-	for i, row := range X {
-		r := make([]float64, len(row))
-		for j, v := range row {
-			if j < len(sc.stds) && sc.stds[j] > 0 {
-				r[j] = (v - sc.means[j]) / sc.stds[j]
-			} else {
-				r[j] = 0
+func (sc *Scaler) Transform(X *Matrix) *Matrix {
+	out := X.Clone()
+	for j := 0; j < out.Cols(); j++ {
+		col := out.Col(j)
+		if j < len(sc.stds) && sc.stds[j] > 0 {
+			m, s := sc.means[j], sc.stds[j]
+			for i, v := range col {
+				col[i] = (v - m) / s
+			}
+		} else {
+			for i := range col {
+				col[i] = 0
 			}
 		}
-		out[i] = r
 	}
 	return out
 }
@@ -137,17 +130,30 @@ func (p *Pipeline) Name() string { return p.model.Name() }
 // feature containing ±Inf (e.g. an unguarded divide-by-zero from a code
 // generation tool) fails the fit — the failure mode the paper reports for
 // CAAFE on the Diabetes dataset.
-func (p *Pipeline) Fit(X [][]float64, y []int) error {
+func (p *Pipeline) Fit(X *Matrix, y []int) error {
 	if err := p.imputer.Fit(X); err != nil {
 		return err
 	}
 	Xi := p.imputer.Transform(X)
-	for i, row := range Xi {
-		for j, v := range row {
+	// Scan each contiguous column for ±Inf, then report the row-major-first
+	// occurrence (smallest row, then column) — same coordinates the old
+	// row-major loop produced, without its strided traversal.
+	infRow, infCol := -1, -1
+	for j := 0; j < Xi.Cols(); j++ {
+		for i, v := range Xi.Col(j) {
+			if infRow >= 0 && i > infRow {
+				break
+			}
 			if math.IsInf(v, 0) {
-				return fmt.Errorf("ml: input contains infinity at row %d column %d", i, j)
+				if infRow < 0 || i < infRow || (i == infRow && j < infCol) {
+					infRow, infCol = i, j
+				}
+				break
 			}
 		}
+	}
+	if infRow >= 0 {
+		return fmt.Errorf("ml: input contains infinity at row %d column %d", infRow, infCol)
 	}
 	if p.scale {
 		if err := p.scaler.Fit(Xi); err != nil {
@@ -159,7 +165,7 @@ func (p *Pipeline) Fit(X [][]float64, y []int) error {
 }
 
 // PredictProba applies the fitted preprocessing and scores the rows.
-func (p *Pipeline) PredictProba(X [][]float64) []float64 {
+func (p *Pipeline) PredictProba(X *Matrix) []float64 {
 	Xi := p.imputer.Transform(X)
 	if p.scale {
 		Xi = p.scaler.Transform(Xi)

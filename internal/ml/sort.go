@@ -1,0 +1,81 @@
+package ml
+
+// sortPairs sorts the parallel (vals, labs) slices by ascending value using
+// an in-place quicksort (median-of-three pivot, insertion sort for small
+// partitions). It replaces the sort.Slice call in split finding: no closure
+// dispatch, no interface boxing, and both arrays stay in cache. The sort is
+// not stable, which is fine for split finding — cut points only fall between
+// distinct values, so prefix label counts at every cut are independent of
+// the ordering within a run of equal values.
+func sortPairs(vals []float64, labs []int8) {
+	quickPairs(vals, labs, 0, len(vals)-1)
+}
+
+const pairsInsertionThreshold = 12
+
+func quickPairs(vals []float64, labs []int8, lo, hi int) {
+	for hi-lo > pairsInsertionThreshold {
+		p := partitionPairs(vals, labs, lo, hi)
+		// Recurse into the smaller side, loop on the larger — bounds stack
+		// depth at O(log n).
+		if p-lo < hi-p {
+			quickPairs(vals, labs, lo, p-1)
+			lo = p + 1
+		} else {
+			quickPairs(vals, labs, p+1, hi)
+			hi = p - 1
+		}
+	}
+	insertionPairs(vals, labs, lo, hi)
+}
+
+func insertionPairs(vals []float64, labs []int8, lo, hi int) {
+	for i := lo + 1; i <= hi; i++ {
+		v, l := vals[i], labs[i]
+		j := i - 1
+		for j >= lo && vals[j] > v {
+			vals[j+1], labs[j+1] = vals[j], labs[j]
+			j--
+		}
+		vals[j+1], labs[j+1] = v, l
+	}
+}
+
+func partitionPairs(vals []float64, labs []int8, lo, hi int) int {
+	mid := lo + (hi-lo)/2
+	// Median-of-three: order lo, mid, hi, then use mid as the pivot.
+	if vals[mid] < vals[lo] {
+		swapPairs(vals, labs, mid, lo)
+	}
+	if vals[hi] < vals[lo] {
+		swapPairs(vals, labs, hi, lo)
+	}
+	if vals[hi] < vals[mid] {
+		swapPairs(vals, labs, hi, mid)
+	}
+	// Stash the pivot just before hi.
+	swapPairs(vals, labs, mid, hi-1)
+	pivot := vals[hi-1]
+	i, j := lo, hi-1
+	for {
+		i++
+		for vals[i] < pivot {
+			i++
+		}
+		j--
+		for vals[j] > pivot {
+			j--
+		}
+		if i >= j {
+			break
+		}
+		swapPairs(vals, labs, i, j)
+	}
+	swapPairs(vals, labs, i, hi-1)
+	return i
+}
+
+func swapPairs(vals []float64, labs []int8, i, j int) {
+	vals[i], vals[j] = vals[j], vals[i]
+	labs[i], labs[j] = labs[j], labs[i]
+}

@@ -3,7 +3,6 @@ package ml
 import (
 	"math"
 	"math/rand"
-	"sort"
 )
 
 // TreeConfig controls CART growth.
@@ -29,13 +28,23 @@ type treeNode struct {
 	prob        float64 // P(y=1) among training rows at this node
 }
 
-// Tree is a CART binary classification tree using Gini impurity.
+// Tree is a CART binary classification tree using Gini impurity. Split
+// finding runs over the columnar Matrix: per candidate feature the node's
+// (value, label) pairs are gathered from the contiguous column into reusable
+// scratch buffers and sorted with a specialized pair sort, so the inner loop
+// is a linear scan over flat float64s instead of a closure-driven
+// sort.Slice over row-major indices.
 type Tree struct {
 	cfg        TreeConfig
 	nodes      []treeNode
 	importance []float64
 	rng        *rand.Rand
 	fitted     bool
+
+	// Per-fit scratch, reused across nodes to keep allocs flat.
+	scratchVals []float64
+	scratchLabs []int8
+	scratchIdx  []int
 }
 
 // NewTree returns a tree with the given configuration.
@@ -53,16 +62,26 @@ func NewTree(cfg TreeConfig) *Tree {
 func (t *Tree) Name() string { return "Tree" }
 
 // Fit implements Classifier.
-func (t *Tree) Fit(X [][]float64, y []int) error {
+func (t *Tree) Fit(X *Matrix, y []int) error {
 	if err := validate(X, y); err != nil {
 		return err
 	}
-	d := len(X[0])
-	t.nodes = t.nodes[:0]
-	t.importance = make([]float64, d)
-	idx := make([]int, len(X))
+	idx := make([]int, X.Rows())
 	for i := range idx {
 		idx[i] = i
+	}
+	return t.fitRows(X, y, idx)
+}
+
+// fitRows grows the tree over the given training rows of X (rows may repeat,
+// as with a bootstrap sample). idx is consumed: it is partitioned in place.
+func (t *Tree) fitRows(X *Matrix, y []int, idx []int) error {
+	t.nodes = t.nodes[:0]
+	t.importance = make([]float64, X.Cols())
+	if cap(t.scratchVals) < len(idx) {
+		t.scratchVals = make([]float64, len(idx))
+		t.scratchLabs = make([]int8, len(idx))
+		t.scratchIdx = make([]int, len(idx))
 	}
 	t.build(X, y, idx, 0)
 	t.fitted = true
@@ -78,8 +97,9 @@ func gini(pos, n int) float64 {
 	return 2 * p * (1 - p)
 }
 
-// build grows the subtree over idx and returns its node index.
-func (t *Tree) build(X [][]float64, y []int, idx []int, depth int) int {
+// build grows the subtree over idx and returns its node index. idx is
+// partitioned in place (stably) before recursing.
+func (t *Tree) build(X *Matrix, y []int, idx []int, depth int) int {
 	pos := 0
 	for _, i := range idx {
 		pos += y[i]
@@ -94,20 +114,26 @@ func (t *Tree) build(X [][]float64, y []int, idx []int, depth int) int {
 	if feat < 0 || gain <= 1e-12 {
 		return self
 	}
-	var leftIdx, rightIdx []int
+	// Stable in-place partition on the winning column, preserving idx order
+	// on both sides (matches the row-major implementation's append order).
+	col := X.Col(feat)
+	scratch := t.scratchIdx[:0]
+	nl := 0
 	for _, i := range idx {
-		if X[i][feat] <= thresh {
-			leftIdx = append(leftIdx, i)
+		if col[i] <= thresh {
+			idx[nl] = i
+			nl++
 		} else {
-			rightIdx = append(rightIdx, i)
+			scratch = append(scratch, i)
 		}
 	}
-	if len(leftIdx) < t.cfg.MinSamplesLeaf || len(rightIdx) < t.cfg.MinSamplesLeaf {
+	copy(idx[nl:], scratch)
+	if nl < t.cfg.MinSamplesLeaf || len(idx)-nl < t.cfg.MinSamplesLeaf {
 		return self
 	}
 	t.importance[feat] += float64(len(idx)) * gain
-	l := t.build(X, y, leftIdx, depth+1)
-	r := t.build(X, y, rightIdx, depth+1)
+	l := t.build(X, y, idx[:nl], depth+1)
+	r := t.build(X, y, idx[nl:], depth+1)
 	t.nodes[self].feature = feat
 	t.nodes[self].thresh = thresh
 	t.nodes[self].left = l
@@ -117,17 +143,17 @@ func (t *Tree) build(X [][]float64, y []int, idx []int, depth int) int {
 
 // bestSplit searches candidate features for the split with the largest Gini
 // decrease. Returns (-1, 0, 0) when no admissible split exists.
-func (t *Tree) bestSplit(X [][]float64, y []int, idx []int, pos int) (int, float64, float64) {
-	d := len(X[0])
-	feats := t.candidateFeatures(d)
+func (t *Tree) bestSplit(X *Matrix, y []int, idx []int, pos int) (int, float64, float64) {
+	feats := t.candidateFeatures(X.Cols())
 	n := len(idx)
 	parent := gini(pos, n)
 	bestFeat, bestThresh, bestGain := -1, 0.0, 0.0
 	if t.cfg.RandomSplits {
 		for _, f := range feats {
+			col := X.Col(f)
 			lo, hi := math.Inf(1), math.Inf(-1)
 			for _, i := range idx {
-				v := X[i][f]
+				v := col[i]
 				if v < lo {
 					lo = v
 				}
@@ -141,7 +167,7 @@ func (t *Tree) bestSplit(X [][]float64, y []int, idx []int, pos int) (int, float
 			thresh := lo + t.rng.Float64()*(hi-lo)
 			ln, lp := 0, 0
 			for _, i := range idx {
-				if X[i][f] <= thresh {
+				if col[i] <= thresh {
 					ln++
 					lp += y[i]
 				}
@@ -157,17 +183,21 @@ func (t *Tree) bestSplit(X [][]float64, y []int, idx []int, pos int) (int, float
 		}
 		return bestFeat, bestThresh, bestGain
 	}
-	order := make([]int, n)
+	vals := t.scratchVals[:n]
+	labs := t.scratchLabs[:n]
 	for _, f := range feats {
-		copy(order, idx)
-		sort.Slice(order, func(a, b int) bool { return X[order[a]][f] < X[order[b]][f] })
+		col := X.Col(f)
+		for k, i := range idx {
+			vals[k] = col[i]
+			labs[k] = int8(y[i])
+		}
+		sortPairs(vals, labs)
 		ln, lp := 0, 0
 		for k := 0; k < n-1; k++ {
-			i := order[k]
 			ln++
-			lp += y[i]
+			lp += int(labs[k])
 			// Only cut between distinct values.
-			if X[order[k+1]][f] == X[i][f] {
+			if vals[k+1] == vals[k] {
 				continue
 			}
 			rn, rp := n-ln, pos-lp
@@ -177,7 +207,7 @@ func (t *Tree) bestSplit(X [][]float64, y []int, idx []int, pos int) (int, float
 			gain := parent - (float64(ln)*gini(lp, ln)+float64(rn)*gini(rp, rn))/float64(n)
 			if gain > bestGain {
 				bestFeat, bestGain = f, gain
-				bestThresh = (X[i][f] + X[order[k+1]][f]) / 2
+				bestThresh = (vals[k] + vals[k+1]) / 2
 			}
 		}
 	}
@@ -198,25 +228,25 @@ func (t *Tree) candidateFeatures(d int) []int {
 }
 
 // PredictProba implements Classifier.
-func (t *Tree) PredictProba(X [][]float64) []float64 {
-	out := make([]float64, len(X))
+func (t *Tree) PredictProba(X *Matrix) []float64 {
+	out := make([]float64, X.Rows())
 	if !t.fitted || len(t.nodes) == 0 {
 		return out
 	}
-	for i, row := range X {
-		out[i] = t.predictRow(row)
+	for i := range out {
+		out[i] = t.predictRow(X, i)
 	}
 	return out
 }
 
-func (t *Tree) predictRow(row []float64) float64 {
+func (t *Tree) predictRow(X *Matrix, i int) float64 {
 	n := 0
 	for {
 		node := t.nodes[n]
 		if node.left < 0 {
 			return node.prob
 		}
-		if row[node.feature] <= node.thresh {
+		if X.At(i, node.feature) <= node.thresh {
 			n = node.left
 		} else {
 			n = node.right
