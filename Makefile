@@ -3,13 +3,21 @@ PKGS := ./...
 # Kernel-level microbenchmarks (tree/forest/linear fits, ColMatrix, group-by).
 KERNEL_BENCH := BenchmarkTreeFit|BenchmarkForestFit|BenchmarkExtraTreesFit|BenchmarkLogisticFit|BenchmarkMatrixTakeRows|BenchmarkColMatrix|BenchmarkRowMajorMatrix|BenchmarkDropNANoNulls|BenchmarkSeriesStd|BenchmarkGroupKeys
 
-.PHONY: test race bench bench-kernel bench-cpu fmt vet
+.PHONY: test race check bench bench-kernel bench-cpu fmt vet
 
 test:
 	$(GO) build $(PKGS)
 	$(GO) test $(PKGS)
 
 race:
+	$(GO) test -race $(PKGS)
+
+# Pre-commit gate: static analysis plus the full suite under the race
+# detector (the fmgate gateway, the parallel evaluation harness and the
+# forest presort cache are all concurrency-bearing — run this before every
+# commit).
+check:
+	$(GO) vet $(PKGS)
 	$(GO) test -race $(PKGS)
 
 # Full benchmark sweep: every paper table/figure plus the kernel benches.

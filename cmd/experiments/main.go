@@ -37,6 +37,9 @@ func main() {
 	seed := flag.Int64("seed", 0, "override the experiment seed")
 	names := flag.String("datasets", "", "comma-separated dataset subset (default: all eight)")
 	workers := flag.Int("workers", 0, "evaluation parallelism: (dataset × method) cells and per-model training (0 = GOMAXPROCS, 1 = sequential; results are identical at any setting)")
+	fmCache := flag.Bool("fm-cache", false, "cache deterministic FM completions inside each SMARTFEAT cell (content-addressed LRU)")
+	fmReplay := flag.String("fm-replay", "", "replay SMARTFEAT FM completions from an fmgate recording (zero simulated cost); the recording must cover the selected cells — record with cmd/smartfeat using this run's seed/budget and restrict to the matching -datasets subset (full-grid recording sharding is a ROADMAP item); uncovered prompts fail their cell loudly rather than falling back to paid traffic")
+	fmConcurrency := flag.Int("fm-concurrency", 0, "bound on each gateway's concurrent in-flight FM calls (0 = default 8)")
 	flag.Parse()
 
 	cfg := experiments.DefaultConfig()
@@ -47,6 +50,11 @@ func main() {
 		cfg.Seed = *seed
 	}
 	cfg.Workers = *workers
+	if *fmCache {
+		cfg.FMCacheSize = 1 << 14
+	}
+	cfg.FMReplayPath = *fmReplay
+	cfg.FMConcurrency = *fmConcurrency
 	selected := datasets.Names()
 	if *names != "" {
 		selected = nil

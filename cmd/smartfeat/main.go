@@ -7,51 +7,128 @@
 //	smartfeat -dataset Tennis            # run on a built-in evaluation dataset
 //	smartfeat -dataset Tennis -evaluate  # also score initial vs augmented AUC
 //
-// A report of every candidate feature (operator, status, inputs) and the
-// foundation-model usage accounting is printed to stderr. With -evaluate,
-// the five downstream models are trained on the parallel columnar harness
-// before and after feature engineering and the per-model AUCs are compared.
+// All foundation-model traffic is routed through the fmgate gateway:
+//
+//	-fm-concurrency N   bound on in-flight FM calls (row-level fan-out)
+//	-fm-cache           content-addressed completion cache for deterministic
+//	                    prompts (function generation, row-level completions)
+//	-fm-record FILE     record every upstream completion to FILE (JSONL)
+//	-fm-replay FILE     replay a recording byte-identically: the simulators
+//	                    are never called and the usage report shows $0.00
+//	                    (keep -seed as recorded — it also generates the
+//	                    synthetic -dataset and therefore the prompts)
+//
+// A report of every candidate feature (operator, status, inputs), the
+// foundation-model usage accounting and the gateway traffic counters is
+// printed to stderr. Ctrl-C cancels in-flight FM calls and prints the usage
+// of the spend so far instead of dying mid-write. With -evaluate, the five
+// downstream models are trained on the parallel columnar harness before and
+// after feature engineering and the per-model AUCs are compared.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"sort"
+	"syscall"
 
 	"smartfeat/internal/core"
 	"smartfeat/internal/dataframe"
 	"smartfeat/internal/datasets"
 	"smartfeat/internal/experiments"
 	"smartfeat/internal/fm"
+	"smartfeat/internal/fmgate"
 )
 
+// cliOptions carries the parsed flags.
+type cliOptions struct {
+	in, dataset, target, model string
+	budget                     int
+	seed                       int64
+	errorRate                  float64
+	out                        string
+	rowBudget                  float64
+	evaluate                   bool
+	workers                    int
+	fmCache                    bool
+	fmRecord, fmReplay         string
+	fmConcurrency              int
+}
+
 func main() {
-	in := flag.String("in", "", "input CSV file with a header row")
-	dataset := flag.String("dataset", "", "use a built-in evaluation dataset instead of -in")
-	target := flag.String("target", "", "prediction-class column (required with -in)")
-	model := flag.String("model", "RF", "downstream model shown to the FM (LR, NB, RF, ET, DNN)")
-	budget := flag.Int("budget", 10, "sampling budget per operator family")
-	seed := flag.Int64("seed", 42, "random seed for the simulated FM")
-	errorRate := flag.Float64("error-rate", 0.02, "simulated FM generation-error rate")
-	out := flag.String("out", "", "output CSV path (default stdout)")
-	rowBudget := flag.Float64("row-budget", 0, "USD budget permitting full row-level completions")
-	evaluate := flag.Bool("evaluate", false, "train the downstream models on the initial and augmented frames and report AUCs to stderr")
-	workers := flag.Int("workers", 0, "model-training parallelism for -evaluate (0 = GOMAXPROCS)")
+	var o cliOptions
+	flag.StringVar(&o.in, "in", "", "input CSV file with a header row")
+	flag.StringVar(&o.dataset, "dataset", "", "use a built-in evaluation dataset instead of -in")
+	flag.StringVar(&o.target, "target", "", "prediction-class column (required with -in)")
+	flag.StringVar(&o.model, "model", "RF", "downstream model shown to the FM (LR, NB, RF, ET, DNN)")
+	flag.IntVar(&o.budget, "budget", 10, "sampling budget per operator family")
+	flag.Int64Var(&o.seed, "seed", 42, "random seed for the simulated FM")
+	flag.Float64Var(&o.errorRate, "error-rate", 0.02, "simulated FM generation-error rate")
+	flag.StringVar(&o.out, "out", "", "output CSV path (default stdout)")
+	flag.Float64Var(&o.rowBudget, "row-budget", 0, "USD budget permitting full row-level completions")
+	flag.BoolVar(&o.evaluate, "evaluate", false, "train the downstream models on the initial and augmented frames and report AUCs to stderr")
+	flag.IntVar(&o.workers, "workers", 0, "model-training parallelism for -evaluate (0 = GOMAXPROCS)")
+	flag.BoolVar(&o.fmCache, "fm-cache", false, "cache deterministic FM completions (content-addressed LRU)")
+	flag.StringVar(&o.fmRecord, "fm-record", "", "record upstream FM completions to this JSONL file")
+	flag.StringVar(&o.fmReplay, "fm-replay", "", "replay FM completions from a recording (zero simulated cost)")
+	flag.IntVar(&o.fmConcurrency, "fm-concurrency", 8, "bound on concurrent in-flight FM calls (row-level fan-out)")
 	flag.Parse()
-	if err := run(*in, *dataset, *target, *model, *budget, *seed, *errorRate, *out, *rowBudget, *evaluate, *workers); err != nil {
+
+	// Ctrl-C / SIGTERM cancels in-flight FM calls; the run loop below then
+	// reports partial usage accounting instead of dying mid-write.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	if err := run(ctx, o); err != nil {
 		fmt.Fprintln(os.Stderr, "smartfeat:", err)
+		if errors.Is(err, context.Canceled) {
+			os.Exit(130)
+		}
 		os.Exit(1)
 	}
 }
 
-func run(in, dataset, target, model string, budget int, seed int64, errorRate float64, out string, rowBudget float64, evaluate bool, workers int) error {
+// buildRouter wires the per-role gateways from the CLI's fm flags. Both
+// roles share one record/replay store; keys embed the model name, so a
+// single recording file replays a whole selector+generator run.
+func buildRouter(o cliOptions) (*fmgate.Router, *fmgate.Store, error) {
+	gwOpts := fmgate.Options{Concurrency: o.fmConcurrency}
+	if o.fmCache {
+		gwOpts.CacheSize = 1 << 14
+	}
+	var store *fmgate.Store
+	var err error
+	switch {
+	case o.fmReplay != "" && o.fmRecord != "":
+		return nil, nil, fmt.Errorf("-fm-replay and -fm-record are mutually exclusive (a replayed run makes no upstream calls to record)")
+	case o.fmReplay != "":
+		store, err = fmgate.OpenReplayStore(o.fmReplay)
+		gwOpts.Replay = true
+	case o.fmRecord != "":
+		store, err = fmgate.NewRecordStore(o.fmRecord)
+	}
+	if err != nil {
+		return nil, nil, err
+	}
+	gwOpts.Store = store
+	router := fmgate.NewRouter().
+		Route(fmgate.RoleSelector, fmgate.New(fm.NewGPT4Sim(o.seed, o.errorRate), gwOpts)).
+		Route(fmgate.RoleGenerator, fmgate.New(fm.NewGPT35Sim(o.seed+1, o.errorRate), gwOpts))
+	return router, store, nil
+}
+
+func run(ctx context.Context, o cliOptions) error {
 	var frame *dataframe.Frame
 	descriptions := map[string]string{}
 	targetDesc := ""
+	target := o.target
 	switch {
-	case dataset != "":
-		d, err := datasets.Load(dataset, seed)
+	case o.dataset != "":
+		d, err := datasets.Load(o.dataset, o.seed)
 		if err != nil {
 			return err
 		}
@@ -59,11 +136,11 @@ func run(in, dataset, target, model string, budget int, seed int64, errorRate fl
 		target = d.Target
 		targetDesc = d.TargetDescription
 		descriptions = d.Descriptions
-	case in != "":
+	case o.in != "":
 		if target == "" {
 			return fmt.Errorf("-target is required with -in")
 		}
-		file, err := os.Open(in)
+		file, err := os.Open(o.in)
 		if err != nil {
 			return err
 		}
@@ -76,18 +153,33 @@ func run(in, dataset, target, model string, budget int, seed int64, errorRate fl
 		return fmt.Errorf("provide -in FILE or -dataset NAME")
 	}
 
+	router, store, err := buildRouter(o)
+	if err != nil {
+		return err
+	}
+	if store != nil {
+		defer store.Close()
+	}
+
 	clean := frame.DropNA()
-	res, err := core.Run(clean, core.Options{
+	res, err := core.RunContext(ctx, clean, core.Options{
 		Target:            target,
 		TargetDescription: targetDesc,
 		Descriptions:      descriptions,
-		Model:             model,
-		SelectorFM:        fm.NewGPT4Sim(seed, errorRate),
-		GeneratorFM:       fm.NewGPT35Sim(seed+1, errorRate),
-		SamplingBudget:    budget,
-		RowLevelBudgetUSD: rowBudget,
+		Model:             o.model,
+		SelectorFM:        router.Gate(fmgate.RoleSelector),
+		GeneratorFM:       router.Gate(fmgate.RoleGenerator),
+		SamplingBudget:    o.budget,
+		RowLevelBudgetUSD: o.rowBudget,
 	})
 	if err != nil {
+		if errors.Is(err, context.Canceled) && res != nil {
+			// Interrupted: report what the aborted run cost, skip the write.
+			fmt.Fprintf(os.Stderr, "interrupted after %s: %d candidates generated\n",
+				res.Elapsed.Round(1e6), len(res.Features))
+			fmt.Fprintln(os.Stderr, "partial usage:")
+			fmt.Fprintln(os.Stderr, router.Report())
+		}
 		return err
 	}
 
@@ -100,18 +192,17 @@ func run(in, dataset, target, model string, budget int, seed int64, errorRate fl
 			fmt.Fprintf(os.Stderr, "      %s\n", g.Detail)
 		}
 	}
-	fmt.Fprintf(os.Stderr, "selector  FM: %s\n", res.SelectorUsage)
-	fmt.Fprintf(os.Stderr, "generator FM: %s\n", res.GeneratorUsage)
+	fmt.Fprintln(os.Stderr, router.Report())
 
-	if evaluate {
-		if err := evaluateAUCs(clean, res.Frame, target, seed, workers); err != nil {
+	if o.evaluate {
+		if err := evaluateAUCs(clean, res.Frame, target, o.seed, o.workers); err != nil {
 			return err
 		}
 	}
 
 	w := os.Stdout
-	if out != "" {
-		file, err := os.Create(out)
+	if o.out != "" {
+		file, err := os.Create(o.out)
 		if err != nil {
 			return err
 		}

@@ -3,10 +3,16 @@
 // growing prefixes of the Bank dataset. Row-level cost grows linearly with
 // the row count; feature-level cost depends only on the schema.
 //
+// The row-level pass runs through the fmgate gateway: rows are submitted
+// concurrently (bounded fan-out over the per-call latency) and duplicate
+// rows are served from the content-addressed completion cache instead of
+// being paid for again.
+//
 //	go run ./examples/rowlevel
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"time"
@@ -15,14 +21,15 @@ import (
 )
 
 func main() {
+	ctx := context.Background()
 	d, err := smartfeat.LoadDataset("Bank", 2024)
 	if err != nil {
 		log.Fatal(err)
 	}
 	full := d.Frame.DropNA()
-	fmt.Println("Row-level vs feature-level FM interaction (simulated GPT pricing):")
-	fmt.Printf("%8s | %12s %12s %14s | %12s %12s %14s\n",
-		"rows", "row calls", "row $", "row latency", "feat calls", "feat $", "feat latency")
+	fmt.Println("Row-level (via fmgate gateway) vs feature-level FM interaction (simulated GPT pricing):")
+	fmt.Printf("%8s | %12s %10s %12s %14s | %12s %12s %14s\n",
+		"rows", "row calls", "cached", "row $", "row latency", "feat calls", "feat $", "feat latency")
 	for _, n := range []int{100, 1000, 5000, 20000} {
 		rows := make([]int, n)
 		for i := range rows {
@@ -30,15 +37,21 @@ func main() {
 		}
 		sub := full.Take(rows)
 
-		// Row-level: serialize every entry, ask for the masked value.
-		rowFM := smartfeat.NewGPT35Sim(int64(n), 0)
-		if _, err := smartfeat.CompleteRows(rowFM, sub, "Estimated_Subscription_Propensity", n); err != nil {
+		// Row-level: serialize every entry, ask for the masked value — but
+		// through the gateway, so identical rows hit the cache and the rest
+		// fan out eight at a time.
+		gw := smartfeat.NewGateway(smartfeat.NewGPT35Sim(int64(n), 0), smartfeat.GatewayOptions{
+			CacheSize:   1 << 16,
+			Concurrency: 8,
+		})
+		if _, err := smartfeat.CompleteRows(ctx, gw, sub, "Estimated_Subscription_Propensity", n); err != nil {
 			log.Fatal(err)
 		}
-		ru := rowFM.Usage()
+		ru := gw.Usage()
+		gm := gw.Metrics()
 
 		// Feature-level: the whole SMARTFEAT pipeline on the same rows.
-		res, err := smartfeat.Run(sub, smartfeat.Options{
+		res, err := smartfeat.RunContext(ctx, sub, smartfeat.Options{
 			Target:            d.Target,
 			TargetDescription: d.TargetDescription,
 			Descriptions:      d.Descriptions,
@@ -50,8 +63,8 @@ func main() {
 		}
 		fu := res.SelectorUsage
 		fu.Add(res.GeneratorUsage)
-		fmt.Printf("%8d | %12d %12.2f %14s | %12d %12.2f %14s\n",
-			n, ru.Calls, ru.SimCostUSD, ru.SimLatency.Round(time.Second),
+		fmt.Printf("%8d | %12d %10d %12.2f %14s | %12d %12.2f %14s\n",
+			n, ru.Calls, gm.Saved(), ru.SimCostUSD, ru.SimLatency.Round(time.Second),
 			fu.Calls, fu.SimCostUSD, fu.SimLatency.Round(time.Second))
 	}
 	fmt.Println("\nThe row-level column buys ONE feature; the feature-level budget built a whole feature set.")

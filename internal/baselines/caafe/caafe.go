@@ -21,6 +21,7 @@
 package caafe
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -82,8 +83,9 @@ type Result struct {
 
 // Run executes the CAAFE loop for one downstream model. descriptions is the
 // data card (CAAFE also consumes dataset context). The input frame is not
-// mutated.
-func Run(input *dataframe.Frame, target string, descriptions map[string]string, model fm.Model, downstream string, cfg Config) (*Result, error) {
+// mutated. The context cancels in-flight FM calls and stops the loop between
+// iterations.
+func Run(ctx context.Context, input *dataframe.Frame, target string, descriptions map[string]string, model fm.Model, downstream string, cfg Config) (*Result, error) {
 	start := time.Now()
 	if !input.Has(target) {
 		return nil, fmt.Errorf("caafe: target %q not in frame", target)
@@ -128,6 +130,9 @@ func Run(input *dataframe.Frame, target string, descriptions map[string]string, 
 	tried := make(map[string]bool)
 	attempts := 0
 	for iter := 0; iter < cfg.Iterations && attempts < 3*cfg.Iterations; iter++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		attempts++
 		// CAAFE's codegen produces both pairwise combinations and
 		// multi-column composite expressions; roughly a third of its
@@ -135,9 +140,9 @@ func Run(input *dataframe.Frame, target string, descriptions map[string]string, 
 		var name string
 		var vals []float64
 		if iter%3 == 2 {
-			name, vals, err = sampleComposite(f, target, descriptions, model)
+			name, vals, err = sampleComposite(ctx, f, target, descriptions, model)
 		} else {
-			name, vals, err = samplePairwise(f, target, descriptions, model)
+			name, vals, err = samplePairwise(ctx, f, target, descriptions, model)
 		}
 		if err != nil || name == "" {
 			continue // a failed generation consumes the iteration
@@ -211,8 +216,8 @@ func (c candidate) compute(f *dataframe.Frame) []float64 {
 
 // samplePairwise asks the FM for one pairwise numeric combination and
 // evaluates it with CAAFE's raw (unguarded) arithmetic.
-func samplePairwise(f *dataframe.Frame, target string, descriptions map[string]string, model fm.Model) (string, []float64, error) {
-	resp, err := model.Complete(buildPrompt(f, target, descriptions, fm.TaskSampleBinary))
+func samplePairwise(ctx context.Context, f *dataframe.Frame, target string, descriptions map[string]string, model fm.Model) (string, []float64, error) {
+	resp, err := model.Complete(ctx, buildPrompt(f, target, descriptions, fm.TaskSampleBinary))
 	if err != nil {
 		return "", nil, err
 	}
@@ -226,8 +231,8 @@ func samplePairwise(f *dataframe.Frame, target string, descriptions map[string]s
 // sampleComposite asks the FM for a multi-column composite expression (the
 // kind of pandas one-liner CAAFE's codegen produces for index features) and
 // evaluates it.
-func sampleComposite(f *dataframe.Frame, target string, descriptions map[string]string, model fm.Model) (string, []float64, error) {
-	resp, err := model.Complete(buildPrompt(f, target, descriptions, fm.TaskSampleExtractor))
+func sampleComposite(ctx context.Context, f *dataframe.Frame, target string, descriptions map[string]string, model fm.Model) (string, []float64, error) {
+	resp, err := model.Complete(ctx, buildPrompt(f, target, descriptions, fm.TaskSampleExtractor))
 	if err != nil {
 		return "", nil, err
 	}
@@ -252,7 +257,7 @@ func sampleComposite(f *dataframe.Frame, target string, descriptions map[string]
 	fnPrompt := buildPrompt(f, target, descriptions, fm.TaskGenerateFunction) +
 		fmt.Sprintf("New feature: %s\nRelevant columns: %s\nOperator: extractor\nDescription: %s\n",
 			sample.Name, strings.Join(sample.Columns, ", "), sample.Description)
-	fnResp, err := model.Complete(fnPrompt)
+	fnResp, err := model.Complete(ctx, fnPrompt)
 	if err != nil {
 		return "", nil, err
 	}

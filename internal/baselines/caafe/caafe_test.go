@@ -1,6 +1,7 @@
 package caafe
 
 import (
+	"context"
 	"errors"
 	"math"
 	"math/rand"
@@ -9,6 +10,9 @@ import (
 	"smartfeat/internal/dataframe"
 	"smartfeat/internal/fm"
 )
+
+// tctx is the default context for the loops under test.
+var tctx = context.Background()
 
 // ratioFrame plants a ratio signal so validation-gated retention has
 // something to find.
@@ -62,7 +66,7 @@ var descriptions = map[string]string{
 
 func TestRunRetainsHelpfulRatio(t *testing.T) {
 	f := ratioFrame(t, 800, 0, 1)
-	res, err := Run(f, "y", descriptions, fm.NewGPT4Sim(3, 0), "LR", DefaultConfig())
+	res, err := Run(tctx, f, "y", descriptions, fm.NewGPT4Sim(3, 0), "LR", DefaultConfig())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -99,7 +103,7 @@ func TestRunValidationRejectsNoise(t *testing.T) {
 	_ = f.AddNumeric("NumA", cols[0])
 	_ = f.AddNumeric("NumB", cols[1])
 	_ = f.AddNumeric("y", y)
-	res, err := Run(f, "y", nil, fm.NewGPT4Sim(5, 0), "LR", DefaultConfig())
+	res, err := Run(tctx, f, "y", nil, fm.NewGPT4Sim(5, 0), "LR", DefaultConfig())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -114,7 +118,7 @@ func TestRunDivideByZeroProducesInf(t *testing.T) {
 	f := ratioFrame(t, 900, 0.3, 7)
 	cfg := DefaultConfig()
 	cfg.Iterations = 25 // enough draws to sample the divide
-	res, err := Run(f, "y", descriptions, fm.NewGPT4Sim(11, 0), "LR", cfg)
+	res, err := Run(tctx, f, "y", descriptions, fm.NewGPT4Sim(11, 0), "LR", cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -166,19 +170,19 @@ func TestRunDNNTimeout(t *testing.T) {
 	f := ratioFrame(t, 100, 0, 13)
 	cfg := DefaultConfig()
 	cfg.DNNBudgetRows = 50
-	_, err := Run(f, "y", descriptions, fm.NewGPT4Sim(1, 0), "DNN", cfg)
+	_, err := Run(tctx, f, "y", descriptions, fm.NewGPT4Sim(1, 0), "DNN", cfg)
 	if !errors.Is(err, ErrTimeout) {
 		t.Fatalf("want ErrTimeout, got %v", err)
 	}
 	// Other models unaffected by the DNN budget.
-	if _, err := Run(f, "y", descriptions, fm.NewGPT4Sim(1, 0), "NB", cfg); err != nil {
+	if _, err := Run(tctx, f, "y", descriptions, fm.NewGPT4Sim(1, 0), "NB", cfg); err != nil {
 		t.Fatalf("NB should run: %v", err)
 	}
 }
 
 func TestRunErrors(t *testing.T) {
 	f := ratioFrame(t, 50, 0, 17)
-	if _, err := Run(f, "missing", nil, fm.NewGPT4Sim(1, 0), "LR", DefaultConfig()); err == nil {
+	if _, err := Run(tctx, f, "missing", nil, fm.NewGPT4Sim(1, 0), "LR", DefaultConfig()); err == nil {
 		t.Fatal("missing target should error")
 	}
 }

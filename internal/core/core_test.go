@@ -1,12 +1,16 @@
 package core
 
 import (
+	"context"
 	"strings"
 	"testing"
 
 	"smartfeat/internal/dataframe"
 	"smartfeat/internal/fm"
 )
+
+// tctx is the default context for pipeline components under test.
+var tctx = context.Background()
 
 // insuranceFrame reproduces Table 1 (the motivating example), expanded to a
 // few more rows so group statistics are meaningful.
@@ -221,7 +225,7 @@ func TestSelectorProposeUnary(t *testing.T) {
 	f := insuranceFrame(t)
 	a := NewAgenda(f, "Safe", "is safe", insuranceDescriptions)
 	sel := NewSelector(fm.NewGPT4Sim(1, 0), "RF")
-	cands, err := sel.ProposeUnary(a, "Age")
+	cands, err := sel.ProposeUnary(tctx, a, "Age")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -267,19 +271,19 @@ func TestSelectorSampleBinaryValidation(t *testing.T) {
 	a := NewAgenda(f, "Safe", "", insuranceDescriptions)
 	// Scripted FM returning a hallucinated column.
 	sel := NewSelector(fm.NewScripted(`{"op":"divide","left":"Ghost","right":"Age"}`), "RF")
-	if _, err := sel.SampleBinary(a); err == nil {
+	if _, err := sel.SampleBinary(tctx, a); err == nil {
 		t.Fatal("unknown column must be rejected")
 	}
 	sel = NewSelector(fm.NewScripted(`{"op":"conjure","left":"Age","right":"Age of car"}`), "RF")
-	if _, err := sel.SampleBinary(a); err == nil {
+	if _, err := sel.SampleBinary(tctx, a); err == nil {
 		t.Fatal("invalid op must be rejected")
 	}
 	sel = NewSelector(fm.NewScripted(`not json at all`), "RF")
-	if _, err := sel.SampleBinary(a); err == nil {
+	if _, err := sel.SampleBinary(tctx, a); err == nil {
 		t.Fatal("non-JSON must be rejected")
 	}
 	sel = NewSelector(fm.NewScripted(`{"op":"divide","left":"Age","right":"Age of car"}`), "RF")
-	c, err := sel.SampleBinary(a)
+	c, err := sel.SampleBinary(tctx, a)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -292,7 +296,7 @@ func TestSelectorSampleHighOrderPrefills(t *testing.T) {
 	f := insuranceFrame(t)
 	a := NewAgenda(f, "Safe", "", insuranceDescriptions)
 	sel := NewSelector(fm.NewScripted(`{"groupby_col":["Make"],"agg_col":"Claim in last 6 month","function":"mean"}`), "RF")
-	c, err := sel.SampleHighOrder(a)
+	c, err := sel.SampleHighOrder(tctx, a)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -304,7 +308,7 @@ func TestSelectorSampleHighOrderPrefills(t *testing.T) {
 	}
 	// Bad aggregation function must be rejected at selection time.
 	sel = NewSelector(fm.NewScripted(`{"groupby_col":["Make"],"agg_col":"Age","function":"magic"}`), "RF")
-	if _, err := sel.SampleHighOrder(a); err == nil {
+	if _, err := sel.SampleHighOrder(tctx, a); err == nil {
 		t.Fatal("invalid function must be rejected")
 	}
 }
@@ -313,7 +317,7 @@ func TestGeneratorRealizeBucketize(t *testing.T) {
 	f := insuranceFrame(t)
 	a := NewAgenda(f, "Safe", "", insuranceDescriptions)
 	gen := NewGenerator(fm.NewGPT35Sim(3, 0), "RF")
-	g := gen.Realize(f, a, Candidate{
+	g := gen.Realize(tctx, f, a, Candidate{
 		Name:        "Bucketize_Age",
 		Inputs:      []string{"Age"},
 		Description: "Bucketization of Age attribute",
@@ -338,7 +342,7 @@ func TestGeneratorDuplicateRejected(t *testing.T) {
 	a := NewAgenda(f, "Safe", "", insuranceDescriptions)
 	gen := NewGenerator(fm.NewGPT35Sim(3, 0), "RF")
 	c := Candidate{Name: "Age", Inputs: []string{"Age"}, Operator: "bucketize", Family: OpFamilyUnary}
-	g := gen.Realize(f, a, c)
+	g := gen.Realize(tctx, f, a, c)
 	if g.Status != StatusFailed || !strings.Contains(g.Detail, "duplicate") {
 		t.Fatalf("duplicate name should fail: %+v", g)
 	}
@@ -348,7 +352,7 @@ func TestGeneratorDataSource(t *testing.T) {
 	f := insuranceFrame(t)
 	a := NewAgenda(f, "Safe", "", insuranceDescriptions)
 	gen := NewGenerator(fm.NewScripted(`{"kind":"datasource","source":"https://census.gov"}`), "RF")
-	g := gen.Realize(f, a, Candidate{Name: "External", Inputs: []string{"City"}, Operator: "extractor", Family: OpFamilyExtractor})
+	g := gen.Realize(tctx, f, a, Candidate{Name: "External", Inputs: []string{"City"}, Operator: "extractor", Family: OpFamilyExtractor})
 	if g.Status != StatusDataSource || !strings.Contains(g.Detail, "census.gov") {
 		t.Fatalf("data-source scenario broken: %+v", g)
 	}
@@ -365,7 +369,7 @@ func TestGeneratorRowLevelBudget(t *testing.T) {
 	gen := NewGenerator(fmModel, "RF")
 	gen.RowLevelBudgetUSD = 0
 	c := Candidate{Name: "Population_Density_City", Inputs: []string{"City"}, Operator: "extractor", Family: OpFamilyExtractor}
-	g := gen.realizeRowLevel(f, c, GeneratedFeature{Candidate: c})
+	g := gen.realizeRowLevel(tctx, f, c, GeneratedFeature{Candidate: c})
 	if g.Status != StatusRowLevelSkipped {
 		t.Fatalf("status = %s", g.Status)
 	}
@@ -378,7 +382,7 @@ func TestGeneratorRowLevelBudget(t *testing.T) {
 
 	// Generous budget: full pass adds the column.
 	gen.RowLevelBudgetUSD = 100
-	g = gen.realizeRowLevel(f, c, GeneratedFeature{Candidate: c})
+	g = gen.realizeRowLevel(tctx, f, c, GeneratedFeature{Candidate: c})
 	if g.Status != StatusRowLevel {
 		t.Fatalf("status = %s (%s)", g.Status, g.Detail)
 	}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"strconv"
@@ -68,7 +69,7 @@ func NewGenerator(model fm.Model, downstreamModel string) *Generator {
 // Realize obtains a transformation for the candidate and applies it to the
 // frame, implementing the three scenarios of §3.3. The returned feature's
 // Status reports the outcome; StatusFailed results carry the reason.
-func (g *Generator) Realize(f *dataframe.Frame, a *Agenda, c Candidate) GeneratedFeature {
+func (g *Generator) Realize(ctx context.Context, f *dataframe.Frame, a *Agenda, c Candidate) GeneratedFeature {
 	out := GeneratedFeature{Candidate: c}
 	if f.Has(c.Name) {
 		out.Status = StatusFailed
@@ -83,7 +84,7 @@ func (g *Generator) Realize(f *dataframe.Frame, a *Agenda, c Candidate) Generate
 			out.Detail = err.Error()
 			return out
 		}
-		resp, err := g.model.Complete(prompt)
+		resp, err := g.model.Complete(ctx, prompt)
 		if err != nil {
 			out.Status = StatusFailed
 			out.Detail = err.Error()
@@ -100,7 +101,7 @@ func (g *Generator) Realize(f *dataframe.Frame, a *Agenda, c Candidate) Generate
 	out.Spec = spec
 	switch spec.Kind {
 	case KindRowLevel:
-		return g.realizeRowLevel(f, c, out)
+		return g.realizeRowLevel(ctx, f, c, out)
 	case KindDataSource:
 		out.Status = StatusDataSource
 		out.Detail = spec.Source
@@ -124,11 +125,11 @@ func (g *Generator) Realize(f *dataframe.Frame, a *Agenda, c Candidate) Generate
 // row and asking the FM for the masked value. The full pass only runs inside
 // the user's cost budget; otherwise a handful of examples is produced so the
 // user can judge whether the feature is worth the spend.
-func (g *Generator) realizeRowLevel(f *dataframe.Frame, c Candidate, out GeneratedFeature) GeneratedFeature {
+func (g *Generator) realizeRowLevel(ctx context.Context, f *dataframe.Frame, c Candidate, out GeneratedFeature) GeneratedFeature {
 	perCall := estimateRowCallCost(g.model, f, c)
 	total := perCall * float64(f.Len())
 	if g.RowLevelBudgetUSD > 0 && total <= g.RowLevelBudgetUSD {
-		vals, err := CompleteRows(g.model, f, c.Name, f.Len())
+		vals, err := CompleteRows(ctx, g.model, f, c.Name, f.Len())
 		if err != nil {
 			out.Status = StatusFailed
 			out.Detail = err.Error()
@@ -150,7 +151,7 @@ func (g *Generator) realizeRowLevel(f *dataframe.Frame, c Candidate, out Generat
 	if n > f.Len() {
 		n = f.Len()
 	}
-	examples, err := CompleteRows(g.model, f, c.Name, n)
+	examples, err := CompleteRows(ctx, g.model, f, c.Name, n)
 	detail := fmt.Sprintf("estimated cost $%.2f for %d rows exceeds budget $%.2f",
 		total, f.Len(), g.RowLevelBudgetUSD)
 	if err == nil {
@@ -185,21 +186,59 @@ func estimateRowCallCost(model fm.Model, f *dataframe.Frame, c Candidate) float6
 // frame, returning the parsed numeric values (NaN where the FM's answer is
 // not numeric). It is also the row-level interaction workload of the
 // Figure 1 efficiency comparison.
-func CompleteRows(model fm.Model, f *dataframe.Frame, feature string, n int) ([]float64, error) {
+//
+// When the model is an fm.Submitter (an fmgate gateway), rows are submitted
+// through a bounded window and the gateway's concurrency overlaps the
+// per-call latency — the paper's cost worst case (scenario 2, one call per
+// row) stops paying its latency serially. Plain models complete rows
+// sequentially. Either way the values land in row order and the result is
+// identical: row completions are independent and deterministic per row
+// content (the simulated FM derives even its error injection for this task
+// from the prompt content, so corruption does not depend on arrival order).
+func CompleteRows(ctx context.Context, model fm.Model, f *dataframe.Frame, feature string, n int) ([]float64, error) {
 	if n > f.Len() {
 		n = f.Len()
 	}
 	out := make([]float64, n)
+	if sub, ok := model.(fm.Submitter); ok && n > 1 {
+		// Cancel outstanding submissions as soon as one row fails.
+		ctx, cancel := context.WithCancel(ctx)
+		defer cancel()
+		// Submissions run a bounded window ahead of the in-order reader:
+		// enough to keep any reasonable gateway concurrency saturated
+		// without holding one goroutine per row of a large frame live.
+		const window = 256
+		pending := make([]<-chan fm.Result, n)
+		next := 0
+		for i := 0; i < n; i++ {
+			for ; next < n && next < i+window; next++ {
+				pending[next] = sub.Submit(ctx, rowPrompt(feature, f.SerializeRow(next)))
+			}
+			r := <-pending[i]
+			pending[i] = nil
+			if r.Err != nil {
+				return nil, fmt.Errorf("core: row %d completion: %w", i, r.Err)
+			}
+			out[i] = parseRowValue(r.Text)
+		}
+		return out, nil
+	}
 	for i := 0; i < n; i++ {
-		resp, err := model.Complete(rowPrompt(feature, f.SerializeRow(i)))
+		resp, err := model.Complete(ctx, rowPrompt(feature, f.SerializeRow(i)))
 		if err != nil {
 			return nil, fmt.Errorf("core: row %d completion: %w", i, err)
 		}
-		v, err := strconv.ParseFloat(strings.TrimSpace(resp), 64)
-		if err != nil {
-			v = math.NaN()
-		}
-		out[i] = v
+		out[i] = parseRowValue(resp)
 	}
 	return out, nil
+}
+
+// parseRowValue reads the FM's answer for one masked value (NaN when the
+// answer is not numeric — downstream imputation handles it).
+func parseRowValue(resp string) float64 {
+	v, err := strconv.ParseFloat(strings.TrimSpace(resp), 64)
+	if err != nil {
+		return math.NaN()
+	}
+	return v
 }

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -125,11 +126,20 @@ func (r *Result) Suggestions() []string {
 // high-order and extractor candidates over the enriched agenda, then the
 // drop heuristic and the verification filter (§3.2-3.3).
 func Run(input *dataframe.Frame, opts Options) (*Result, error) {
+	return RunContext(context.Background(), input, opts)
+}
+
+// RunContext is Run with cancellation: the context is threaded through every
+// FM interaction, so a deadline or an interrupt aborts in-flight calls. On
+// cancellation it returns the partial Result built so far — with the usage
+// accounting of the spend up to that point — alongside the context's error,
+// letting callers report what an aborted run cost.
+func RunContext(ctx context.Context, input *dataframe.Frame, opts Options) (*Result, error) {
 	start := time.Now()
 	opts.applyDefaults()
 	opts.Verify = true
 	opts.DropHeuristic = true
-	return run(input, opts, start)
+	return run(ctx, input, opts, start)
 }
 
 // RunRaw is Run without forcing verification/drop defaults — the ablation
@@ -137,10 +147,10 @@ func Run(input *dataframe.Frame, opts Options) (*Result, error) {
 func RunRaw(input *dataframe.Frame, opts Options) (*Result, error) {
 	start := time.Now()
 	opts.applyDefaults()
-	return run(input, opts, start)
+	return run(context.Background(), input, opts, start)
 }
 
-func run(input *dataframe.Frame, opts Options, start time.Time) (*Result, error) {
+func run(ctx context.Context, input *dataframe.Frame, opts Options, start time.Time) (*Result, error) {
 	if opts.SelectorFM == nil || opts.GeneratorFM == nil {
 		return nil, fmt.Errorf("core: both SelectorFM and GeneratorFM are required")
 	}
@@ -163,9 +173,19 @@ func run(input *dataframe.Frame, opts Options, start time.Time) (*Result, error)
 	dummySource := make(map[string]int)       // dummy column → source cardinality
 	var newColumns []string
 
+	// finish closes out the run — shared by normal completion and
+	// cancellation, so an interrupted run still reports the usage of the
+	// spend up to the abort.
+	finish := func(err error) (*Result, error) {
+		res.SelectorUsage = opts.SelectorFM.Usage()
+		res.GeneratorUsage = opts.GeneratorFM.Usage()
+		res.Elapsed = time.Since(start)
+		return res, err
+	}
+
 	// realize applies a candidate and performs the shared bookkeeping.
 	realize := func(c Candidate) GeneratedFeature {
-		g := generator.Realize(f, agenda, c)
+		g := generator.Realize(ctx, f, agenda, c)
 		if g.Status == StatusAdded || g.Status == StatusRowLevel {
 			for _, col := range g.Columns {
 				desc := g.Candidate.Description
@@ -194,7 +214,10 @@ func run(input *dataframe.Frame, opts Options, start time.Time) (*Result, error)
 	// strategy.
 	if opts.Operators.Unary {
 		for _, attr := range originals {
-			cands, err := selector.ProposeUnary(agenda, attr)
+			if ctx.Err() != nil {
+				return finish(ctx.Err())
+			}
+			cands, err := selector.ProposeUnary(ctx, agenda, attr)
 			if err != nil {
 				res.Errors[OpFamilyUnary]++
 				continue
@@ -214,6 +237,9 @@ func run(input *dataframe.Frame, opts Options, start time.Time) (*Result, error)
 	sampleFamily := func(family string, sample func() (Candidate, error)) {
 		errors := 0
 		for i := 0; i < opts.SamplingBudget && errors < opts.ErrorThreshold; i++ {
+			if ctx.Err() != nil {
+				return
+			}
 			c, err := sample()
 			if err != nil {
 				errors++
@@ -236,13 +262,18 @@ func run(input *dataframe.Frame, opts Options, start time.Time) (*Result, error)
 		}
 	}
 	if opts.Operators.Binary {
-		sampleFamily(OpFamilyBinary, func() (Candidate, error) { return selector.SampleBinary(agenda) })
+		sampleFamily(OpFamilyBinary, func() (Candidate, error) { return selector.SampleBinary(ctx, agenda) })
 	}
 	if opts.Operators.HighOrder {
-		sampleFamily(OpFamilyHighOrder, func() (Candidate, error) { return selector.SampleHighOrder(agenda) })
+		sampleFamily(OpFamilyHighOrder, func() (Candidate, error) { return selector.SampleHighOrder(ctx, agenda) })
 	}
 	if opts.Operators.Extractor {
-		sampleFamily(OpFamilyExtractor, func() (Candidate, error) { return selector.SampleExtractor(agenda) })
+		sampleFamily(OpFamilyExtractor, func() (Candidate, error) { return selector.SampleExtractor(ctx, agenda) })
+	}
+	if ctx.Err() != nil {
+		// Interrupted mid-sampling: skip the drop/verify post-passes and
+		// surface the partial result with its accounting.
+		return finish(ctx.Err())
 	}
 
 	// Drop heuristic (§3.2): originals that were unary-transformed and never
@@ -286,8 +317,5 @@ func run(input *dataframe.Frame, opts Options, start time.Time) (*Result, error)
 		}
 	}
 
-	res.SelectorUsage = opts.SelectorFM.Usage()
-	res.GeneratorUsage = opts.GeneratorFM.Usage()
-	res.Elapsed = time.Since(start)
-	return res, nil
+	return finish(nil)
 }

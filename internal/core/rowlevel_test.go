@@ -1,6 +1,8 @@
 package core
 
 import (
+	"context"
+	"errors"
 	"strings"
 	"testing"
 
@@ -128,11 +130,49 @@ func TestRunDataSourceScenarioThroughPipeline(t *testing.T) {
 	}
 }
 
+// TestRunContextCancellation checks an already-canceled context aborts the
+// pipeline between FM calls while still returning the partial result with
+// its usage accounting — the contract cmd/smartfeat's Ctrl-C handling
+// depends on.
+func TestRunContextCancellation(t *testing.T) {
+	f := insuranceFrame(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	opts := Options{
+		Target:       "Safe",
+		Descriptions: insuranceDescriptions,
+		SelectorFM:   fm.NewGPT4Sim(1, 0),
+		GeneratorFM:  fm.NewGPT35Sim(2, 0),
+	}
+	res, err := RunContext(ctx, f, opts)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+	if res == nil {
+		t.Fatal("cancellation must still return the partial result")
+	}
+	if len(res.Features) != 0 {
+		t.Fatalf("pre-canceled run should not generate candidates: %d", len(res.Features))
+	}
+	if res.SelectorUsage.Calls != 0 {
+		t.Fatalf("pre-canceled run should not spend FM calls: %+v", res.SelectorUsage)
+	}
+
+	// A live context runs to completion with an identical-options twin.
+	res2, err := RunContext(context.Background(), f, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res2.Features) == 0 || res2.SelectorUsage.Calls == 0 {
+		t.Fatal("live context should complete the run")
+	}
+}
+
 // TestCompleteRowsParsesNumbers covers the row-completion value parsing.
 func TestCompleteRowsParsesNumbers(t *testing.T) {
 	f := insuranceFrame(t)
 	model := fm.NewScripted("42", "not-a-number", "17.5")
-	vals, err := CompleteRows(model, f, "X", 3)
+	vals, err := CompleteRows(tctx, model, f, "X", 3)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -143,7 +183,7 @@ func TestCompleteRowsParsesNumbers(t *testing.T) {
 		t.Fatalf("non-numeric answer should be NaN, got %v", vals[1])
 	}
 	// Exhausted model mid-pass → error.
-	if _, err := CompleteRows(fm.NewScripted("1"), f, "X", 2); err == nil {
+	if _, err := CompleteRows(tctx, fm.NewScripted("1"), f, "X", 2); err == nil {
 		t.Fatal("exhausted FM should error")
 	}
 }

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"strings"
@@ -63,12 +64,12 @@ var knownUnaryOps = map[string]bool{
 
 // ProposeUnary prompts for unary operators on one attribute and returns the
 // proposals the FM is confident about (certain/high), as §3.2 specifies.
-func (s *Selector) ProposeUnary(a *Agenda, attribute string) ([]Candidate, error) {
+func (s *Selector) ProposeUnary(ctx context.Context, a *Agenda, attribute string) ([]Candidate, error) {
 	prompt, err := unaryPrompt(a, s.dsName, attribute)
 	if err != nil {
 		return nil, err
 	}
-	resp, err := s.model.Complete(prompt)
+	resp, err := s.model.Complete(ctx, prompt)
 	if err != nil {
 		return nil, err
 	}
@@ -122,12 +123,12 @@ func parseUnaryProposals(resp string) ([]unaryProposal, error) {
 }
 
 // SampleBinary draws one binary-operator candidate via the sampling strategy.
-func (s *Selector) SampleBinary(a *Agenda) (Candidate, error) {
+func (s *Selector) SampleBinary(ctx context.Context, a *Agenda) (Candidate, error) {
 	prompt, err := binaryPrompt(a, s.dsName)
 	if err != nil {
 		return Candidate{}, err
 	}
-	resp, err := s.model.Complete(prompt)
+	resp, err := s.model.Complete(ctx, prompt)
 	if err != nil {
 		return Candidate{}, err
 	}
@@ -175,12 +176,12 @@ func (s *Selector) SampleBinary(a *Agenda) (Candidate, error) {
 // SampleHighOrder draws one GroupbyThenAgg candidate. Its transformation is
 // fully determined by the selector output, so Spec is pre-filled and the
 // function generator will skip the FM (§3.3).
-func (s *Selector) SampleHighOrder(a *Agenda) (Candidate, error) {
+func (s *Selector) SampleHighOrder(ctx context.Context, a *Agenda) (Candidate, error) {
 	prompt, err := highOrderPrompt(a, s.dsName)
 	if err != nil {
 		return Candidate{}, err
 	}
-	resp, err := s.model.Complete(prompt)
+	resp, err := s.model.Complete(ctx, prompt)
 	if err != nil {
 		return Candidate{}, err
 	}
@@ -228,12 +229,12 @@ func (s *Selector) SampleHighOrder(a *Agenda) (Candidate, error) {
 }
 
 // SampleExtractor draws one extractor candidate.
-func (s *Selector) SampleExtractor(a *Agenda) (Candidate, error) {
+func (s *Selector) SampleExtractor(ctx context.Context, a *Agenda) (Candidate, error) {
 	prompt, err := extractorPrompt(a, s.dsName)
 	if err != nil {
 		return Candidate{}, err
 	}
-	resp, err := s.model.Complete(prompt)
+	resp, err := s.model.Complete(ctx, prompt)
 	if err != nil {
 		return Candidate{}, err
 	}

@@ -130,7 +130,7 @@ func TestPromptsRoundTripThroughSimulatedFM(t *testing.T) {
 	ep, _ := extractorPrompt(a, "RF")
 	prompts = append(prompts, up, bp, hp, ep)
 	for i, p := range prompts {
-		if _, err := model.Complete(p); err != nil {
+		if _, err := model.Complete(tctx, p); err != nil {
 			t.Errorf("prompt %d rejected by the simulated FM: %v", i, err)
 		}
 	}

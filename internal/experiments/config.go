@@ -33,6 +33,18 @@ type Config struct {
 	CAAFEIterations int
 	// FMErrorRate is the simulated generation-error rate.
 	FMErrorRate float64
+	// FMCacheSize enables the fmgate completion cache on every
+	// gateway-routed FM (LRU entries; 0 disables). Caching only applies to
+	// deterministic tasks (fm.CacheableTask); with a nonzero FMErrorRate a
+	// cache hit also skips the corresponding error-injection draw, so cached
+	// runs are self-consistent but not bit-identical to uncached ones.
+	FMCacheSize int
+	// FMConcurrency bounds each gateway's in-flight upstream calls
+	// (0 = gateway default of 8).
+	FMConcurrency int
+	// FMReplayPath, when set, serves every FM completion from the given
+	// fmgate recording instead of the simulators — zero simulated cost.
+	FMReplayPath string
 	// Workers bounds the evaluation harness's parallelism. The bound is
 	// per fan-out level, not global: RunComparison fans datasets, each
 	// EvalDataset fans its five method cells, and each EvaluateFrame fans

@@ -20,6 +20,11 @@ type EfficiencyRow struct {
 	Elapsed  time.Duration
 	TimedOut bool
 	Detail   string
+	// FMRequests / FMSaved report gateway traffic for FM-driven methods:
+	// total completions asked for, and how many were served without an
+	// upstream model call (cache hits + in-flight shares + replays).
+	FMRequests int64
+	FMSaved    int64
 }
 
 // EfficiencyBudget is the paper's experiment time limit.
@@ -55,7 +60,11 @@ func RunEfficiency(names []string, cfg Config) ([]EfficiencyRow, error) {
 		switch methods[mi] {
 		case MethodSmartfeat:
 			sf := RunSmartfeat(d, clean, cfg, core.AllOperators())
-			rows[i] = EfficiencyRow{Dataset: name, Method: MethodSmartfeat, Elapsed: sf.Elapsed, TimedOut: sf.Elapsed > EfficiencyBudget}
+			rows[i] = EfficiencyRow{
+				Dataset: name, Method: MethodSmartfeat,
+				Elapsed: sf.Elapsed, TimedOut: sf.Elapsed > EfficiencyBudget,
+				FMRequests: sf.FMMetrics.Requests, FMSaved: sf.FMMetrics.Saved(),
+			}
 		case MethodCAAFE:
 			ca := RunCAAFE(d, clean, cfg)
 			caRow := EfficiencyRow{Dataset: name, Method: MethodCAAFE, Elapsed: ca.Elapsed}
@@ -86,7 +95,8 @@ func RunEfficiency(names []string, cfg Config) ([]EfficiencyRow, error) {
 func EfficiencyString(rows []EfficiencyRow) string {
 	var b strings.Builder
 	b.WriteString("Efficiency: feature-engineering time per method (wall clock + simulated FM latency; 60-minute budget).\n")
-	fmt.Fprintf(&b, "%-17s %-14s %14s %s\n", "dataset", "method", "time", "notes")
+	b.WriteString("fm req/saved: gateway completions requested / served without an upstream FM call.\n")
+	fmt.Fprintf(&b, "%-17s %-14s %14s %8s %8s %s\n", "dataset", "method", "time", "fm req", "saved", "notes")
 	for _, r := range rows {
 		note := r.Detail
 		if r.TimedOut && note == "" {
@@ -96,7 +106,12 @@ func EfficiencyString(rows []EfficiencyRow) string {
 		if r.TimedOut {
 			elapsed = "> 60m"
 		}
-		fmt.Fprintf(&b, "%-17s %-14s %14s %s\n", r.Dataset, r.Method, elapsed, note)
+		req, saved := "-", "-"
+		if r.FMRequests > 0 {
+			req = fmt.Sprint(r.FMRequests)
+			saved = fmt.Sprint(r.FMSaved)
+		}
+		fmt.Fprintf(&b, "%-17s %-14s %14s %8s %8s %s\n", r.Dataset, r.Method, elapsed, req, saved, note)
 	}
 	return b.String()
 }

@@ -7,6 +7,7 @@ import (
 
 	"smartfeat/internal/dataframe"
 	"smartfeat/internal/fm"
+	"smartfeat/internal/fmgate"
 	"smartfeat/internal/metrics"
 	"smartfeat/internal/ml"
 )
@@ -32,6 +33,9 @@ type MethodResult struct {
 	Elapsed time.Duration
 	// FMUsage aggregates foundation-model accounting, where applicable.
 	FMUsage fm.Usage
+	// FMMetrics aggregates gateway traffic counters (cache hits, in-flight
+	// shares, replays) for methods routed through fmgate.
+	FMMetrics fmgate.Metrics
 	// Frame is the augmented dataset the method produced (nil on failure);
 	// Table 6 ranks features over it.
 	Frame *dataframe.Frame

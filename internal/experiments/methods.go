@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"errors"
 
 	"smartfeat/internal/baselines/autofeat"
@@ -10,6 +11,7 @@ import (
 	"smartfeat/internal/dataframe"
 	"smartfeat/internal/datasets"
 	"smartfeat/internal/fm"
+	"smartfeat/internal/fmgate"
 	"smartfeat/internal/metrics"
 )
 
@@ -20,24 +22,65 @@ type DatasetEval struct {
 	Methods map[string]MethodResult
 }
 
-// smartfeatOptions builds SMARTFEAT's configuration for a dataset.
-func smartfeatOptions(d *datasets.Dataset, cfg Config, operators core.OperatorSet) core.Options {
+// smartfeatOptions builds SMARTFEAT's configuration for a dataset. Every FM
+// is wrapped in an fmgate gateway (routed per role), so the harness can
+// report traffic metrics and the cfg's cache/replay/concurrency settings
+// apply uniformly; with those settings at their zero values the gateways
+// are pass-throughs and the run is identical to talking to the simulators
+// directly.
+func smartfeatOptions(d *datasets.Dataset, cfg Config, operators core.OperatorSet) (core.Options, *fmgate.Router, error) {
+	selector, err := newGateway(fm.NewGPT4Sim(cfg.Seed, cfg.FMErrorRate), cfg)
+	if err != nil {
+		return core.Options{}, nil, err
+	}
+	generator, err := newGateway(fm.NewGPT35Sim(cfg.Seed+1, cfg.FMErrorRate), cfg)
+	if err != nil {
+		return core.Options{}, nil, err
+	}
+	router := fmgate.NewRouter().
+		Route(fmgate.RoleSelector, selector).
+		Route(fmgate.RoleGenerator, generator)
 	return core.Options{
 		Target:            d.Target,
 		TargetDescription: d.TargetDescription,
 		Descriptions:      d.Descriptions,
 		Model:             "RF",
-		SelectorFM:        fm.NewGPT4Sim(cfg.Seed, cfg.FMErrorRate),
-		GeneratorFM:       fm.NewGPT35Sim(cfg.Seed+1, cfg.FMErrorRate),
+		SelectorFM:        router.Gate(fmgate.RoleSelector),
+		GeneratorFM:       router.Gate(fmgate.RoleGenerator),
 		SamplingBudget:    cfg.SamplingBudget,
 		Operators:         operators,
+	}, router, nil
+}
+
+// newGateway wraps one simulator with the config's gateway settings.
+func newGateway(model fm.Model, cfg Config) (*fmgate.Gateway, error) {
+	opts := fmgate.Options{
+		CacheSize:   cfg.FMCacheSize,
+		Concurrency: cfg.FMConcurrency,
 	}
+	if cfg.FMReplayPath != "" {
+		// Every cell opens its own cursor view of the recording, so replay
+		// order is per-run, not shared across concurrent cells.
+		store, err := fmgate.OpenReplayStore(cfg.FMReplayPath)
+		if err != nil {
+			return nil, err
+		}
+		opts.Store = store
+		opts.Replay = true
+	}
+	return fmgate.New(model, opts), nil
 }
 
 // RunSmartfeat applies SMARTFEAT and evaluates the result.
 func RunSmartfeat(d *datasets.Dataset, clean *dataframe.Frame, cfg Config, operators core.OperatorSet) MethodResult {
 	out := MethodResult{Method: MethodSmartfeat}
-	res, err := core.Run(clean, smartfeatOptions(d, cfg, operators))
+	opts, router, err := smartfeatOptions(d, cfg, operators)
+	if err != nil {
+		out.Err = err
+		return out
+	}
+	res, err := core.Run(clean, opts)
+	out.FMMetrics = router.Metrics()
 	if err != nil {
 		out.Err = err
 		return out
@@ -97,6 +140,15 @@ func RunAutoFeat(d *datasets.Dataset, clean *dataframe.Frame, cfg Config) Method
 // Per-model timeouts leave that model missing (the underlined rows); if a
 // retained divide-by-zero feature crashes every model, the whole method
 // fails (the Diabetes "-").
+//
+// The per-model sessions are independent — each starts a fresh FM
+// conversation with the same seed (as rerunning the reference tool would)
+// and clones the shared factorized frame — so they fan out on the
+// Config.Workers pool. This loop is the dominant sequential stretch of the
+// Table-4/5 harness: every session trains its downstream model
+// 2·repeats·iterations times during validation. Aggregation walks the
+// per-model slots in cfg.Models order, so the result is bit-identical to
+// the sequential loop at any worker count.
 func RunCAAFE(d *datasets.Dataset, clean *dataframe.Frame, cfg Config) MethodResult {
 	out := MethodResult{Method: MethodCAAFE, AUCs: map[string]float64{}, FailedModels: map[string]string{}}
 	fact := clean.FactorizeAll()
@@ -104,36 +156,53 @@ func RunCAAFE(d *datasets.Dataset, clean *dataframe.Frame, cfg Config) MethodRes
 	caafeCfg.Iterations = cfg.CAAFEIterations
 	caafeCfg.Seed = cfg.Seed
 	caafeCfg.TrainRows = trainRows(clean.Len(), cfg)
-	for _, ds := range cfg.Models {
-		// Each per-model CAAFE session starts a fresh FM conversation with
-		// the same seed, as rerunning the tool would.
+
+	type session struct {
+		res      *caafe.Result
+		runErr   error
+		aucs     map[string]float64
+		failures map[string]string
+		evalErr  error
+	}
+	cells := make([]session, len(cfg.Models))
+	forEachIndex(cfg.workers(), len(cfg.Models), func(i int) {
+		ds := cfg.Models[i]
 		model := fm.NewGPT4Sim(cfg.Seed+7, cfg.FMErrorRate)
-		res, err := caafe.Run(fact, d.Target, d.Descriptions, model, ds, caafeCfg)
+		res, err := caafe.Run(context.Background(), fact, d.Target, d.Descriptions, model, ds, caafeCfg)
 		if err != nil {
-			if errors.Is(err, caafe.ErrTimeout) {
+			cells[i] = session{runErr: err}
+			return
+		}
+		aucs, failures, evalErr := EvaluateFrame(res.Frame, d.Target, []string{ds}, cfg)
+		cells[i] = session{res: res, aucs: aucs, failures: failures, evalErr: evalErr}
+	})
+
+	for i, ds := range cfg.Models {
+		c := cells[i]
+		if c.runErr != nil {
+			if errors.Is(c.runErr, caafe.ErrTimeout) {
 				out.FailedModels[ds] = "timeout"
 				continue
 			}
-			out.FailedModels[ds] = err.Error()
+			out.FailedModels[ds] = c.runErr.Error()
 			continue
 		}
-		out.Elapsed += res.Elapsed + res.Usage.SimLatency
-		out.FMUsage.Add(res.Usage)
-		out.Generated += res.Generated
-		out.Selected += res.Retained
-		if len(res.NewColumns) > 0 {
-			out.NewColumns = res.NewColumns // last model's view, representative
-			out.Frame = res.Frame
+		out.Elapsed += c.res.Elapsed + c.res.Usage.SimLatency
+		out.FMUsage.Add(c.res.Usage)
+		out.Generated += c.res.Generated
+		out.Selected += c.res.Retained
+		if len(c.res.NewColumns) > 0 {
+			out.NewColumns = c.res.NewColumns // last model's view, representative
+			out.Frame = c.res.Frame
 		}
-		aucs, failures, err := EvaluateFrame(res.Frame, d.Target, []string{ds}, cfg)
-		if err != nil {
-			out.FailedModels[ds] = err.Error()
+		if c.evalErr != nil {
+			out.FailedModels[ds] = c.evalErr.Error()
 			continue
 		}
-		if v, ok := aucs[ds]; ok {
+		if v, ok := c.aucs[ds]; ok {
 			out.AUCs[ds] = v
 		}
-		for m, reason := range failures {
+		for m, reason := range c.failures {
 			out.FailedModels[m] = reason
 		}
 	}

@@ -4,6 +4,8 @@ import (
 	"reflect"
 	"sync/atomic"
 	"testing"
+
+	"smartfeat/internal/datasets"
 )
 
 // parallelTestConfig is a small configuration that still exercises every
@@ -95,6 +97,39 @@ func TestEvaluateFrameParallelMatchesSequential(t *testing.T) {
 	}
 	if !reflect.DeepEqual(ev.Initial.AUCs, evPar.Initial.AUCs) {
 		t.Fatalf("initial AUCs differ: %v vs %v", ev.Initial.AUCs, evPar.Initial.AUCs)
+	}
+}
+
+// TestRunCAAFEParallelMatchesSequential pins the per-downstream-model CAAFE
+// fan-out: every AUC, failure marker, retained feature and aggregate count
+// must be bit-identical to the sequential loop.
+func TestRunCAAFEParallelMatchesSequential(t *testing.T) {
+	d, err := datasets.Load("Diabetes", parallelTestConfig().Seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clean := d.Frame.DropNA()
+	run := func(workers int) MethodResult {
+		cfg := parallelTestConfig()
+		cfg.Workers = workers
+		return RunCAAFE(d, clean, cfg)
+	}
+	seq := run(1)
+	par := run(6)
+	if !reflect.DeepEqual(seq.AUCs, par.AUCs) {
+		t.Fatalf("AUCs differ: %v vs %v", seq.AUCs, par.AUCs)
+	}
+	if !reflect.DeepEqual(seq.FailedModels, par.FailedModels) {
+		t.Fatalf("failures differ: %v vs %v", seq.FailedModels, par.FailedModels)
+	}
+	if seq.Generated != par.Generated || seq.Selected != par.Selected {
+		t.Fatalf("counts differ: gen %d/%d sel %d/%d", seq.Generated, par.Generated, seq.Selected, par.Selected)
+	}
+	if !reflect.DeepEqual(seq.NewColumns, par.NewColumns) {
+		t.Fatalf("columns differ: %v vs %v", seq.NewColumns, par.NewColumns)
+	}
+	if (seq.Err == nil) != (par.Err == nil) {
+		t.Fatalf("errors differ: %v vs %v", seq.Err, par.Err)
 	}
 }
 

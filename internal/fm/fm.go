@@ -14,21 +14,64 @@
 package fm
 
 import (
+	"context"
 	"fmt"
+	"strings"
 	"sync"
 	"time"
 )
 
 // Model is a text-completion interface in the style of an LLM chat API.
+// Implementations must be safe for concurrent use: the fmgate gateway fans
+// completions out across goroutines.
 type Model interface {
-	// Complete returns the model's response to a prompt.
-	Complete(prompt string) (string, error)
+	// Complete returns the model's response to a prompt. The context carries
+	// cancellation and deadlines from the caller; implementations that
+	// simulate latency or wait on upstream capacity must honour it.
+	Complete(ctx context.Context, prompt string) (string, error)
 	// Usage reports cumulative accounting since the last reset.
 	Usage() Usage
 	// ResetUsage zeroes the accounting counters.
 	ResetUsage()
 	// Name identifies the underlying model (e.g. "gpt-4-sim").
 	Name() string
+}
+
+// Result is the outcome of one asynchronous completion submission.
+type Result struct {
+	// Text is the completion on success.
+	Text string
+	// Err is the terminal error, after any retries.
+	Err error
+	// Cached reports the completion was served without an upstream model
+	// call: a cache hit, an in-flight share, or a replayed recording.
+	Cached bool
+}
+
+// Submitter is implemented by models that accept asynchronous completion
+// submissions with their own concurrency bounding (the fmgate gateway). The
+// row-level completion loop fans out through this interface when available.
+type Submitter interface {
+	Submit(ctx context.Context, prompt string) <-chan Result
+}
+
+// CacheableTask reports whether a prompt's completion may be served from a
+// content-addressed cache. Sampling-strategy prompts are excluded: the
+// pipeline intentionally reissues the identical prompt to draw *different*
+// candidates (temperature > 0 semantics), so replaying one completion for
+// all of them would collapse the sampled space. Deterministic tasks —
+// unary proposals, function generation, row-level completions — are safe.
+func CacheableTask(prompt string) bool {
+	for _, line := range strings.Split(prompt, "\n") {
+		if task, ok := strings.CutPrefix(line, "Task:"); ok {
+			switch strings.TrimSpace(task) {
+			case TaskSampleBinary, TaskSampleHighOrder, TaskSampleExtractor:
+				return false
+			}
+			return true
+		}
+	}
+	return false
 }
 
 // Usage accumulates per-model API accounting. Latency and cost are simulated

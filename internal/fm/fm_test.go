@@ -1,11 +1,15 @@
 package fm
 
 import (
+	"context"
 	"encoding/json"
 	"strings"
 	"testing"
 	"time"
 )
+
+// ctx is the default context for the synchronous completions under test.
+var ctx = context.Background()
 
 const insuranceAgenda = `Task: %TASK%
 Dataset description:
@@ -34,7 +38,7 @@ func TestEstimateTokens(t *testing.T) {
 
 func TestUsageAccounting(t *testing.T) {
 	m := NewScripted("hello world response")
-	if _, err := m.Complete("a prompt of some words"); err != nil {
+	if _, err := m.Complete(ctx, "a prompt of some words"); err != nil {
 		t.Fatal(err)
 	}
 	u := m.Usage()
@@ -64,10 +68,10 @@ func TestUsageAdd(t *testing.T) {
 
 func TestScriptedExhaustion(t *testing.T) {
 	m := NewScripted("only one")
-	if _, err := m.Complete("p1"); err != nil {
+	if _, err := m.Complete(ctx, "p1"); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := m.Complete("p2"); err == nil {
+	if _, err := m.Complete(ctx, "p2"); err == nil {
 		t.Fatal("exhausted scripted model should error")
 	}
 	if len(m.Prompts) != 2 {
@@ -141,7 +145,7 @@ func TestInferRoles(t *testing.T) {
 
 func TestProposeUnaryAge(t *testing.T) {
 	m := NewSimulated(SimulatedConfig{Seed: 1})
-	resp, err := m.Complete(buildPrompt(TaskProposeUnary,
+	resp, err := m.Complete(ctx, buildPrompt(TaskProposeUnary,
 		"Attribute: Age\nConsider the unary operators on the attribute \"Age\" that can generate helpful features to predict \"Safe\". List all appropriate operators with confidence levels.\n"))
 	if err != nil {
 		t.Fatal(err)
@@ -153,7 +157,7 @@ func TestProposeUnaryAge(t *testing.T) {
 
 func TestProposeUnaryCategorical(t *testing.T) {
 	m := NewSimulated(SimulatedConfig{Seed: 1})
-	resp, err := m.Complete(buildPrompt(TaskProposeUnary, "Attribute: Make\n"))
+	resp, err := m.Complete(ctx, buildPrompt(TaskProposeUnary, "Attribute: Make\n"))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -164,14 +168,14 @@ func TestProposeUnaryCategorical(t *testing.T) {
 
 func TestProposeUnaryUnknownAttribute(t *testing.T) {
 	m := NewSimulated(SimulatedConfig{Seed: 1})
-	if _, err := m.Complete(buildPrompt(TaskProposeUnary, "Attribute: Ghost\n")); err == nil {
+	if _, err := m.Complete(ctx, buildPrompt(TaskProposeUnary, "Attribute: Ghost\n")); err == nil {
 		t.Fatal("unknown attribute should error")
 	}
 }
 
 func TestSampleBinaryShape(t *testing.T) {
 	m := NewSimulated(SimulatedConfig{Seed: 2})
-	resp, err := m.Complete(buildPrompt(TaskSampleBinary, "Sample one helpful binary arithmetic combination.\n"))
+	resp, err := m.Complete(ctx, buildPrompt(TaskSampleBinary, "Sample one helpful binary arithmetic combination.\n"))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -190,7 +194,7 @@ func TestSampleBinaryShape(t *testing.T) {
 
 func TestSampleHighOrderShape(t *testing.T) {
 	m := NewSimulated(SimulatedConfig{Seed: 3})
-	resp, err := m.Complete(buildPrompt(TaskSampleHighOrder, "Sample one groupby feature.\n"))
+	resp, err := m.Complete(ctx, buildPrompt(TaskSampleHighOrder, "Sample one groupby feature.\n"))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -214,7 +218,7 @@ func TestSampleHighOrderPrefersClaimHistory(t *testing.T) {
 	m := NewSimulated(SimulatedConfig{Seed: 4})
 	counts := map[string]int{}
 	for i := 0; i < 60; i++ {
-		resp, err := m.Complete(buildPrompt(TaskSampleHighOrder, "Sample one groupby feature.\n"))
+		resp, err := m.Complete(ctx, buildPrompt(TaskSampleHighOrder, "Sample one groupby feature.\n"))
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -239,7 +243,7 @@ func TestSampleExtractorDensity(t *testing.T) {
 	m := NewSimulated(SimulatedConfig{Seed: 5})
 	sawExternal := false
 	for i := 0; i < 30 && !sawExternal; i++ {
-		resp, err := m.Complete(buildPrompt(TaskSampleExtractor, "Sample one extractor feature.\n"))
+		resp, err := m.Complete(ctx, buildPrompt(TaskSampleExtractor, "Sample one extractor feature.\n"))
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -258,7 +262,7 @@ func TestSampleExtractorDensity(t *testing.T) {
 
 func TestGenerateFunctionBucketize(t *testing.T) {
 	m := NewSimulated(SimulatedConfig{Seed: 6})
-	resp, err := m.Complete(buildPrompt(TaskGenerateFunction,
+	resp, err := m.Complete(ctx, buildPrompt(TaskGenerateFunction,
 		"New feature: Bucketized_Age\nRelevant columns: Age\nOperator: bucketize\nDescription: Bucketization of Age attribute\n"))
 	if err != nil {
 		t.Fatal(err)
@@ -282,7 +286,7 @@ func TestGenerateFunctionBucketize(t *testing.T) {
 
 func TestGenerateFunctionYearsSince(t *testing.T) {
 	m := NewSimulated(SimulatedConfig{Seed: 7})
-	resp, err := m.Complete(buildPrompt(TaskGenerateFunction,
+	resp, err := m.Complete(ctx, buildPrompt(TaskGenerateFunction,
 		"New feature: Manufacturing_Year\nRelevant columns: Age of car\nOperator: years_since\nDescription: Manufacturing year of the car\n"))
 	if err != nil {
 		t.Fatal(err)
@@ -294,7 +298,7 @@ func TestGenerateFunctionYearsSince(t *testing.T) {
 
 func TestGenerateFunctionDensityMapping(t *testing.T) {
 	m := NewSimulated(SimulatedConfig{Seed: 8})
-	resp, err := m.Complete(buildPrompt(TaskGenerateFunction,
+	resp, err := m.Complete(ctx, buildPrompt(TaskGenerateFunction,
 		"New feature: Population_Density_City\nRelevant columns: City\nOperator: extractor\nDescription: Population density (people per square mile) extracted from City using open-world knowledge\n"))
 	if err != nil {
 		t.Fatal(err)
@@ -317,7 +321,7 @@ func TestGenerateFunctionDensityMapping(t *testing.T) {
 
 func TestGenerateFunctionBinary(t *testing.T) {
 	m := NewSimulated(SimulatedConfig{Seed: 9})
-	resp, err := m.Complete(buildPrompt(TaskGenerateFunction,
+	resp, err := m.Complete(ctx, buildPrompt(TaskGenerateFunction,
 		"New feature: Age_divide_Car\nRelevant columns: Age, Age of car\nOperator: divide\nDescription: Ratio\n"))
 	if err != nil {
 		t.Fatal(err)
@@ -329,17 +333,17 @@ func TestGenerateFunctionBinary(t *testing.T) {
 
 func TestGenerateFunctionErrors(t *testing.T) {
 	m := NewSimulated(SimulatedConfig{Seed: 10})
-	if _, err := m.Complete(buildPrompt(TaskGenerateFunction, "New feature: X\nOperator: bucketize\n")); err == nil {
+	if _, err := m.Complete(ctx, buildPrompt(TaskGenerateFunction, "New feature: X\nOperator: bucketize\n")); err == nil {
 		t.Fatal("missing relevant columns should error")
 	}
-	if _, err := m.Complete(buildPrompt(TaskGenerateFunction, "New feature: X\nRelevant columns: Age\nOperator: teleport\n")); err == nil {
+	if _, err := m.Complete(ctx, buildPrompt(TaskGenerateFunction, "New feature: X\nRelevant columns: Age\nOperator: teleport\n")); err == nil {
 		t.Fatal("unknown operator should error")
 	}
 }
 
 func TestCompleteRowDensity(t *testing.T) {
 	m := NewSimulated(SimulatedConfig{Seed: 11})
-	resp, err := m.Complete("Task: complete-row\nNew feature: Population_Density_City\nRow: Sex: M, Age: 21, City: SF, Population_Density_City: ?\n")
+	resp, err := m.Complete(ctx, "Task: complete-row\nNew feature: Population_Density_City\nRow: Sex: M, Age: 21, City: SF, Population_Density_City: ?\n")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -351,11 +355,11 @@ func TestCompleteRowDensity(t *testing.T) {
 func TestCompleteRowUnknownIsDeterministic(t *testing.T) {
 	m := NewSimulated(SimulatedConfig{Seed: 12})
 	p := "Task: complete-row\nNew feature: Mystery_Score\nRow: A: 1, B: 2, Mystery_Score: ?\n"
-	r1, err := m.Complete(p)
+	r1, err := m.Complete(ctx, p)
 	if err != nil {
 		t.Fatal(err)
 	}
-	r2, _ := m.Complete(p)
+	r2, _ := m.Complete(ctx, p)
 	if r1 != r2 {
 		t.Fatal("hallucinated completions must be deterministic")
 	}
@@ -363,14 +367,14 @@ func TestCompleteRowUnknownIsDeterministic(t *testing.T) {
 
 func TestCompleteRowMissingRow(t *testing.T) {
 	m := NewSimulated(SimulatedConfig{Seed: 13})
-	if _, err := m.Complete("Task: complete-row\nNew feature: X\n"); err == nil {
+	if _, err := m.Complete(ctx, "Task: complete-row\nNew feature: X\n"); err == nil {
 		t.Fatal("missing row should error")
 	}
 }
 
 func TestErrorInjection(t *testing.T) {
 	m := NewSimulated(SimulatedConfig{Seed: 14, ErrorRate: 1})
-	resp, err := m.Complete(buildPrompt(TaskSampleHighOrder, "Sample one groupby feature.\n"))
+	resp, err := m.Complete(ctx, buildPrompt(TaskSampleHighOrder, "Sample one groupby feature.\n"))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -385,11 +389,11 @@ func TestSimulatedDeterminism(t *testing.T) {
 	a := NewSimulated(SimulatedConfig{Seed: 42})
 	b := NewSimulated(SimulatedConfig{Seed: 42})
 	for i := 0; i < 5; i++ {
-		ra, err := a.Complete(p)
+		ra, err := a.Complete(ctx, p)
 		if err != nil {
 			t.Fatal(err)
 		}
-		rb, _ := b.Complete(p)
+		rb, _ := b.Complete(ctx, p)
 		if ra != rb {
 			t.Fatalf("same seed diverged at call %d", i)
 		}
@@ -400,10 +404,10 @@ func TestPricingProfiles(t *testing.T) {
 	g4 := NewGPT4Sim(1, 0)
 	g35 := NewGPT35Sim(1, 0)
 	p := buildPrompt(TaskProposeUnary, "Attribute: Age\n")
-	if _, err := g4.Complete(p); err != nil {
+	if _, err := g4.Complete(ctx, p); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := g35.Complete(p); err != nil {
+	if _, err := g35.Complete(ctx, p); err != nil {
 		t.Fatal(err)
 	}
 	if g4.Usage().SimCostUSD <= g35.Usage().SimCostUSD {

@@ -1,15 +1,21 @@
 package fm
 
-import "fmt"
+import (
+	"context"
+	"fmt"
+	"sync"
+)
 
 // Scripted is a Model that replays a fixed queue of responses — the unit-test
 // double for deterministic prompt/response pairs, and the building block for
 // golden tests of the operator selector's parsing.
 type Scripted struct {
 	accounting
+	mu        sync.Mutex
 	responses []string
 	next      int
-	// Prompts records every prompt received, for assertions.
+	// Prompts records every prompt received, for assertions. Take the
+	// snapshot via PromptLog when the model may be called concurrently.
 	Prompts []string
 }
 
@@ -25,7 +31,12 @@ func NewScripted(responses ...string) *Scripted {
 func (s *Scripted) Name() string { return "scripted" }
 
 // Complete implements Model, returning the next canned response.
-func (s *Scripted) Complete(prompt string) (string, error) {
+func (s *Scripted) Complete(ctx context.Context, prompt string) (string, error) {
+	if err := ctx.Err(); err != nil {
+		return "", err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	s.Prompts = append(s.Prompts, prompt)
 	if s.next >= len(s.responses) {
 		return "", fmt.Errorf("fm: scripted model exhausted after %d responses", len(s.responses))
@@ -34,4 +45,11 @@ func (s *Scripted) Complete(prompt string) (string, error) {
 	s.next++
 	s.record(prompt, resp)
 	return resp, nil
+}
+
+// PromptLog returns a snapshot of the prompts received so far.
+func (s *Scripted) PromptLog() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]string(nil), s.Prompts...)
 }

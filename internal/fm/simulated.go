@@ -1,6 +1,7 @@
 package fm
 
 import (
+	"context"
 	"crypto/sha256"
 	"encoding/binary"
 	"encoding/json"
@@ -8,6 +9,7 @@ import (
 	"math/rand"
 	"strings"
 	"sync"
+	"time"
 )
 
 // SimulatedConfig configures the offline foundation-model stand-in.
@@ -22,6 +24,12 @@ type SimulatedConfig struct {
 	ErrorRate float64
 	// Pricing selects the cost/latency profile for usage accounting.
 	Pricing Pricing
+	// LatencyScale makes Complete actually sleep the simulated per-call
+	// latency, scaled by this factor (1 = the full published profile,
+	// 0 = no sleeping, just accounting — the default). The sleep happens
+	// outside the model's internal lock, so concurrent callers overlap the
+	// way real network calls would, and it aborts early on ctx cancellation.
+	LatencyScale float64
 }
 
 // Simulated answers SMARTFEAT's prompt templates from a semantic knowledge
@@ -65,44 +73,81 @@ func NewGPT35Sim(seed int64, errorRate float64) *Simulated {
 func (s *Simulated) Name() string { return s.cfg.ModelName }
 
 // Complete implements Model.
-func (s *Simulated) Complete(prompt string) (string, error) {
+func (s *Simulated) Complete(ctx context.Context, prompt string) (string, error) {
+	if err := ctx.Err(); err != nil {
+		return "", err
+	}
+	resp, err := s.answer(prompt)
+	if err != nil {
+		return "", err
+	}
+	s.record(prompt, resp)
+	if s.cfg.LatencyScale > 0 {
+		d := s.cfg.Pricing.BaseLatency +
+			time.Duration(EstimateTokens(resp))*s.cfg.Pricing.PerTokenLatency
+		d = time.Duration(float64(d) * s.cfg.LatencyScale)
+		t := time.NewTimer(d)
+		defer t.Stop()
+		select {
+		case <-ctx.Done():
+			return "", ctx.Err()
+		case <-t.C:
+		}
+	}
+	return resp, nil
+}
+
+// answer computes the knowledge-base response under the rng lock (so the
+// sampling sequence is deterministic for a given call order), leaving any
+// latency simulation to the caller-side of the lock.
+func (s *Simulated) answer(prompt string) (string, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	fields, err := parsePrompt(prompt)
 	if err != nil {
 		return "", err
 	}
-	var resp string
-	if s.cfg.ErrorRate > 0 && s.rng.Float64() < s.cfg.ErrorRate {
-		resp = s.corrupted(fields)
-	} else {
-		switch fields.Task {
-		case TaskProposeUnary:
-			resp, err = s.answerProposeUnary(fields)
-		case TaskSampleBinary:
-			resp, err = s.answerSampleBinary(fields)
-		case TaskSampleHighOrder:
-			resp, err = s.answerSampleHighOrder(fields)
-		case TaskSampleExtractor:
-			resp, err = s.answerSampleExtractor(fields)
-		case TaskGenerateFunction:
-			resp, err = s.answerGenerateFunction(fields)
-		case TaskCompleteRow:
-			resp, err = s.answerCompleteRow(fields)
-		default:
-			err = fmt.Errorf("fm: unknown task %q", fields.Task)
-		}
-		if err != nil {
-			return "", err
+	if s.cfg.ErrorRate > 0 {
+		if fields.Task == TaskCompleteRow {
+			// Row completions fan out concurrently through the gateway, so a
+			// positional rng draw would tie corruption to scheduler arrival
+			// order. Derive the draw from the prompt content instead: the
+			// same row is corrupted (or not) at any concurrency, keeping
+			// row-level runs deterministic end to end.
+			key := fmt.Sprintf("%d|%s", s.cfg.Seed, prompt)
+			if hashFrac(key) < s.cfg.ErrorRate {
+				return corruptedVariant(int(3 * hashFrac("variant|" + key))), nil
+			}
+		} else if s.rng.Float64() < s.cfg.ErrorRate {
+			return s.corrupted(fields), nil
 		}
 	}
-	s.record(prompt, resp)
-	return resp, nil
+	switch fields.Task {
+	case TaskProposeUnary:
+		return s.answerProposeUnary(fields)
+	case TaskSampleBinary:
+		return s.answerSampleBinary(fields)
+	case TaskSampleHighOrder:
+		return s.answerSampleHighOrder(fields)
+	case TaskSampleExtractor:
+		return s.answerSampleExtractor(fields)
+	case TaskGenerateFunction:
+		return s.answerGenerateFunction(fields)
+	case TaskCompleteRow:
+		return s.answerCompleteRow(fields)
+	default:
+		return "", fmt.Errorf("fm: unknown task %q", fields.Task)
+	}
 }
 
 // corrupted fabricates a malformed response of the right general shape.
 func (s *Simulated) corrupted(fields promptFields) string {
-	switch s.rng.Intn(3) {
+	return corruptedVariant(s.rng.Intn(3))
+}
+
+// corruptedVariant is the shared malformed-response vocabulary.
+func corruptedVariant(v int) string {
+	switch v {
 	case 0:
 		return `{"groupby_col": ["` // truncated JSON
 	case 1:

@@ -1,0 +1,45 @@
+package fmgate
+
+import "container/list"
+
+// lruCache is a fixed-capacity map+list LRU for completions. Not safe for
+// concurrent use on its own; the Gateway guards it with its mutex.
+type lruCache struct {
+	cap   int
+	order *list.List // front = most recently used
+	items map[string]*list.Element
+}
+
+type lruEntry struct {
+	key  string
+	text string
+}
+
+func newLRUCache(capacity int) *lruCache {
+	return &lruCache{cap: capacity, order: list.New(), items: make(map[string]*list.Element, capacity)}
+}
+
+func (c *lruCache) get(key string) (string, bool) {
+	el, ok := c.items[key]
+	if !ok {
+		return "", false
+	}
+	c.order.MoveToFront(el)
+	return el.Value.(*lruEntry).text, true
+}
+
+func (c *lruCache) put(key, text string) {
+	if el, ok := c.items[key]; ok {
+		el.Value.(*lruEntry).text = text
+		c.order.MoveToFront(el)
+		return
+	}
+	c.items[key] = c.order.PushFront(&lruEntry{key: key, text: text})
+	if c.order.Len() > c.cap {
+		oldest := c.order.Back()
+		c.order.Remove(oldest)
+		delete(c.items, oldest.Value.(*lruEntry).key)
+	}
+}
+
+func (c *lruCache) len() int { return c.order.Len() }

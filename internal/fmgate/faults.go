@@ -1,0 +1,68 @@
+package fmgate
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"smartfeat/internal/fm"
+)
+
+// FaultInjector simulates an unreliable model endpoint: transient errors at
+// a configurable rate and uniform latency jitter, both seeded for
+// reproducible resilience tests. It sits between the gateway's retry loop
+// and the wrapped model.
+type FaultInjector struct {
+	// ErrorRate is the probability a call fails with a transient error
+	// before reaching the model.
+	ErrorRate float64
+	// MaxJitter adds a uniform [0, MaxJitter) delay per call.
+	MaxJitter time.Duration
+	// Seed drives the fault sequence.
+	Seed int64
+
+	mu  sync.Mutex
+	rng *rand.Rand
+	// Injected counts faults raised, for test assertions.
+	injected int64
+}
+
+// Call runs one fault-modelled model invocation.
+func (fi *FaultInjector) Call(ctx context.Context, model fm.Model, prompt string) (string, error) {
+	fi.mu.Lock()
+	if fi.rng == nil {
+		fi.rng = rand.New(rand.NewSource(fi.Seed))
+	}
+	fail := fi.ErrorRate > 0 && fi.rng.Float64() < fi.ErrorRate
+	var jitter time.Duration
+	if fi.MaxJitter > 0 {
+		jitter = time.Duration(fi.rng.Int63n(int64(fi.MaxJitter)))
+	}
+	if fail {
+		fi.injected++
+	}
+	fi.mu.Unlock()
+
+	if jitter > 0 {
+		t := time.NewTimer(jitter)
+		select {
+		case <-ctx.Done():
+			t.Stop()
+			return "", ctx.Err()
+		case <-t.C:
+		}
+	}
+	if fail {
+		return "", Transient(fmt.Errorf("fmgate: injected transient fault"))
+	}
+	return model.Complete(ctx, prompt)
+}
+
+// Injected reports how many transient faults have been raised.
+func (fi *FaultInjector) Injected() int64 {
+	fi.mu.Lock()
+	defer fi.mu.Unlock()
+	return fi.injected
+}

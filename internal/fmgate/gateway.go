@@ -1,0 +1,377 @@
+// Package fmgate is the foundation-model gateway: the traffic-handling layer
+// between SMARTFEAT's components and any fm.Model. The paper's efficiency
+// argument (§3-4) is that *feature-level* interaction keeps FM traffic small;
+// this package makes whatever traffic remains cheap, concurrent and
+// replayable:
+//
+//   - a content-addressed completion cache (in-memory LRU) so repeated
+//     deterministic prompts — row-level completions over duplicate rows,
+//     re-issued function generations — are served without a model call;
+//   - an on-disk record/replay store: a recorded run replays byte-identical
+//     completions with zero simulated cost and latency;
+//   - in-flight deduplication (singleflight) so concurrent identical prompts
+//     share one upstream call;
+//   - a bounded-concurrency asynchronous submitter (Submit) that the
+//     scenario-2 row-level loop fans rows out on;
+//   - retry with exponential backoff over an injectable fault model, for
+//     resilience testing against transient errors and latency jitter;
+//   - per-role routing (operator selector vs function generator) with
+//     usage/metrics snapshots for the efficiency harness.
+//
+// A Gateway implements fm.Model, so every existing call site can be pointed
+// at a gateway without knowing about any of the above.
+package fmgate
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"smartfeat/internal/fm"
+)
+
+// Options configures a Gateway. The zero value is a usable pass-through:
+// bounded concurrency, no cache, no store, no retries, no faults.
+type Options struct {
+	// Concurrency bounds in-flight upstream model calls (default 8).
+	Concurrency int
+	// CacheSize is the LRU capacity in completions; 0 disables caching.
+	CacheSize int
+	// Cacheable gates which prompts may be cached and deduplicated.
+	// Nil means fm.CacheableTask (sampling prompts excluded — reissuing an
+	// identical sampling prompt must draw a fresh candidate).
+	Cacheable func(prompt string) bool
+	// Store is the record/replay store (optional). In record mode every
+	// upstream completion is appended; see Replay.
+	Store *Store
+	// Replay serves completions from Store instead of the model. A miss is
+	// an error: a replayed run must never silently fall through to paid
+	// traffic.
+	Replay bool
+	// MaxRetries is how many times a transient upstream error is retried
+	// (default 0 — fail fast; the fault-injection tests set it).
+	MaxRetries int
+	// RetryBackoff is the first retry delay, doubling per attempt
+	// (default 50ms when MaxRetries > 0).
+	RetryBackoff time.Duration
+	// Faults injects transient errors and latency jitter between the
+	// gateway and the model (optional; for resilience testing).
+	Faults *FaultInjector
+}
+
+// Metrics is a point-in-time snapshot of gateway traffic counters.
+type Metrics struct {
+	// Requests is every completion asked of the gateway.
+	Requests int64
+	// UpstreamCalls reached the wrapped model (after cache/dedup/replay).
+	UpstreamCalls int64
+	// CacheHits were served from the in-memory completion cache.
+	CacheHits int64
+	// InflightShares joined an identical in-flight upstream call.
+	InflightShares int64
+	// Replayed were served from the record/replay store.
+	Replayed int64
+	// Retries counts upstream attempts beyond the first.
+	Retries int64
+	// Errors counts requests that returned an error.
+	Errors int64
+}
+
+// String renders a one-line summary.
+func (m Metrics) String() string {
+	return fmt.Sprintf("requests=%d upstream=%d cache_hits=%d inflight_shares=%d replayed=%d retries=%d errors=%d",
+		m.Requests, m.UpstreamCalls, m.CacheHits, m.InflightShares, m.Replayed, m.Retries, m.Errors)
+}
+
+// Saved reports how many completions were served without an upstream call.
+func (m Metrics) Saved() int64 { return m.CacheHits + m.InflightShares + m.Replayed }
+
+// call is one in-flight upstream completion that concurrent identical
+// prompts can share.
+type call struct {
+	done chan struct{}
+	text string
+	err  error
+}
+
+// Gateway wraps an fm.Model with caching, deduplication, bounded-concurrency
+// submission, retries and record/replay. It implements fm.Model and
+// fm.Submitter and is safe for concurrent use.
+type Gateway struct {
+	model fm.Model
+	opts  Options
+	sem   chan struct{}
+
+	mu      sync.Mutex
+	cache   *lruCache
+	flight  map[string]*call
+	metrics Metrics
+	subs    []chan Metrics
+}
+
+// New builds a gateway over the model.
+func New(model fm.Model, opts Options) *Gateway {
+	if opts.Concurrency <= 0 {
+		opts.Concurrency = 8
+	}
+	if opts.Cacheable == nil {
+		opts.Cacheable = fm.CacheableTask
+	}
+	if opts.MaxRetries > 0 && opts.RetryBackoff <= 0 {
+		opts.RetryBackoff = 50 * time.Millisecond
+	}
+	g := &Gateway{
+		model:  model,
+		opts:   opts,
+		sem:    make(chan struct{}, opts.Concurrency),
+		flight: make(map[string]*call),
+	}
+	if opts.CacheSize > 0 {
+		g.cache = newLRUCache(opts.CacheSize)
+	}
+	return g
+}
+
+// Name implements fm.Model.
+func (g *Gateway) Name() string { return g.model.Name() }
+
+// Usage implements fm.Model: accounting of the *upstream* model. Completions
+// served from cache, dedup or replay cost nothing, so a fully replayed run
+// reports zero calls and zero simulated cost.
+func (g *Gateway) Usage() fm.Usage { return g.model.Usage() }
+
+// ResetUsage implements fm.Model.
+func (g *Gateway) ResetUsage() { g.model.ResetUsage() }
+
+// Key returns the content address of a prompt for this gateway's model: the
+// cache key and the record/replay store key.
+func (g *Gateway) Key(prompt string) string {
+	h := sha256.Sum256([]byte(g.model.Name() + "\x00" + prompt))
+	return hex.EncodeToString(h[:16])
+}
+
+// Complete implements fm.Model.
+func (g *Gateway) Complete(ctx context.Context, prompt string) (string, error) {
+	text, _, err := g.complete(ctx, prompt)
+	return text, err
+}
+
+// Submit enqueues a completion and returns a single-result channel, bounded
+// by the gateway's concurrency limit. It implements fm.Submitter; the
+// row-level loop submits every row up front and collects results in order.
+func (g *Gateway) Submit(ctx context.Context, prompt string) <-chan fm.Result {
+	out := make(chan fm.Result, 1)
+	go func() {
+		text, cached, err := g.complete(ctx, prompt)
+		out <- fm.Result{Text: text, Cached: cached, Err: err}
+	}()
+	return out
+}
+
+// complete is the shared request path: replay, cache, singleflight, bounded
+// upstream call with retries. cached reports the completion did not reach
+// the upstream model.
+func (g *Gateway) complete(ctx context.Context, prompt string) (text string, cached bool, err error) {
+	g.bump(func(m *Metrics) { m.Requests++ })
+	defer func() {
+		if err != nil {
+			g.bump(func(m *Metrics) { m.Errors++ })
+		}
+	}()
+	if err = ctx.Err(); err != nil {
+		return "", false, err
+	}
+	key := g.Key(prompt)
+	shareable := g.opts.Cacheable(prompt)
+
+	if g.opts.Replay {
+		text, ok := g.opts.Store.replay(key, shareable)
+		if !ok {
+			return "", false, fmt.Errorf("fmgate: replay miss for prompt %s (%s)", key, firstLine(prompt))
+		}
+		g.bump(func(m *Metrics) { m.Replayed++ })
+		return text, true, nil
+	}
+
+	if shareable && g.cache != nil {
+		if text, ok := g.cacheGet(key); ok {
+			g.bump(func(m *Metrics) { m.CacheHits++ })
+			return text, true, nil
+		}
+	}
+
+	if !shareable {
+		text, err = g.callUpstream(ctx, key, prompt)
+		return text, false, err
+	}
+
+	// Singleflight: the first goroutine in becomes the leader; identical
+	// concurrent prompts wait for its result (or their own cancellation).
+	g.mu.Lock()
+	if c, ok := g.flight[key]; ok {
+		g.mu.Unlock()
+		g.bump(func(m *Metrics) { m.InflightShares++ })
+		select {
+		case <-c.done:
+			return c.text, true, c.err
+		case <-ctx.Done():
+			return "", false, ctx.Err()
+		}
+	}
+	c := &call{done: make(chan struct{})}
+	g.flight[key] = c
+	g.mu.Unlock()
+
+	c.text, c.err = g.callUpstream(ctx, key, prompt)
+	if c.err == nil && g.cache != nil {
+		g.cachePut(key, c.text)
+	}
+	g.mu.Lock()
+	delete(g.flight, key)
+	g.mu.Unlock()
+	close(c.done)
+	return c.text, false, c.err
+}
+
+// callUpstream performs the bounded, fault-injected, retried model call and
+// records successful completions to the store.
+func (g *Gateway) callUpstream(ctx context.Context, key, prompt string) (string, error) {
+	select {
+	case g.sem <- struct{}{}:
+		defer func() { <-g.sem }()
+	case <-ctx.Done():
+		return "", ctx.Err()
+	}
+	backoff := g.opts.RetryBackoff
+	var text string
+	var err error
+	for attempt := 0; ; attempt++ {
+		if attempt > 0 {
+			g.bump(func(m *Metrics) { m.Retries++ })
+			t := time.NewTimer(backoff)
+			select {
+			case <-ctx.Done():
+				t.Stop()
+				return "", ctx.Err()
+			case <-t.C:
+			}
+			backoff *= 2
+		}
+		g.bump(func(m *Metrics) { m.UpstreamCalls++ })
+		if g.opts.Faults != nil {
+			text, err = g.opts.Faults.Call(ctx, g.model, prompt)
+		} else {
+			text, err = g.model.Complete(ctx, prompt)
+		}
+		if err == nil || attempt >= g.opts.MaxRetries || !IsTransient(err) || ctx.Err() != nil {
+			break
+		}
+	}
+	if err != nil {
+		return "", err
+	}
+	if g.opts.Store != nil {
+		if serr := g.opts.Store.record(key, prompt, text); serr != nil {
+			return "", fmt.Errorf("fmgate: recording completion: %w", serr)
+		}
+	}
+	return text, nil
+}
+
+func (g *Gateway) cacheGet(key string) (string, bool) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.cache.get(key)
+}
+
+func (g *Gateway) cachePut(key, text string) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.cache.put(key, text)
+}
+
+// Metrics returns a snapshot of the traffic counters.
+func (g *Gateway) Metrics() Metrics {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.metrics
+}
+
+// Subscribe streams a metrics snapshot after every completed request. The
+// channel is buffered; snapshots are dropped (never blocking the request
+// path) when the consumer lags. The returned cancel function unsubscribes
+// and closes the channel.
+func (g *Gateway) Subscribe(buffer int) (<-chan Metrics, func()) {
+	if buffer <= 0 {
+		buffer = 16
+	}
+	ch := make(chan Metrics, buffer)
+	g.mu.Lock()
+	g.subs = append(g.subs, ch)
+	g.mu.Unlock()
+	cancel := func() {
+		g.mu.Lock()
+		for i, s := range g.subs {
+			if s == ch {
+				g.subs = append(g.subs[:i], g.subs[i+1:]...)
+				close(ch)
+				break
+			}
+		}
+		g.mu.Unlock()
+	}
+	return ch, cancel
+}
+
+// bump applies a counter update and publishes the new snapshot to
+// subscribers.
+func (g *Gateway) bump(f func(*Metrics)) {
+	g.mu.Lock()
+	f(&g.metrics)
+	snap := g.metrics
+	subs := g.subs
+	for _, ch := range subs {
+		select {
+		case ch <- snap:
+		default: // lagging consumer: drop, never block completions
+		}
+	}
+	g.mu.Unlock()
+}
+
+// firstLine abbreviates a prompt for error messages.
+func firstLine(prompt string) string {
+	for i := 0; i < len(prompt); i++ {
+		if prompt[i] == '\n' {
+			return prompt[:i]
+		}
+	}
+	if len(prompt) > 80 {
+		return prompt[:80]
+	}
+	return prompt
+}
+
+// errTransient marks injected/upstream errors as retryable.
+type errTransient struct{ err error }
+
+func (e errTransient) Error() string { return e.err.Error() }
+func (e errTransient) Unwrap() error { return e.err }
+
+// Transient wraps an error so the gateway's retry loop will retry it.
+func Transient(err error) error {
+	if err == nil {
+		return nil
+	}
+	return errTransient{err: err}
+}
+
+// IsTransient reports whether err is marked retryable.
+func IsTransient(err error) bool {
+	var t errTransient
+	return errors.As(err, &t)
+}

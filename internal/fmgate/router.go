@@ -1,0 +1,87 @@
+package fmgate
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"smartfeat/internal/fm"
+)
+
+// Role names a pipeline-side FM consumer. The paper assigns different models
+// to different roles (GPT-4 selects operators, GPT-3.5-turbo generates
+// functions); the router keeps that assignment in one place so CLIs and the
+// experiment harness configure gateways per role, not per call site.
+type Role string
+
+// The two SMARTFEAT roles (§4.1).
+const (
+	RoleSelector  Role = "selector"
+	RoleGenerator Role = "generator"
+)
+
+// Router routes completions to per-role gateways and aggregates their usage
+// and traffic metrics for reporting.
+type Router struct {
+	gates map[Role]*Gateway
+	order []Role
+}
+
+// NewRouter builds an empty router.
+func NewRouter() *Router {
+	return &Router{gates: make(map[Role]*Gateway)}
+}
+
+// Route assigns a gateway to a role, replacing any previous assignment.
+func (r *Router) Route(role Role, g *Gateway) *Router {
+	if _, seen := r.gates[role]; !seen {
+		r.order = append(r.order, role)
+	}
+	r.gates[role] = g
+	return r
+}
+
+// Gate returns the gateway for a role (nil if unassigned). The result
+// satisfies fm.Model, so it plugs directly into core.Options.
+func (r *Router) Gate(role Role) *Gateway { return r.gates[role] }
+
+// Roles lists assigned roles in assignment order.
+func (r *Router) Roles() []Role { return append([]Role(nil), r.order...) }
+
+// Usage sums upstream usage across roles.
+func (r *Router) Usage() fm.Usage {
+	var u fm.Usage
+	for _, role := range r.order {
+		u.Add(r.gates[role].Usage())
+	}
+	return u
+}
+
+// Metrics sums gateway traffic counters across roles.
+func (r *Router) Metrics() Metrics {
+	var total Metrics
+	for _, role := range r.order {
+		m := r.gates[role].Metrics()
+		total.Requests += m.Requests
+		total.UpstreamCalls += m.UpstreamCalls
+		total.CacheHits += m.CacheHits
+		total.InflightShares += m.InflightShares
+		total.Replayed += m.Replayed
+		total.Retries += m.Retries
+		total.Errors += m.Errors
+	}
+	return total
+}
+
+// Report renders a per-role usage/metrics summary (stable role order).
+func (r *Router) Report() string {
+	roles := append([]Role(nil), r.order...)
+	sort.Slice(roles, func(i, j int) bool { return roles[i] < roles[j] })
+	var b strings.Builder
+	for _, role := range roles {
+		g := r.gates[role]
+		fmt.Fprintf(&b, "%-9s %s: %s\n", role, g.Name(), g.Usage())
+		fmt.Fprintf(&b, "%-9s gateway: %s\n", role, g.Metrics())
+	}
+	return strings.TrimRight(b.String(), "\n")
+}

@@ -1,0 +1,149 @@
+package fmgate
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sync"
+)
+
+// storeEntry is one recorded completion, serialized as a JSON line. The
+// prompt's first line is kept for human inspection of recordings; the key is
+// the content address (model name + full prompt) the gateway looks up by.
+type storeEntry struct {
+	Key      string `json:"key"`
+	Prompt   string `json:"prompt,omitempty"`
+	Response string `json:"response"`
+}
+
+// Store is the on-disk record/replay store. One recorded run of a pipeline
+// can be replayed byte-identically with zero model traffic: completions are
+// keyed by content address, and repeated identical prompts (the sampling
+// strategy reissues its template on purpose) replay in recorded order.
+//
+// Record mode appends every upstream completion to a JSONL file; replay mode
+// loads the file and serves per-key queues. When a key's queue is exhausted
+// — e.g. the recording run deduplicated via cache what the replay run asks
+// for repeatedly — the last response is served again (the recording is a
+// deterministic FM, so the repeat is exactly what the cache would return).
+type Store struct {
+	mu      sync.Mutex
+	w       *bufio.Writer
+	closer  io.Closer
+	queues  map[string][]string
+	cursors map[string]int
+}
+
+// NewRecordStore opens (truncating) a recording file.
+func NewRecordStore(path string) (*Store, error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, fmt.Errorf("fmgate: creating recording: %w", err)
+	}
+	return &Store{w: bufio.NewWriter(f), closer: f}, nil
+}
+
+// OpenReplayStore loads a recording for replay.
+func OpenReplayStore(path string) (*Store, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("fmgate: opening recording: %w", err)
+	}
+	defer f.Close()
+	s := &Store{queues: make(map[string][]string), cursors: make(map[string]int)}
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<24)
+	line := 0
+	for sc.Scan() {
+		line++
+		if len(sc.Bytes()) == 0 {
+			continue
+		}
+		var e storeEntry
+		if err := json.Unmarshal(sc.Bytes(), &e); err != nil {
+			return nil, fmt.Errorf("fmgate: recording %s line %d: %w", path, line, err)
+		}
+		s.queues[e.Key] = append(s.queues[e.Key], e.Response)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("fmgate: reading recording: %w", err)
+	}
+	return s, nil
+}
+
+// Len reports how many completions the store holds (replay) or has written
+// (record).
+func (s *Store) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n := 0
+	for _, q := range s.queues {
+		n += len(q)
+	}
+	return n
+}
+
+// record appends one completion (record mode).
+func (s *Store) record(key, prompt, response string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.w == nil {
+		return nil // replay-mode store attached to a recording gateway: ignore
+	}
+	b, err := json.Marshal(storeEntry{Key: key, Prompt: firstLine(prompt), Response: response})
+	if err != nil {
+		return err
+	}
+	if _, err := s.w.Write(append(b, '\n')); err != nil {
+		return err
+	}
+	// Flush per entry: a recording interrupted by Ctrl-C stays replayable up
+	// to the last completed call.
+	return s.w.Flush()
+}
+
+// replay pops the next recorded response for the key. sticky controls the
+// exhausted-queue behaviour: cacheable (deterministic) prompts stick at the
+// last response — the recording run may have served later repeats from its
+// cache, and the repeat is exactly what a deterministic FM returns — while
+// non-cacheable sampling prompts miss once the queue runs dry, because each
+// recorded entry stands for a distinct draw and serving one twice would
+// silently fabricate duplicate candidates.
+func (s *Store) replay(key string, sticky bool) (string, bool) {
+	if s == nil {
+		return "", false
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	q, ok := s.queues[key]
+	if !ok || len(q) == 0 {
+		return "", false
+	}
+	i := s.cursors[key]
+	if i >= len(q) {
+		if !sticky {
+			return "", false
+		}
+		i = len(q) - 1
+	} else {
+		s.cursors[key] = i + 1
+	}
+	return q[i], true
+}
+
+// Close flushes and closes the recording file (no-op for replay stores).
+func (s *Store) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.w != nil {
+		if err := s.w.Flush(); err != nil {
+			return err
+		}
+	}
+	if s.closer != nil {
+		return s.closer.Close()
+	}
+	return nil
+}

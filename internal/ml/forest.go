@@ -28,6 +28,9 @@ type Forest struct {
 	trees  []*Tree
 	numFea int
 	fitted bool
+	// noPresort disables the shared root-split cache (equivalence tests
+	// pin the cached kernel against this reference path).
+	noPresort bool
 }
 
 // NewRandomForest builds a random forest configuration ("RF").
@@ -60,7 +63,10 @@ func (f *Forest) Name() string {
 
 // Fit implements Classifier. Trees are trained in parallel. Bootstrap trees
 // share the columnar matrix and train over a resampled row-index set — no
-// per-tree copy of the data.
+// per-tree copy of the data. Non-bootstrap forests (extra-trees) train every
+// tree on the same full index set, so they additionally share a lazily-built
+// per-column presort cache: each tree's root split reads the one sorted
+// order instead of re-deriving it per tree.
 func (f *Forest) Fit(X *Matrix, y []int) error {
 	if err := validate(X, y); err != nil {
 		return err
@@ -76,6 +82,10 @@ func (f *Forest) Fit(X *Matrix, y []int) error {
 	seeds := make([]int64, f.NumTrees)
 	for i := range seeds {
 		seeds[i] = rng.Int63()
+	}
+	var presort *forestPresort
+	if !f.Bootstrap && !f.noPresort {
+		presort = newForestPresort(X, y)
 	}
 	workers := runtime.GOMAXPROCS(0)
 	if workers > f.NumTrees {
@@ -97,6 +107,7 @@ func (f *Forest) Fit(X *Matrix, y []int) error {
 					RandomSplits:   f.RandomSplits,
 					Seed:           seeds[ti],
 				})
+				tree.presort = presort
 				var rows []int
 				if f.Bootstrap {
 					sampleRng := rand.New(rand.NewSource(seeds[ti] ^ 0x5f5f5f5f))

@@ -1,5 +1,80 @@
 package ml
 
+import "sync"
+
+// forestPresort caches, per column, the training values in ascending order
+// together with prefix positive-label counts. A non-bootstrap forest
+// (extra-trees) trains every tree on the same full index set, so the root
+// split of each tree re-derives exactly the same per-column order — this
+// cache computes it once per forest instead of once per (tree, feature).
+// Greedy root splits scan the shared sorted arrays directly; the
+// extra-trees random-split rule reads its (min, max) range off the sorted
+// ends and resolves a random threshold's left-side counts with a binary
+// search over the shared order instead of an O(n) pass.
+//
+// Columns build lazily — only columns some tree actually considers pay the
+// sort — and exactly once (sync.Once per column), so the forest's parallel
+// tree fits share the work race-free. All arrays are read-only after build.
+type forestPresort struct {
+	n    int
+	X    *Matrix
+	y    []int
+	once []sync.Once
+	cols []presortedCol
+}
+
+// presortedCol is one column's shared root-split order.
+type presortedCol struct {
+	// vals holds the column's values in ascending order.
+	vals []float64
+	// prefix[k] counts positive labels among the k smallest values.
+	prefix []int32
+}
+
+// newForestPresort prepares a lazy presort cache over the training set.
+func newForestPresort(X *Matrix, y []int) *forestPresort {
+	return &forestPresort{
+		n:    X.Rows(),
+		X:    X,
+		y:    y,
+		once: make([]sync.Once, X.Cols()),
+		cols: make([]presortedCol, X.Cols()),
+	}
+}
+
+// column returns feature f's sorted order, building it on first use.
+func (p *forestPresort) column(f int) *presortedCol {
+	p.once[f].Do(func() {
+		vals := append([]float64(nil), p.X.Col(f)...)
+		labs := make([]int8, len(vals))
+		for i, yi := range p.y {
+			labs[i] = int8(yi)
+		}
+		sortPairs(vals, labs)
+		prefix := make([]int32, len(vals)+1)
+		for i, l := range labs {
+			prefix[i+1] = prefix[i] + int32(l)
+		}
+		p.cols[f] = presortedCol{vals: vals, prefix: prefix}
+	})
+	return &p.cols[f]
+}
+
+// upperBound returns the count of sorted values <= x (the first index whose
+// value exceeds x).
+func upperBound(vals []float64, x float64) int {
+	lo, hi := 0, len(vals)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if vals[mid] <= x {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
 // sortPairs sorts the parallel (vals, labs) slices by ascending value using
 // an in-place quicksort (median-of-three pivot, insertion sort for small
 // partitions). It replaces the sort.Slice call in split finding: no closure

@@ -41,10 +41,16 @@ type Tree struct {
 	rng        *rand.Rand
 	fitted     bool
 
+	// presort, when set by a non-bootstrap forest, shares per-column sorted
+	// orders across the ensemble; nodes covering the full training set (the
+	// root) use it instead of re-sorting.
+	presort *forestPresort
+
 	// Per-fit scratch, reused across nodes to keep allocs flat.
 	scratchVals []float64
 	scratchLabs []int8
 	scratchIdx  []int
+	prefixBuf   []int32
 }
 
 // NewTree returns a tree with the given configuration.
@@ -148,28 +154,49 @@ func (t *Tree) bestSplit(X *Matrix, y []int, idx []int, pos int) (int, float64, 
 	n := len(idx)
 	parent := gini(pos, n)
 	bestFeat, bestThresh, bestGain := -1, 0.0, 0.0
+	// A node covering the whole (non-bootstrap) training set can read the
+	// forest-shared presorted order instead of re-deriving it; the cut
+	// points, counts and therefore gains are identical because prefix label
+	// counts at distinct-value boundaries do not depend on tie ordering.
+	shared := t.presort != nil && n == t.presort.n
 	if t.cfg.RandomSplits {
 		for _, f := range feats {
-			col := X.Col(f)
-			lo, hi := math.Inf(1), math.Inf(-1)
-			for _, i := range idx {
-				v := col[i]
-				if v < lo {
-					lo = v
-				}
-				if v > hi {
-					hi = v
+			var lo, hi float64
+			var pc *presortedCol
+			if shared {
+				pc = t.presort.column(f)
+				lo, hi = pc.vals[0], pc.vals[n-1]
+			} else {
+				col := X.Col(f)
+				lo, hi = math.Inf(1), math.Inf(-1)
+				for _, i := range idx {
+					v := col[i]
+					if v < lo {
+						lo = v
+					}
+					if v > hi {
+						hi = v
+					}
 				}
 			}
 			if hi <= lo {
 				continue
 			}
 			thresh := lo + t.rng.Float64()*(hi-lo)
-			ln, lp := 0, 0
-			for _, i := range idx {
-				if col[i] <= thresh {
-					ln++
-					lp += y[i]
+			var ln, lp int
+			if shared {
+				// The rows with value <= thresh are exactly the ln smallest
+				// of the shared order: a binary search and a prefix lookup
+				// replace the O(n) counting pass.
+				ln = upperBound(pc.vals, thresh)
+				lp = int(pc.prefix[ln])
+			} else {
+				col := X.Col(f)
+				for _, i := range idx {
+					if col[i] <= thresh {
+						ln++
+						lp += y[i]
+					}
 				}
 			}
 			rn, rp := n-ln, pos-lp
@@ -183,23 +210,28 @@ func (t *Tree) bestSplit(X *Matrix, y []int, idx []int, pos int) (int, float64, 
 		}
 		return bestFeat, bestThresh, bestGain
 	}
-	vals := t.scratchVals[:n]
-	labs := t.scratchLabs[:n]
 	for _, f := range feats {
-		col := X.Col(f)
-		for k, i := range idx {
-			vals[k] = col[i]
-			labs[k] = int8(y[i])
+		vals := t.scratchVals[:n]
+		var prefix []int32
+		if shared {
+			pc := t.presort.column(f)
+			vals, prefix = pc.vals, pc.prefix
+		} else {
+			labs := t.scratchLabs[:n]
+			col := X.Col(f)
+			for k, i := range idx {
+				vals[k] = col[i]
+				labs[k] = int8(y[i])
+			}
+			sortPairs(vals, labs)
+			prefix = t.scratchPrefix(labs)
 		}
-		sortPairs(vals, labs)
-		ln, lp := 0, 0
 		for k := 0; k < n-1; k++ {
-			ln++
-			lp += int(labs[k])
 			// Only cut between distinct values.
 			if vals[k+1] == vals[k] {
 				continue
 			}
+			ln, lp := k+1, int(prefix[k+1])
 			rn, rp := n-ln, pos-lp
 			if ln < t.cfg.MinSamplesLeaf || rn < t.cfg.MinSamplesLeaf {
 				continue
@@ -212,6 +244,20 @@ func (t *Tree) bestSplit(X *Matrix, y []int, idx []int, pos int) (int, float64, 
 		}
 	}
 	return bestFeat, bestThresh, bestGain
+}
+
+// scratchPrefix fills the reusable prefix-positive-count buffer for the
+// node-local sorted labels (prefix[k] = positives among the k smallest).
+func (t *Tree) scratchPrefix(labs []int8) []int32 {
+	if cap(t.prefixBuf) < len(labs)+1 {
+		t.prefixBuf = make([]int32, len(labs)+1)
+	}
+	prefix := t.prefixBuf[:len(labs)+1]
+	prefix[0] = 0
+	for i, l := range labs {
+		prefix[i+1] = prefix[i] + int32(l)
+	}
+	return prefix
 }
 
 // candidateFeatures returns the feature subset considered at a node.

@@ -21,12 +21,14 @@
 package smartfeat
 
 import (
+	"context"
 	"io"
 
 	"smartfeat/internal/core"
 	"smartfeat/internal/dataframe"
 	"smartfeat/internal/datasets"
 	"smartfeat/internal/fm"
+	"smartfeat/internal/fmgate"
 )
 
 // Frame is a columnar dataframe (see internal/dataframe for the full API).
@@ -71,9 +73,29 @@ const (
 	StatusFiltered        = core.StatusFiltered
 )
 
+// Gateway is the FM traffic layer: caching, in-flight deduplication,
+// bounded-concurrency submission, retries and record/replay over any FM.
+type Gateway = fmgate.Gateway
+
+// GatewayOptions configures a Gateway.
+type GatewayOptions = fmgate.Options
+
+// NewGateway wraps an FM in a gateway; the result is itself an FM, so it
+// plugs into Options.SelectorFM / Options.GeneratorFM directly.
+func NewGateway(model FM, opts GatewayOptions) *Gateway {
+	return fmgate.New(model, opts)
+}
+
 // Run executes the SMARTFEAT pipeline on a copy of the frame.
 func Run(f *Frame, opts Options) (*Result, error) {
 	return core.Run(f, opts)
+}
+
+// RunContext is Run with cancellation threaded through every FM call. On
+// cancellation it returns the partial result (with usage accounting of the
+// spend so far) alongside the context's error.
+func RunContext(ctx context.Context, f *Frame, opts Options) (*Result, error) {
+	return core.RunContext(ctx, f, opts)
 }
 
 // AllOperators enables every operator family.
@@ -113,7 +135,8 @@ func DatasetNames() []string { return datasets.Names() }
 // CompleteRows performs row-level FM completions for the first n rows of the
 // frame — the per-entry interaction style of the paper's Figure 1 that
 // SMARTFEAT's feature-level design avoids. Exposed so the cost comparison is
-// reproducible against the same accounting.
-func CompleteRows(model FM, f *Frame, feature string, n int) ([]float64, error) {
-	return core.CompleteRows(model, f, feature, n)
+// reproducible against the same accounting. When model is a *Gateway the
+// rows fan out concurrently under its concurrency bound.
+func CompleteRows(ctx context.Context, model FM, f *Frame, feature string, n int) ([]float64, error) {
+	return core.CompleteRows(ctx, model, f, feature, n)
 }

@@ -1,6 +1,7 @@
 package smartfeat_test
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -75,7 +76,7 @@ func TestFacadeCompleteRows(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	vals, err := smartfeat.CompleteRows(smartfeat.NewGPT35Sim(1, 0), f, "Population_Density", 2)
+	vals, err := smartfeat.CompleteRows(context.Background(), smartfeat.NewGPT35Sim(1, 0), f, "Population_Density", 2)
 	if err != nil {
 		t.Fatal(err)
 	}
