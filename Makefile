@@ -3,7 +3,7 @@ PKGS := ./...
 # Kernel-level microbenchmarks (tree/forest/linear fits, ColMatrix, group-by).
 KERNEL_BENCH := BenchmarkTreeFit|BenchmarkForestFit|BenchmarkExtraTreesFit|BenchmarkLogisticFit|BenchmarkMatrixTakeRows|BenchmarkColMatrix|BenchmarkRowMajorMatrix|BenchmarkDropNANoNulls|BenchmarkSeriesStd|BenchmarkGroupKeys
 
-.PHONY: test race check bench bench-kernel bench-cpu fmt vet
+.PHONY: test race check bench bench-kernel bench-grid bench-cpu fmt vet
 
 test:
 	$(GO) build $(PKGS)
@@ -27,6 +27,14 @@ bench:
 # Just the hot-path kernel benches (fast; use for before/after comparisons).
 bench-kernel:
 	$(GO) test ./internal/ml ./internal/dataframe -bench '$(KERNEL_BENCH)' -benchmem -run xxx -count 3
+
+# Grid-engine overhead benches: artifact/manifest (de)serialization, a full
+# 40-cell resume pass, and record-shard setup. Keeps the run engine's fixed
+# costs visible in the perf trajectory (they must stay negligible next to
+# cell compute).
+GRID_BENCH := BenchmarkArtifactWrite|BenchmarkArtifactRead|BenchmarkManifestSave|BenchmarkGridResume|BenchmarkStoreSetShard
+bench-grid:
+	$(GO) test ./internal/grid -bench '$(GRID_BENCH)' -benchmem -run xxx -count 3
 
 # CPU profile of forest training; inspect with `go tool pprof cpu.out`.
 bench-cpu:

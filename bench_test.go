@@ -8,6 +8,7 @@
 package smartfeat_test
 
 import (
+	"context"
 	"testing"
 
 	"smartfeat/internal/core"
@@ -42,7 +43,7 @@ func BenchmarkTable4AverageAUC(b *testing.B) {
 	cfg := benchConfig()
 	var delta float64
 	for i := 0; i < b.N; i++ {
-		avg, _, err := experiments.RunComparison([]string{"Diabetes", "Tennis"}, cfg)
+		avg, _, err := experiments.RunComparison(context.Background(), []string{"Diabetes", "Tennis"}, cfg)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -56,7 +57,7 @@ func BenchmarkTable5MedianAUC(b *testing.B) {
 	cfg := benchConfig()
 	var delta float64
 	for i := 0; i < b.N; i++ {
-		_, median, err := experiments.RunComparison([]string{"Diabetes"}, cfg)
+		_, median, err := experiments.RunComparison(context.Background(), []string{"Diabetes"}, cfg)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -72,7 +73,7 @@ func BenchmarkTable6FeatureImportance(b *testing.B) {
 	var ig float64
 	var generated int
 	for i := 0; i < b.N; i++ {
-		rows, err := experiments.Table6FeatureImportance("Tennis", cfg)
+		rows, err := experiments.Table6FeatureImportance(context.Background(), "Tennis", cfg)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -94,7 +95,7 @@ func BenchmarkTable7OperatorAblation(b *testing.B) {
 	cfg := benchConfig()
 	var binaryGain float64
 	for i := 0; i < b.N; i++ {
-		rows, err := experiments.Table7OperatorAblation("Tennis", cfg)
+		rows, err := experiments.Table7OperatorAblation(context.Background(), "Tennis", cfg)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -110,7 +111,7 @@ func BenchmarkFigure1InteractionCost(b *testing.B) {
 	cfg := benchConfig()
 	var ratio float64
 	for i := 0; i < b.N; i++ {
-		points, err := experiments.Figure1InteractionCosts([]int{100, 2000}, cfg)
+		points, err := experiments.Figure1InteractionCosts(context.Background(), []int{100, 2000}, cfg)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -127,7 +128,7 @@ func BenchmarkFigure1InteractionCost(b *testing.B) {
 func BenchmarkFigure2Walkthrough(b *testing.B) {
 	cfg := benchConfig()
 	for i := 0; i < b.N; i++ {
-		if _, err := experiments.Figure2Walkthrough(cfg); err != nil {
+		if _, err := experiments.Figure2Walkthrough(context.Background(), cfg); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -140,7 +141,7 @@ func BenchmarkEfficiency(b *testing.B) {
 	cfg := benchConfig()
 	var sfSeconds float64
 	for i := 0; i < b.N; i++ {
-		rows, err := experiments.RunEfficiency([]string{"Diabetes"}, cfg)
+		rows, err := experiments.RunEfficiency(context.Background(), []string{"Diabetes"}, cfg)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -159,7 +160,7 @@ func BenchmarkDescriptionsAblation(b *testing.B) {
 	cfg := benchConfig()
 	var drop float64
 	for i := 0; i < b.N; i++ {
-		abl, err := experiments.RunDescriptionsAblation("Tennis", cfg)
+		abl, err := experiments.RunDescriptionsAblation(context.Background(), "Tennis", cfg)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -182,8 +183,8 @@ func BenchmarkAblationSelectorVsExhaustive(b *testing.B) {
 			b.Fatal(err)
 		}
 		clean := d.Frame.DropNA()
-		sf := experiments.RunSmartfeat(d, clean, cfg, core.AllOperators())
-		ft := experiments.RunFeaturetools(d, clean, cfg)
+		sf := experiments.RunSmartfeat(context.Background(), d, clean, cfg, core.AllOperators())
+		ft := experiments.RunFeaturetools(context.Background(), d, clean, cfg)
 		guided, exhaustive = sf.Generated, ft.Generated
 	}
 	b.ReportMetric(float64(guided), "guided_candidates")
@@ -242,7 +243,7 @@ func BenchmarkAblationPromptStrategy(b *testing.B) {
 	clean := d.Frame.DropNA()
 	var proposalCalls int
 	for i := 0; i < b.N; i++ {
-		res := experiments.RunSmartfeat(d, clean, cfg, core.OperatorSet{Unary: true})
+		res := experiments.RunSmartfeat(context.Background(), d, clean, cfg, core.OperatorSet{Unary: true})
 		proposalCalls = res.FMUsage.Calls
 	}
 	// One proposal prompt per attribute (8 on Diabetes) vs the per-candidate

@@ -15,31 +15,99 @@
 // Add -quick for the scaled-down configuration, -datasets to restrict the
 // comparison to a comma-separated subset, and -workers to bound the
 // (dataset × method × model) evaluation parallelism.
+//
+// # The grid engine
+//
+// Any of the flags below switch the run onto the cell-addressed grid
+// engine: the selected tables and figures decompose into (dataset × method)
+// cells, scheduled on the worker pool with per-cell seeding (results are
+// bit-identical to a sequential run) and folded back into tables from
+// per-cell artifacts:
+//
+//	-run-dir DIR    persist one JSON artifact per completed cell plus a
+//	                manifest under DIR; a fresh run refuses a directory that
+//	                already holds one
+//	-resume DIR     continue an interrupted run: completed cells load from
+//	                their artifacts (config-hash checked), everything else
+//	                executes; Ctrl-C leaves the directory resumable again
+//	-fm-record DIR  record every cell's FM traffic into per-cell shards
+//	                (DIR/<dataset>__<method>.jsonl + manifest)
+//	-fm-replay PATH replay FM traffic. A directory replays per-cell shards —
+//	                any subset of the recorded grid, down to a single cell —
+//	                failing loudly on a config-hash mismatch; a file replays
+//	                a legacy monolithic recording (SMARTFEAT cells only)
+//	-methods LIST   restrict the comparison grid's method cells
+//	-keep-going     run every cell even after one fails (default fail-fast
+//	                skips unstarted cells, reporting them as skipped)
+//
+// Efficiency rows under the grid engine are folded from the comparison
+// cells' own accounting (per-cell cost attribution) instead of re-running
+// the methods sequentially; timings are therefore contended but every FM
+// counter is exact. Ctrl-C cancels in-flight cells; with -run-dir/-resume
+// the interrupted grid resumes incrementally.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"strconv"
 	"strings"
+	"syscall"
 
 	"smartfeat/internal/datasets"
 	"smartfeat/internal/experiments"
+	"smartfeat/internal/fmgate"
+	"smartfeat/internal/grid"
 )
 
+// selections carries the parsed table/figure switches.
+type selections struct {
+	table        int
+	figure       int
+	efficiency   bool
+	descriptions bool
+	all          bool
+}
+
+func (s selections) comparison() bool {
+	return s.table == 4 || s.table == 5 || s.efficiency || s.all
+}
+
+func (s selections) any() bool {
+	return s.table != 0 || s.figure != 0 || s.efficiency || s.descriptions || s.all
+}
+
+// figure1Sizes returns the Figure 1 size series for the selection.
+func (s selections) figure1Sizes() []int {
+	if s.all {
+		return []int{100, 1000, 10000}
+	}
+	return []int{100, 1000, 10000, 41189}
+}
+
 func main() {
-	table := flag.Int("table", 0, "table number to regenerate (3, 4, 5, 6, 7)")
-	figure := flag.Int("figure", 0, "figure number to regenerate (1, 2)")
-	efficiency := flag.Bool("efficiency", false, "run the efficiency comparison")
-	descriptions := flag.Bool("descriptions", false, "run the feature-description ablation")
-	all := flag.Bool("all", false, "run everything")
+	var sel selections
+	flag.IntVar(&sel.table, "table", 0, "table number to regenerate (3, 4, 5, 6, 7)")
+	flag.IntVar(&sel.figure, "figure", 0, "figure number to regenerate (1, 2)")
+	flag.BoolVar(&sel.efficiency, "efficiency", false, "run the efficiency comparison")
+	flag.BoolVar(&sel.descriptions, "descriptions", false, "run the feature-description ablation")
+	flag.BoolVar(&sel.all, "all", false, "run everything")
 	quick := flag.Bool("quick", false, "use the scaled-down configuration")
 	seed := flag.Int64("seed", 0, "override the experiment seed")
 	names := flag.String("datasets", "", "comma-separated dataset subset (default: all eight)")
+	methodsFlag := flag.String("methods", "", "comma-separated comparison-method subset for the grid engine (e.g. 'SMARTFEAT,CAAFE'; 'Initial AUC' is always included)")
 	workers := flag.Int("workers", 0, "evaluation parallelism: (dataset × method) cells and per-model training (0 = GOMAXPROCS, 1 = sequential; results are identical at any setting)")
-	fmCache := flag.Bool("fm-cache", false, "cache deterministic FM completions inside each SMARTFEAT cell (content-addressed LRU)")
-	fmReplay := flag.String("fm-replay", "", "replay SMARTFEAT FM completions from an fmgate recording (zero simulated cost); the recording must cover the selected cells — record with cmd/smartfeat using this run's seed/budget and restrict to the matching -datasets subset (full-grid recording sharding is a ROADMAP item); uncovered prompts fail their cell loudly rather than falling back to paid traffic")
+	fmCache := flag.Bool("fm-cache", false, "cache deterministic FM completions inside each cell (content-addressed LRU)")
+	fmRecord := flag.String("fm-record", "", "record per-cell FM shards (JSONL + manifest) into this directory; the whole selected grid is recorded in one run")
+	fmReplay := flag.String("fm-replay", "", "replay FM completions at zero simulated cost: a directory of per-cell shards (from -fm-record; config-hash checked, any cell subset) or a legacy monolithic recording file")
 	fmConcurrency := flag.Int("fm-concurrency", 0, "bound on each gateway's concurrent in-flight FM calls (0 = default 8)")
+	runDir := flag.String("run-dir", "", "persist per-cell artifacts and a run manifest into this directory (the grid engine's resumable run directory)")
+	resume := flag.String("resume", "", "resume an interrupted run directory: completed cells load from artifacts and are skipped")
+	keepGoing := flag.Bool("keep-going", false, "run every grid cell even after one fails (default: fail fast, skipping unstarted cells)")
 	flag.Parse()
 
 	cfg := experiments.DefaultConfig()
@@ -53,8 +121,8 @@ func main() {
 	if *fmCache {
 		cfg.FMCacheSize = 1 << 14
 	}
-	cfg.FMReplayPath = *fmReplay
 	cfg.FMConcurrency = *fmConcurrency
+
 	selected := datasets.Names()
 	if *names != "" {
 		selected = nil
@@ -62,81 +130,313 @@ func main() {
 			selected = append(selected, strings.TrimSpace(n))
 		}
 	}
-	if err := run(*table, *figure, *efficiency, *descriptions, *all, selected, cfg); err != nil {
+	var methods []string
+	if *methodsFlag != "" {
+		methods = []string{experiments.MethodInitial}
+		for _, m := range strings.Split(*methodsFlag, ",") {
+			if m = strings.TrimSpace(m); m != "" && m != experiments.MethodInitial {
+				methods = append(methods, m)
+			}
+		}
+	}
+
+	// Ctrl-C / SIGTERM cancels in-flight cells; with a run directory the
+	// interrupted grid resumes incrementally via -resume.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	gridMode := *runDir != "" || *resume != "" || *fmRecord != "" || *keepGoing ||
+		methods != nil || isDir(*fmReplay)
+	var err error
+	if gridMode {
+		err = runGrid(ctx, sel, selected, methods, cfg, gridOptions{
+			runDir: *runDir, resume: *resume, fmRecord: *fmRecord, fmReplay: *fmReplay,
+			keepGoing: *keepGoing, quick: *quick,
+		})
+	} else {
+		cfg.FMReplayPath = *fmReplay
+		err = run(ctx, sel, selected, cfg)
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "experiments:", err)
+		if errors.Is(err, context.Canceled) {
+			os.Exit(130)
+		}
 		os.Exit(1)
 	}
 }
 
-func run(table, figure int, efficiency, descriptions, all bool, names []string, cfg experiments.Config) error {
-	did := false
-	if table == 3 || all {
-		fmt.Println(experiments.Table3String(cfg))
-		did = true
+// run is the in-memory path: no artifacts, no sharded stores.
+func run(ctx context.Context, sel selections, names []string, cfg experiments.Config) error {
+	if !sel.any() {
+		return fmt.Errorf("nothing selected; use -table, -figure, -efficiency, -descriptions or -all")
 	}
-	if table == 4 || table == 5 || all {
-		avg, median, err := experiments.RunComparison(names, cfg)
+	if sel.table == 3 || sel.all {
+		fmt.Println(experiments.Table3String(cfg))
+	}
+	if sel.table == 4 || sel.table == 5 || sel.all {
+		avg, median, err := experiments.RunComparison(ctx, names, cfg)
 		if err != nil {
 			return err
 		}
 		fmt.Println(avg)
 		fmt.Println(median)
-		did = true
 	}
-	if table == 6 || all {
-		rows, err := experiments.Table6FeatureImportance("Tennis", cfg)
+	if sel.table == 6 || sel.all {
+		rows, err := experiments.Table6FeatureImportance(ctx, "Tennis", cfg)
 		if err != nil {
 			return err
 		}
 		fmt.Println(experiments.Table6String(rows))
-		did = true
 	}
-	if table == 7 || all {
-		rows, err := experiments.Table7OperatorAblation("Tennis", cfg)
+	if sel.table == 7 || sel.all {
+		rows, err := experiments.Table7OperatorAblation(ctx, "Tennis", cfg)
 		if err != nil {
 			return err
 		}
 		fmt.Println(experiments.Table7String(rows, cfg.Models))
-		did = true
 	}
-	if figure == 1 || all {
-		sizes := []int{100, 1000, 10000, 41189}
-		if all {
-			sizes = []int{100, 1000, 10000}
-		}
-		points, err := experiments.Figure1InteractionCosts(sizes, cfg)
+	if sel.figure == 1 || sel.all {
+		points, err := experiments.Figure1InteractionCosts(ctx, sel.figure1Sizes(), cfg)
 		if err != nil {
 			return err
 		}
 		fmt.Println(experiments.Figure1String(points))
-		did = true
 	}
-	if figure == 2 || all {
-		out, err := experiments.Figure2Walkthrough(cfg)
+	if sel.figure == 2 || sel.all {
+		out, err := experiments.Figure2Walkthrough(ctx, cfg)
 		if err != nil {
 			return err
 		}
 		fmt.Println(out)
-		did = true
 	}
-	if efficiency || all {
-		rows, err := experiments.RunEfficiency(names, cfg)
+	if sel.efficiency || sel.all {
+		rows, err := experiments.RunEfficiency(ctx, names, cfg)
 		if err != nil {
 			return err
 		}
 		fmt.Println(experiments.EfficiencyString(rows))
-		did = true
 	}
-	if descriptions || all {
-		abl, err := experiments.RunDescriptionsAblation("Tennis", cfg)
+	if sel.descriptions || sel.all {
+		abl, err := experiments.RunDescriptionsAblation(ctx, "Tennis", cfg)
 		if err != nil {
 			return err
 		}
 		fmt.Println(abl)
-		did = true
-	}
-	if !did {
-		return fmt.Errorf("nothing selected; use -table, -figure, -efficiency, -descriptions or -all")
 	}
 	return nil
+}
+
+// gridOptions carries the engine flags.
+type gridOptions struct {
+	runDir, resume     string
+	fmRecord, fmReplay string
+	keepGoing          bool
+	quick              bool
+}
+
+// runGrid is the cell-addressed path: build the plan for the selection, run
+// it through the grid engine (artifacts, resume, sharded record/replay),
+// fold, and print whatever completed.
+func runGrid(ctx context.Context, sel selections, names, methods []string, cfg experiments.Config, o gridOptions) error {
+	if !sel.any() {
+		return fmt.Errorf("nothing selected; use -table, -figure, -efficiency, -descriptions or -all")
+	}
+	if o.runDir != "" && o.resume != "" {
+		return fmt.Errorf("-resume already names the run directory; drop -run-dir")
+	}
+	if o.fmRecord != "" && o.fmReplay != "" {
+		return fmt.Errorf("-fm-record and -fm-replay are mutually exclusive (a replayed run makes no upstream calls to record)")
+	}
+
+	runner := &grid.Runner{
+		Config:    cfg,
+		Dir:       o.runDir,
+		Resume:    false,
+		KeepGoing: o.keepGoing,
+		Name:      strings.Join(names, ","),
+		Logf: func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, "grid: "+format+"\n", args...)
+		},
+	}
+	if o.resume != "" {
+		runner.Dir, runner.Resume = o.resume, true
+	}
+
+	switch {
+	case o.fmRecord != "":
+		stores, err := fmgate.NewRecordStoreSet(o.fmRecord, fmgate.StoreSetManifest{
+			ConfigHash: cfg.Fingerprint(),
+			Seed:       cfg.Seed,
+			Budget:     cfg.SamplingBudget,
+		})
+		if err != nil {
+			return err
+		}
+		defer stores.Close()
+		runner.Stores = stores
+	case isDir(o.fmReplay):
+		stores, err := fmgate.OpenReplayStoreSet(o.fmReplay, cfg.Fingerprint())
+		if err != nil {
+			return err
+		}
+		defer stores.Close()
+		runner.Stores = stores
+	case o.fmReplay != "":
+		// Legacy monolithic recording file: SMARTFEAT cells only.
+		cfg.FMReplayPath = o.fmReplay
+		runner.Config = cfg
+	}
+
+	var plan []grid.Cell
+	if sel.comparison() {
+		cellMethods := methods
+		if cellMethods == nil && !(sel.table == 4 || sel.table == 5 || sel.all) {
+			// Efficiency-only selection: the efficiency fold never reads the
+			// Initial cells, so don't pay for them.
+			cellMethods = experiments.Methods()
+		}
+		plan = append(plan, grid.ComparisonPlan(names, cellMethods)...)
+	}
+	if sel.table == 6 || sel.all {
+		plan = append(plan, grid.Table6Plan("Tennis")...)
+	}
+	if sel.table == 7 || sel.all {
+		plan = append(plan, grid.Table7Plan("Tennis")...)
+	}
+	if sel.figure == 1 || sel.all {
+		plan = append(plan, grid.Figure1Plan(sel.figure1Sizes())...)
+	}
+	if sel.descriptions || sel.all {
+		plan = append(plan, grid.DescriptionsPlan("Tennis")...)
+	}
+
+	result, runErr := runner.Run(ctx, plan)
+	if runErr != nil {
+		// Infrastructure failures before any cell was scheduled (config-hash
+		// mismatch, pre-existing manifest, bad plan) return a plain error —
+		// rendering an all-'?' grid and a resume hint for them would
+		// contradict the advice in the error itself.
+		var cellErr *experiments.RunError
+		if !errors.As(runErr, &cellErr) {
+			return runErr
+		}
+	}
+
+	// Fold and print whatever the run completed, even on error: a fail-fast
+	// or interrupted grid still renders its finished cells (with distinct
+	// failed/skipped markers), and the error below says what is missing.
+	if sel.table == 3 || sel.all {
+		fmt.Println(experiments.Table3String(cfg))
+	}
+	if sel.table == 4 || sel.table == 5 || sel.all {
+		avg, median := result.Comparison(names, cfg)
+		fmt.Println(avg)
+		fmt.Println(median)
+	}
+	if sel.table == 6 || sel.all {
+		if rows, ok := result.Table6("Tennis"); ok {
+			fmt.Println(experiments.Table6String(rows))
+		}
+	}
+	if sel.table == 7 || sel.all {
+		if rows, ok := result.Table7("Tennis"); ok {
+			fmt.Println(experiments.Table7String(rows, cfg.Models))
+		}
+	}
+	if sel.figure == 1 || sel.all {
+		if points, ok := result.Figure1(sel.figure1Sizes()); ok {
+			fmt.Println(experiments.Figure1String(points))
+		}
+	}
+	if sel.figure == 2 || sel.all {
+		// The walkthrough is a fixed six-row trace, not a grid cell.
+		out, err := experiments.Figure2Walkthrough(ctx, cfg)
+		switch {
+		case err != nil && runErr == nil:
+			return err
+		case err != nil:
+			// Don't let the grid error swallow an independent figure-2
+			// failure silently.
+			fmt.Fprintln(os.Stderr, "experiments: figure 2:", err)
+		default:
+			fmt.Println(out)
+		}
+	}
+	if sel.efficiency || sel.all {
+		if rows := result.Efficiency(names); len(rows) > 0 {
+			fmt.Println(experiments.EfficiencyString(rows))
+		}
+	}
+	if sel.descriptions || sel.all {
+		if abl, ok := result.Descriptions("Tennis"); ok {
+			fmt.Println(abl)
+		}
+	}
+
+	counts := result.Counts()
+	fmt.Fprintf(os.Stderr, "grid: %d cells: %d completed, %d resumed, %d failed, %d skipped, %d interrupted\n",
+		len(plan), counts[grid.StatusCompleted], counts[grid.StatusResumed],
+		counts[grid.StatusFailed], counts[grid.StatusSkipped], counts[grid.StatusInterrupted])
+	if runErr != nil && runner.Dir != "" {
+		fmt.Fprintf(os.Stderr, "grid: resume with: experiments -resume %s %s\n",
+			runner.Dir, replaySelectionHint(sel, o, names, methods))
+	}
+	return runErr
+}
+
+// replaySelectionHint reconstructs the flags a resume needs to re-plan
+// exactly the interrupted grid — the selection switches, the dataset and
+// method restrictions, and the FM store mode (the config hash covers none
+// of those, so omitting any would silently resume a different run: a larger
+// grid, or remaining cells recorded/replayed in the wrong mode).
+func replaySelectionHint(sel selections, o gridOptions, names, methods []string) string {
+	var parts []string
+	if sel.all {
+		parts = append(parts, "-all")
+	}
+	if sel.table != 0 {
+		parts = append(parts, "-table "+strconv.Itoa(sel.table))
+	}
+	if sel.figure != 0 {
+		parts = append(parts, "-figure "+strconv.Itoa(sel.figure))
+	}
+	if sel.efficiency {
+		parts = append(parts, "-efficiency")
+	}
+	if sel.descriptions {
+		parts = append(parts, "-descriptions")
+	}
+	if o.quick {
+		parts = append(parts, "-quick")
+	}
+	if len(names) > 0 && len(names) != len(datasets.Names()) {
+		parts = append(parts, "-datasets '"+strings.Join(names, ",")+"'")
+	}
+	if methods != nil {
+		var rest []string
+		for _, m := range methods {
+			if m != experiments.MethodInitial {
+				rest = append(rest, m)
+			}
+		}
+		parts = append(parts, "-methods '"+strings.Join(rest, ",")+"'")
+	}
+	if o.fmRecord != "" {
+		parts = append(parts, "-fm-record "+o.fmRecord)
+	}
+	if o.fmReplay != "" {
+		parts = append(parts, "-fm-replay "+o.fmReplay)
+	}
+	return strings.Join(parts, " ")
+}
+
+// isDir reports whether path names an existing directory (the sharded
+// record/replay layout; a plain file is a legacy monolithic recording).
+func isDir(path string) bool {
+	if path == "" {
+		return false
+	}
+	info, err := os.Stat(path)
+	return err == nil && info.IsDir()
 }

@@ -12,11 +12,21 @@
 //	-fm-concurrency N   bound on in-flight FM calls (row-level fan-out)
 //	-fm-cache           content-addressed completion cache for deterministic
 //	                    prompts (function generation, row-level completions)
-//	-fm-record FILE     record every upstream completion to FILE (JSONL)
-//	-fm-replay FILE     replay a recording byte-identically: the simulators
+//	-fm-record PATH     record every upstream completion to PATH (JSONL
+//	                    file), or — with -fm-cell — into one shard of a
+//	                    sharded recording directory
+//	-fm-replay PATH     replay a recording byte-identically: the simulators
 //	                    are never called and the usage report shows $0.00
 //	                    (keep -seed as recorded — it also generates the
-//	                    synthetic -dataset and therefore the prompts)
+//	                    synthetic -dataset and therefore the prompts). A
+//	                    directory is a cmd/experiments -fm-record shard set:
+//	                    pass -fm-cell (or -dataset, whose SMARTFEAT cell is
+//	                    the default) to pick the shard — a single cell of a
+//	                    full grid recording replays through the CLI, since
+//	                    the grid's selector/generator keys match the CLI's
+//	                    when seed/budget/error-rate agree
+//	-fm-cell KEY        shard key inside a sharded recording directory
+//	                    (default <dataset>__SMARTFEAT)
 //
 // A report of every candidate feature (operator, status, inputs), the
 // foundation-model usage accounting and the gateway traffic counters is
@@ -31,6 +41,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"os/signal"
 	"sort"
@@ -56,7 +67,20 @@ type cliOptions struct {
 	workers                    int
 	fmCache                    bool
 	fmRecord, fmReplay         string
+	fmCell                     string
 	fmConcurrency              int
+}
+
+// cellKey resolves the shard key for sharded record/replay: the explicit
+// -fm-cell, else the -dataset's SMARTFEAT comparison cell.
+func (o cliOptions) cellKey() (string, error) {
+	if o.fmCell != "" {
+		return o.fmCell, nil
+	}
+	if o.dataset != "" {
+		return o.dataset + "__SMARTFEAT", nil
+	}
+	return "", fmt.Errorf("a sharded recording directory needs -fm-cell (or -dataset) to pick the shard")
 }
 
 func main() {
@@ -73,8 +97,9 @@ func main() {
 	flag.BoolVar(&o.evaluate, "evaluate", false, "train the downstream models on the initial and augmented frames and report AUCs to stderr")
 	flag.IntVar(&o.workers, "workers", 0, "model-training parallelism for -evaluate (0 = GOMAXPROCS)")
 	flag.BoolVar(&o.fmCache, "fm-cache", false, "cache deterministic FM completions (content-addressed LRU)")
-	flag.StringVar(&o.fmRecord, "fm-record", "", "record upstream FM completions to this JSONL file")
-	flag.StringVar(&o.fmReplay, "fm-replay", "", "replay FM completions from a recording (zero simulated cost)")
+	flag.StringVar(&o.fmRecord, "fm-record", "", "record upstream FM completions to this JSONL file (or, with -fm-cell, into a shard of a recording directory)")
+	flag.StringVar(&o.fmReplay, "fm-replay", "", "replay FM completions from a recording (zero simulated cost); a directory replays one shard of a cmd/experiments grid recording")
+	flag.StringVar(&o.fmCell, "fm-cell", "", "shard key inside a sharded recording directory (default <dataset>__SMARTFEAT)")
 	flag.IntVar(&o.fmConcurrency, "fm-concurrency", 8, "bound on concurrent in-flight FM calls (row-level fan-out)")
 	flag.Parse()
 
@@ -94,31 +119,76 @@ func main() {
 
 // buildRouter wires the per-role gateways from the CLI's fm flags. Both
 // roles share one record/replay store; keys embed the model name, so a
-// single recording file replays a whole selector+generator run.
-func buildRouter(o cliOptions) (*fmgate.Router, *fmgate.Store, error) {
+// single recording (file or shard) replays a whole selector+generator run.
+// The returned closer flushes whatever store backing was opened.
+func buildRouter(o cliOptions) (*fmgate.Router, io.Closer, error) {
 	gwOpts := fmgate.Options{Concurrency: o.fmConcurrency}
 	if o.fmCache {
 		gwOpts.CacheSize = 1 << 14
 	}
-	var store *fmgate.Store
+	var closer io.Closer
 	var err error
 	switch {
 	case o.fmReplay != "" && o.fmRecord != "":
 		return nil, nil, fmt.Errorf("-fm-replay and -fm-record are mutually exclusive (a replayed run makes no upstream calls to record)")
-	case o.fmReplay != "":
-		store, err = fmgate.OpenReplayStore(o.fmReplay)
+	case isDir(o.fmReplay):
+		// One shard of a cmd/experiments grid recording. The manifest's
+		// config hash covers the experiments protocol, which the CLI cannot
+		// recompute — compatibility rests on the operator matching the
+		// recorded seed/budget/error-rate flags, so surface the manifest's
+		// identity instead of checking a hash. A prompt the shard does not
+		// cover still fails loudly at call time.
+		cell, cerr := o.cellKey()
+		if cerr != nil {
+			return nil, nil, cerr
+		}
+		set, serr := fmgate.OpenReplayStoreSet(o.fmReplay, "")
+		if serr != nil {
+			return nil, nil, serr
+		}
+		man := set.Manifest()
+		fmt.Fprintf(os.Stderr, "replaying shard %s of %s (recorded seed %d, budget %d, config %s)\n",
+			cell, o.fmReplay, man.Seed, man.Budget, man.ConfigHash)
+		gwOpts.Store, err = set.Shard(cell)
 		gwOpts.Replay = true
+		closer = set
+	case o.fmReplay != "":
+		gwOpts.Store, err = fmgate.OpenReplayStore(o.fmReplay)
+		gwOpts.Replay = true
+		closer = gwOpts.Store
+	case o.fmRecord != "" && (o.fmCell != "" || isDir(o.fmRecord)):
+		// Sharded recording: same shard-key resolution as the replay branch
+		// (-fm-cell, else the -dataset's SMARTFEAT cell).
+		cell, cerr := o.cellKey()
+		if cerr != nil {
+			return nil, nil, cerr
+		}
+		var set *fmgate.StoreSet
+		set, err = fmgate.NewRecordStoreSet(o.fmRecord, fmgate.StoreSetManifest{Seed: o.seed, Budget: o.budget})
+		if err == nil {
+			gwOpts.Store, err = set.Shard(cell)
+			closer = set
+		}
 	case o.fmRecord != "":
-		store, err = fmgate.NewRecordStore(o.fmRecord)
+		gwOpts.Store, err = fmgate.NewRecordStore(o.fmRecord)
+		closer = gwOpts.Store
 	}
 	if err != nil {
 		return nil, nil, err
 	}
-	gwOpts.Store = store
 	router := fmgate.NewRouter().
 		Route(fmgate.RoleSelector, fmgate.New(fm.NewGPT4Sim(o.seed, o.errorRate), gwOpts)).
 		Route(fmgate.RoleGenerator, fmgate.New(fm.NewGPT35Sim(o.seed+1, o.errorRate), gwOpts))
-	return router, store, nil
+	return router, closer, nil
+}
+
+// isDir reports whether path names an existing directory.
+func isDir(path string) bool {
+	if path == "" {
+		return false
+	}
+	info, err := os.Stat(path)
+	return err == nil && info.IsDir()
 }
 
 func run(ctx context.Context, o cliOptions) error {
@@ -153,12 +223,12 @@ func run(ctx context.Context, o cliOptions) error {
 		return fmt.Errorf("provide -in FILE or -dataset NAME")
 	}
 
-	router, store, err := buildRouter(o)
+	router, storeCloser, err := buildRouter(o)
 	if err != nil {
 		return err
 	}
-	if store != nil {
-		defer store.Close()
+	if storeCloser != nil {
+		defer storeCloser.Close()
 	}
 
 	clean := frame.DropNA()
@@ -195,7 +265,7 @@ func run(ctx context.Context, o cliOptions) error {
 	fmt.Fprintln(os.Stderr, router.Report())
 
 	if o.evaluate {
-		if err := evaluateAUCs(clean, res.Frame, target, o.seed, o.workers); err != nil {
+		if err := evaluateAUCs(ctx, clean, res.Frame, target, o.seed, o.workers); err != nil {
 			return err
 		}
 	}
@@ -215,15 +285,15 @@ func run(ctx context.Context, o cliOptions) error {
 // evaluateAUCs trains the five downstream models on the initial and
 // augmented frames (§4.1 protocol, parallel columnar harness) and prints the
 // per-model AUC comparison to stderr.
-func evaluateAUCs(initial, augmented *dataframe.Frame, target string, seed int64, workers int) error {
+func evaluateAUCs(ctx context.Context, initial, augmented *dataframe.Frame, target string, seed int64, workers int) error {
 	cfg := experiments.QuickConfig()
 	cfg.Seed = seed
 	cfg.Workers = workers
-	before, beforeFail, err := experiments.EvaluateFrame(initial, target, cfg.Models, cfg)
+	before, beforeFail, err := experiments.EvaluateFrame(ctx, initial, target, cfg.Models, cfg)
 	if err != nil {
 		return err
 	}
-	after, afterFail, err := experiments.EvaluateFrame(augmented, target, cfg.Models, cfg)
+	after, afterFail, err := experiments.EvaluateFrame(ctx, augmented, target, cfg.Models, cfg)
 	if err != nil {
 		return err
 	}

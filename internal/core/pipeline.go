@@ -223,6 +223,13 @@ func run(ctx context.Context, input *dataframe.Frame, opts Options, start time.T
 				continue
 			}
 			for _, c := range cands {
+				// Check between candidates too, not just between attributes:
+				// a grid cell cancelled mid-attribute (Ctrl-C on a resumable
+				// run) should stop realizing candidates promptly instead of
+				// finishing the whole proposal batch.
+				if ctx.Err() != nil {
+					return finish(ctx.Err())
+				}
 				g := realize(c)
 				if g.Status == StatusAdded {
 					unaryTransformed[attr] = true

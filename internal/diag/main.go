@@ -4,6 +4,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"os"
 	"sort"
@@ -26,7 +27,7 @@ func main() {
 	}
 	clean := d.Frame.DropNA()
 
-	ev, err := experiments.EvalDataset(which, cfg)
+	ev, err := experiments.EvalDataset(context.Background(), which, cfg)
 	if err != nil {
 		panic(err)
 	}

@@ -1,0 +1,182 @@
+package experiments
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+
+	"smartfeat/internal/core"
+	"smartfeat/internal/dataframe"
+	"smartfeat/internal/datasets"
+)
+
+// ComparisonMethods lists the comparison-grid cell methods in table row
+// order: the initial evaluation plus every method. Together with the dataset
+// list this spans the full (dataset × method) evaluation grid of Tables 4/5
+// and the efficiency study.
+func ComparisonMethods() []string {
+	return append([]string{MethodInitial}, Methods()...)
+}
+
+// CellState classifies a grid cell's scheduling outcome. A *completed* cell
+// may still hold a method-level failure (MethodResult.Err — the "-" cells of
+// Tables 4/5); CellFailed means the cell's infrastructure errored (dataset
+// load, store wiring) and CellSkipped means it never started (fail-fast
+// after another cell's failure, or run cancellation).
+type CellState int
+
+const (
+	CellCompleted CellState = iota
+	CellFailed
+	CellSkipped
+)
+
+// CellFailure names one failed cell.
+type CellFailure struct {
+	Dataset string
+	Method  string
+	Err     error
+}
+
+func (f CellFailure) String() string {
+	return fmt.Sprintf("%s × %s: %v", f.Dataset, f.Method, f.Err)
+}
+
+// RunError reports a partially-executed grid run, distinguishing cells that
+// *failed* from cells that were merely *skipped* (fail-fast) or
+// *interrupted* (cancellation) — the pre-grid harness collapsed all three
+// into one opaque error, hiding how much of the grid never ran and why.
+type RunError struct {
+	// Failed lists cells whose infrastructure errored.
+	Failed []CellFailure
+	// Skipped lists cells (as "dataset × method") that never started.
+	Skipped []string
+	// Interrupted lists cells aborted mid-execution by cancellation.
+	Interrupted []string
+	// Cause is the context error when the run was cancelled.
+	Cause error
+}
+
+// Error renders the failed/skipped/interrupted breakdown.
+func (e *RunError) Error() string {
+	var b strings.Builder
+	switch {
+	case len(e.Failed) > 0:
+		fmt.Fprintf(&b, "%d cell(s) failed", len(e.Failed))
+		for _, f := range e.Failed {
+			fmt.Fprintf(&b, "; %s", f)
+		}
+	case e.Cause != nil:
+		fmt.Fprintf(&b, "run interrupted: %v", e.Cause)
+	default:
+		b.WriteString("grid run incomplete")
+	}
+	if len(e.Interrupted) > 0 {
+		fmt.Fprintf(&b, "; interrupted mid-cell: %s", strings.Join(e.Interrupted, ", "))
+	}
+	if len(e.Skipped) > 0 {
+		fmt.Fprintf(&b, "; skipped %d unstarted cell(s): %s", len(e.Skipped), strings.Join(e.Skipped, ", "))
+	}
+	return b.String()
+}
+
+// Unwrap exposes the cancellation cause or the first failure, so
+// errors.Is(err, context.Canceled) works on interrupted runs.
+func (e *RunError) Unwrap() error {
+	if e.Cause != nil {
+		return e.Cause
+	}
+	if len(e.Failed) > 0 {
+		return e.Failed[0].Err
+	}
+	return nil
+}
+
+// RunCell executes one (dataset × method) cell of the evaluation grid:
+// load the dataset, run the method, evaluate. Cells are self-contained — the
+// dataset is regenerated from cfg.Seed and every method derives its
+// randomness from fixed per-cell seeds — so any scheduling of cells
+// (sequential, worker pool, resumed across processes) produces bit-identical
+// results. The returned error covers cell infrastructure only (unknown
+// dataset/method); method-level failures stay in MethodResult.Err, which is
+// a legitimate result (the "-" cells of Tables 4/5).
+func RunCell(ctx context.Context, dataset, method string, cfg Config) (MethodResult, error) {
+	d, err := datasets.Load(dataset, cfg.Seed)
+	if err != nil {
+		return MethodResult{Method: method}, err
+	}
+	return runMethodOn(ctx, d, d.Frame.DropNA(), method, cfg)
+}
+
+// datasetCache amortizes dataset loads across the cells of one in-process
+// run: cells are scheduled per (dataset × method), but five method cells
+// share one deterministic dataset, so regenerating it per cell would be
+// pure waste. Loads are once-per-dataset and concurrency-safe; the load
+// error (if any) is returned to every cell that asks, so per-cell
+// failed/skipped reporting is unaffected. Methods clone the shared clean
+// frame before mutating, exactly as under the batched EvalDataset path.
+type datasetCache struct {
+	seed    int64
+	mu      sync.Mutex
+	entries map[string]*datasetCacheEntry
+}
+
+type datasetCacheEntry struct {
+	once  sync.Once
+	d     *datasets.Dataset
+	clean *dataframe.Frame
+	err   error
+}
+
+func newDatasetCache(seed int64) *datasetCache {
+	return &datasetCache{seed: seed, entries: make(map[string]*datasetCacheEntry)}
+}
+
+func (c *datasetCache) load(name string) (*datasets.Dataset, *dataframe.Frame, error) {
+	c.mu.Lock()
+	e, ok := c.entries[name]
+	if !ok {
+		e = &datasetCacheEntry{}
+		c.entries[name] = e
+	}
+	c.mu.Unlock()
+	e.once.Do(func() {
+		e.d, e.err = datasets.Load(name, c.seed)
+		if e.err == nil {
+			e.clean = e.d.Frame.DropNA()
+		}
+	})
+	return e.d, e.clean, e.err
+}
+
+// runMethodOn dispatches one method cell on an already-loaded dataset (the
+// shared path between RunCell and the batched EvalDataset/RunEfficiency
+// entry points, which amortize the dataset load across a dataset's cells).
+func runMethodOn(ctx context.Context, d *datasets.Dataset, clean *dataframe.Frame, method string, cfg Config) (MethodResult, error) {
+	switch method {
+	case MethodInitial:
+		r := MethodResult{Method: MethodInitial}
+		r.AUCs, r.FailedModels, r.Err = EvaluateFrame(ctx, clean, d.Target, cfg.Models, cfg)
+		return r, nil
+	case MethodSmartfeat:
+		return RunSmartfeat(ctx, d, clean, cfg, core.AllOperators()), nil
+	case MethodCAAFE:
+		return RunCAAFE(ctx, d, clean, cfg), nil
+	case MethodFeaturetools:
+		return RunFeaturetools(ctx, d, clean, cfg), nil
+	case MethodAutoFeat:
+		return RunAutoFeat(ctx, d, clean, cfg), nil
+	default:
+		return MethodResult{Method: method}, fmt.Errorf("experiments: unknown method %q", method)
+	}
+}
+
+// Interrupted reports whether a method result was aborted by cancellation
+// rather than completing or failing on its own terms. Interrupted cells must
+// not be folded into tables or persisted as artifacts — they rerun on
+// resume.
+func (m *MethodResult) Interrupted() bool {
+	return m.Err != nil && (errors.Is(m.Err, context.Canceled) || errors.Is(m.Err, context.DeadlineExceeded))
+}

@@ -7,6 +7,11 @@
 package experiments
 
 import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+
+	"smartfeat/internal/fmgate"
 	"smartfeat/internal/ml"
 )
 
@@ -43,8 +48,20 @@ type Config struct {
 	// (0 = gateway default of 8).
 	FMConcurrency int
 	// FMReplayPath, when set, serves every FM completion from the given
-	// fmgate recording instead of the simulators — zero simulated cost.
+	// monolithic fmgate recording instead of the simulators — zero simulated
+	// cost. It only covers the SMARTFEAT selector/generator gateways (the
+	// pre-sharding behaviour); the grid engine's per-cell sharding goes
+	// through FMStore instead.
 	FMReplayPath string
+	// FMStore is a per-cell record/replay shard, installed by the grid
+	// runner (internal/grid) from an fmgate.StoreSet: every gateway the cell
+	// builds — selector, generator, and each CAAFE session — shares it, so
+	// one recorded grid run replays per (dataset × method) cell. When set it
+	// takes precedence over FMReplayPath. FMStoreReplay selects replay mode
+	// (serve recorded completions, zero cost) versus record mode (append
+	// every upstream completion to the shard).
+	FMStore       *fmgate.Store
+	FMStoreReplay bool
 	// Workers bounds the evaluation harness's parallelism. The bound is
 	// per fan-out level, not global: RunComparison fans datasets, each
 	// EvalDataset fans its five method cells, and each EvaluateFrame fans
@@ -80,6 +97,46 @@ func QuickConfig() Config {
 	cfg.SamplingBudget = 6
 	cfg.CAAFEIterations = 5
 	return cfg
+}
+
+// Fingerprint hashes the configuration fields that determine experiment
+// results and FM traffic: seeds, budgets, model lists, caps and error rates.
+// Scheduling-only knobs (Workers, FMConcurrency) and store wiring are
+// excluded — they change wall-clock behaviour, never results. The grid
+// engine stamps this hash into run and recording manifests so a resumed run
+// or a replayed recording fails loudly when the configuration drifted
+// instead of mixing incompatible cells.
+func (cfg Config) Fingerprint() string {
+	semantic := struct {
+		Seed            int64
+		Models          []string
+		TestFrac        float64
+		MaxTrainRows    int
+		MLPEpochs       int
+		ForestTrees     int
+		SamplingBudget  int
+		CAAFEIterations int
+		FMErrorRate     float64
+		FMCacheSize     int
+	}{
+		Seed:            cfg.Seed,
+		Models:          cfg.Models,
+		TestFrac:        cfg.TestFrac,
+		MaxTrainRows:    cfg.MaxTrainRows,
+		MLPEpochs:       cfg.MLPEpochs,
+		ForestTrees:     cfg.ForestTrees,
+		SamplingBudget:  cfg.SamplingBudget,
+		CAAFEIterations: cfg.CAAFEIterations,
+		FMErrorRate:     cfg.FMErrorRate,
+		FMCacheSize:     cfg.FMCacheSize,
+	}
+	b, err := json.Marshal(semantic)
+	if err != nil {
+		// Only plain values above; Marshal cannot fail on them.
+		panic(err)
+	}
+	h := sha256.Sum256(b)
+	return hex.EncodeToString(h[:8])
 }
 
 // Method names in the paper's Table 4 row order.

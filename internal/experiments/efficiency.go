@@ -1,7 +1,9 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
+	"sort"
 	"strings"
 	"time"
 
@@ -9,6 +11,16 @@ import (
 	"smartfeat/internal/dataframe"
 	"smartfeat/internal/datasets"
 )
+
+// sortedKeys returns a string map's keys in sorted order.
+func sortedKeys(m map[string]string) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
 
 // EfficiencyRow reports one method's feature-engineering cost on one
 // dataset: real wall-clock of the Go implementation plus the simulated FM
@@ -38,7 +50,7 @@ const EfficiencyBudget = time.Hour
 // and stretch each other's timings — so unlike the comparison harness,
 // this entry point stays sequential unless Workers > 1 is set explicitly
 // (fan out only when throughput matters more than timing fidelity).
-func RunEfficiency(names []string, cfg Config) ([]EfficiencyRow, error) {
+func RunEfficiency(ctx context.Context, names []string, cfg Config) ([]EfficiencyRow, error) {
 	type loaded struct {
 		d     *datasets.Dataset
 		clean *dataframe.Frame
@@ -52,43 +64,82 @@ func RunEfficiency(names []string, cfg Config) ([]EfficiencyRow, error) {
 		data[k] = loaded{d: d, clean: d.Frame.DropNA()}
 	}
 	methods := Methods()
-	rows := make([]EfficiencyRow, len(names)*len(methods))
+	results := make([]MethodResult, len(names)*len(methods))
 	workers := cfg.Workers // 0 → sequential here, for uncontended timings
-	forEachIndex(workers, len(rows), func(i int) {
+	ForEachIndex(workers, len(results), func(i int) {
 		dsi, mi := i/len(methods), i%len(methods)
-		name, d, clean := names[dsi], data[dsi].d, data[dsi].clean
-		switch methods[mi] {
-		case MethodSmartfeat:
-			sf := RunSmartfeat(d, clean, cfg, core.AllOperators())
-			rows[i] = EfficiencyRow{
-				Dataset: name, Method: MethodSmartfeat,
-				Elapsed: sf.Elapsed, TimedOut: sf.Elapsed > EfficiencyBudget,
-				FMRequests: sf.FMMetrics.Requests, FMSaved: sf.FMMetrics.Saved(),
+		results[i], _ = runMethodOn(ctx, data[dsi].d, data[dsi].clean, methods[mi], cfg)
+	})
+	// An interrupted run must not price truncated cells as if they finished:
+	// a cancelled Elapsed/FM counter is not a measurement.
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	for i := range results {
+		if results[i].Interrupted() {
+			return nil, results[i].Err
+		}
+	}
+	return EfficiencyFromCells(names, func(dataset, method string) (MethodResult, bool) {
+		for dsi, name := range names {
+			if name != dataset {
+				continue
 			}
-		case MethodCAAFE:
-			ca := RunCAAFE(d, clean, cfg)
-			caRow := EfficiencyRow{Dataset: name, Method: MethodCAAFE, Elapsed: ca.Elapsed}
-			for m, reason := range ca.FailedModels {
-				if reason == "timeout" {
-					caRow.TimedOut = true
-					caRow.Detail = fmt.Sprintf("validation timeout with %s", m)
+			for mi, m := range methods {
+				if m == method {
+					return results[dsi*len(methods)+mi], true
 				}
 			}
-			rows[i] = caRow
-		case MethodFeaturetools:
-			ft := RunFeaturetools(d, clean, cfg)
-			rows[i] = EfficiencyRow{Dataset: name, Method: MethodFeaturetools, Elapsed: ft.Elapsed, TimedOut: ft.Elapsed > EfficiencyBudget}
-		case MethodAutoFeat:
-			af := RunAutoFeat(d, clean, cfg)
-			afRow := EfficiencyRow{Dataset: name, Method: MethodAutoFeat, Elapsed: af.Elapsed}
-			if af.Err != nil {
-				afRow.TimedOut = true
-				afRow.Detail = af.Err.Error()
-			}
-			rows[i] = afRow
 		}
-	})
-	return rows, nil
+		return MethodResult{}, false
+	}), nil
+}
+
+// EfficiencyFromCells folds efficiency rows from per-cell method results in
+// the sequential (dataset, method) order — the same fold serves the live
+// harness above and the grid engine's artifacts, where it prices a recorded
+// or replayed run from the per-cell accounting without re-running anything.
+// Cells get reports as absent are left out (a partial grid still prices the
+// cells it has).
+func EfficiencyFromCells(names []string, get func(dataset, method string) (MethodResult, bool)) []EfficiencyRow {
+	var rows []EfficiencyRow
+	for _, name := range names {
+		for _, method := range Methods() {
+			res, ok := get(name, method)
+			if !ok {
+				continue
+			}
+			rows = append(rows, efficiencyRow(name, method, res))
+		}
+	}
+	return rows
+}
+
+// efficiencyRow prices one completed cell.
+func efficiencyRow(dataset, method string, res MethodResult) EfficiencyRow {
+	row := EfficiencyRow{
+		Dataset: dataset, Method: method, Elapsed: res.Elapsed,
+		FMRequests: res.FMMetrics.Requests, FMSaved: res.FMMetrics.Saved(),
+	}
+	switch method {
+	case MethodCAAFE:
+		// Walk failures in sorted model order so the rendered detail is
+		// bit-stable run to run (map order is not).
+		for _, m := range sortedKeys(res.FailedModels) {
+			if res.FailedModels[m] == "timeout" {
+				row.TimedOut = true
+				row.Detail = fmt.Sprintf("validation timeout with %s", m)
+			}
+		}
+	case MethodAutoFeat:
+		if res.Err != nil {
+			row.TimedOut = true
+			row.Detail = res.Err.Error()
+		}
+	default:
+		row.TimedOut = res.Elapsed > EfficiencyBudget
+	}
+	return row
 }
 
 // EfficiencyString renders the efficiency comparison.
@@ -129,27 +180,46 @@ type DescriptionsAblation struct {
 	NamesFeatures   int
 }
 
-// RunDescriptionsAblation executes both regimes.
-func RunDescriptionsAblation(dataset string, cfg Config) (*DescriptionsAblation, error) {
-	d, err := datasets.Load(dataset, cfg.Seed)
+// RunDescriptionsAblation executes both regimes — a fold over the two
+// DescriptionsCell runs.
+func RunDescriptionsAblation(ctx context.Context, dataset string, cfg Config) (*DescriptionsAblation, error) {
+	full, err := DescriptionsCell(ctx, dataset, true, cfg)
 	if err != nil {
 		return nil, err
 	}
+	nameOnly, err := DescriptionsCell(ctx, dataset, false, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return DescriptionsAblationFromCells(dataset, full, nameOnly), nil
+}
+
+// DescriptionsCell runs SMARTFEAT on the dataset with the full data card
+// (withDescriptions) or names-only input — one cell of the §4.2 ablation.
+func DescriptionsCell(ctx context.Context, dataset string, withDescriptions bool, cfg Config) (MethodResult, error) {
+	d, err := datasets.Load(dataset, cfg.Seed)
+	if err != nil {
+		return MethodResult{}, err
+	}
 	clean := d.Frame.DropNA()
-	full := RunSmartfeat(d, clean, cfg, core.AllOperators())
-	if full.Err != nil {
-		return nil, full.Err
+	if !withDescriptions {
+		d = d.WithoutDescriptions()
 	}
-	nameOnly := RunSmartfeat(d.WithoutDescriptions(), clean, cfg, core.AllOperators())
-	if nameOnly.Err != nil {
-		return nil, nameOnly.Err
+	res := RunSmartfeat(ctx, d, clean, cfg, core.AllOperators())
+	if res.Err != nil {
+		return res, res.Err
 	}
+	return res, nil
+}
+
+// DescriptionsAblationFromCells folds the ablation from the two cell results.
+func DescriptionsAblationFromCells(dataset string, full, nameOnly MethodResult) *DescriptionsAblation {
 	out := &DescriptionsAblation{Dataset: dataset, WithFeatures: full.Selected, NamesFeatures: nameOnly.Selected}
 	out.WithAvg, _ = full.AvgAUC()
 	out.WithMedian, _ = full.MedianAUC()
 	out.NamesOnlyAvg, _ = nameOnly.AvgAUC()
 	out.NamesOnlyMedian, _ = nameOnly.MedianAUC()
-	return out, nil
+	return out
 }
 
 // String renders the ablation.

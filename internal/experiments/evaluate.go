@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"time"
@@ -119,7 +120,10 @@ func buildModel(name string, seed int64, cfg Config) (ml.Classifier, error) {
 // recorded, not fatal. The per-model trainings are independent — each model
 // derives its randomness from a fixed per-model seed — so they run on a
 // bounded worker pool with bit-identical results to the sequential order.
-func EvaluateFrame(f *dataframe.Frame, target string, models []string, cfg Config) (map[string]float64, map[string]string, error) {
+// Cancelling the context stops scheduling further model trainings (an
+// in-flight fit still runs to completion) and surfaces the context error,
+// so an interrupted evaluation is never mistaken for a measured one.
+func EvaluateFrame(ctx context.Context, f *dataframe.Frame, target string, models []string, cfg Config) (map[string]float64, map[string]string, error) {
 	g := f.FactorizeAll()
 	var features []string
 	for _, n := range g.Names() {
@@ -154,7 +158,10 @@ func EvaluateFrame(f *dataframe.Frame, target string, models []string, cfg Confi
 		failure string
 	}
 	results := make([]outcome, len(models))
-	forEachIndex(cfg.workers(), len(models), func(k int) {
+	ForEachIndex(cfg.workers(), len(models), func(k int) {
+		if ctx.Err() != nil {
+			return
+		}
 		name := models[k]
 		clf, err := buildModel(name, cfg.Seed+int64(len(name)), cfg)
 		if err != nil {
@@ -173,6 +180,9 @@ func EvaluateFrame(f *dataframe.Frame, target string, models []string, cfg Confi
 		}
 		results[k] = outcome{auc: auc * 100, ok: true}
 	})
+	if err := ctx.Err(); err != nil {
+		return nil, nil, err
+	}
 	aucs := make(map[string]float64)
 	failures := make(map[string]string)
 	for k, name := range models {

@@ -1,6 +1,8 @@
 package experiments
 
 import (
+	"context"
+	"errors"
 	"strings"
 	"testing"
 
@@ -20,7 +22,7 @@ func tinyConfig() Config {
 }
 
 func TestEvalDatasetProducesAllMethods(t *testing.T) {
-	ev, err := EvalDataset("Diabetes", tinyConfig())
+	ev, err := EvalDataset(context.Background(), "Diabetes", tinyConfig())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -74,7 +76,7 @@ func TestTable3String(t *testing.T) {
 }
 
 func TestRunComparisonShape(t *testing.T) {
-	avg, median, err := RunComparison([]string{"Diabetes"}, tinyConfig())
+	avg, median, err := RunComparison(context.Background(), []string{"Diabetes"}, tinyConfig())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -91,7 +93,7 @@ func TestRunComparisonShape(t *testing.T) {
 }
 
 func TestTable7OperatorAblation(t *testing.T) {
-	rows, err := Table7OperatorAblation("Tennis", tinyConfig())
+	rows, err := Table7OperatorAblation(context.Background(), "Tennis", tinyConfig())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -109,7 +111,7 @@ func TestTable7OperatorAblation(t *testing.T) {
 
 func TestFigure1CostsScaleWithRows(t *testing.T) {
 	cfg := tinyConfig()
-	points, err := Figure1InteractionCosts([]int{50, 500}, cfg)
+	points, err := Figure1InteractionCosts(context.Background(), []int{50, 500}, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -145,7 +147,7 @@ func TestFigure1CostsScaleWithRows(t *testing.T) {
 }
 
 func TestFigure2Walkthrough(t *testing.T) {
-	out, err := Figure2Walkthrough(tinyConfig())
+	out, err := Figure2Walkthrough(context.Background(), tinyConfig())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -158,7 +160,7 @@ func TestFigure2Walkthrough(t *testing.T) {
 }
 
 func TestDescriptionsAblation(t *testing.T) {
-	abl, err := RunDescriptionsAblation("Tennis", tinyConfig())
+	abl, err := RunDescriptionsAblation(context.Background(), "Tennis", tinyConfig())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -171,7 +173,7 @@ func TestDescriptionsAblation(t *testing.T) {
 }
 
 func TestTable6FeatureImportance(t *testing.T) {
-	rows, err := Table6FeatureImportance("Tennis", tinyConfig())
+	rows, err := Table6FeatureImportance(context.Background(), "Tennis", tinyConfig())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -196,7 +198,7 @@ func TestTable6FeatureImportance(t *testing.T) {
 }
 
 func TestEfficiencyRows(t *testing.T) {
-	rows, err := RunEfficiency([]string{"Diabetes"}, tinyConfig())
+	rows, err := RunEfficiency(context.Background(), []string{"Diabetes"}, tinyConfig())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -208,13 +210,74 @@ func TestEfficiencyRows(t *testing.T) {
 	}
 }
 
+// TestRunComparisonFailFastDistinguishesSkipped pins the fail-fast bugfix:
+// a failing cell no longer silently swallows the unstarted cells — the
+// returned error names failed and skipped cells distinctly, and the partial
+// tables render distinct miss markers for them.
+func TestRunComparisonFailFastDistinguishesSkipped(t *testing.T) {
+	cfg := tinyConfig()
+	cfg.Workers = 1 // deterministic schedule: the bad dataset fails first
+	avg, _, err := RunComparison(context.Background(), []string{"NoSuchDataset", "Diabetes"}, cfg)
+	if err == nil {
+		t.Fatal("want an error")
+	}
+	var runErr *RunError
+	if !errors.As(err, &runErr) {
+		t.Fatalf("want *RunError, got %T: %v", err, err)
+	}
+	if len(runErr.Failed) == 0 || runErr.Failed[0].Dataset != "NoSuchDataset" {
+		t.Fatalf("failed cells = %v", runErr.Failed)
+	}
+	if len(runErr.Skipped) == 0 {
+		t.Fatal("skipped cells not reported")
+	}
+	for _, s := range runErr.Skipped {
+		if strings.Contains(s, "NoSuchDataset") && strings.Contains(s, MethodInitial) {
+			t.Fatalf("the failed cell is also listed as skipped: %v", runErr.Skipped)
+		}
+	}
+	msg := err.Error()
+	if !strings.Contains(msg, "failed") || !strings.Contains(msg, "skipped") {
+		t.Fatalf("error collapses skipped into failed: %s", msg)
+	}
+	// Partial tables come back (not nil) with per-cell miss reasons.
+	if avg == nil {
+		t.Fatal("partial tables dropped on failure")
+	}
+	if avg.Missing[MethodInitial]["NoSuchDataset"] != "failed" {
+		t.Fatalf("missing marks = %v", avg.Missing)
+	}
+	if avg.Missing[MethodSmartfeat]["Diabetes"] != "skipped" {
+		t.Fatalf("missing marks = %v", avg.Missing)
+	}
+	out := avg.String()
+	if !strings.Contains(out, "!") || !strings.Contains(out, "?") {
+		t.Fatalf("render lacks distinct markers:\n%s", out)
+	}
+}
+
+// TestRunComparisonCancelled pins cancellation: an already-cancelled context
+// runs nothing, reports every cell skipped and unwraps to context.Canceled.
+func TestRunComparisonCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, _, err := RunComparison(ctx, []string{"Diabetes"}, tinyConfig())
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+	var runErr *RunError
+	if !errors.As(err, &runErr) || len(runErr.Skipped) != len(ComparisonMethods()) {
+		t.Fatalf("cancelled run outcome: %v", err)
+	}
+}
+
 func TestSmartfeatOperatorSubset(t *testing.T) {
 	cfg := tinyConfig()
 	d, err := datasets.Load("Tennis", cfg.Seed)
 	if err != nil {
 		t.Fatal(err)
 	}
-	res := RunSmartfeat(d, d.Frame.DropNA(), cfg, core.OperatorSet{HighOrder: true})
+	res := RunSmartfeat(context.Background(), d, d.Frame.DropNA(), cfg, core.OperatorSet{HighOrder: true})
 	// Tennis has no valid group-by keys: the high-order-only run generates
 	// nothing (the Table 7 "+High-order ≈ initial" behaviour).
 	if res.Selected != 0 {

@@ -42,77 +42,97 @@ type InteractionCost struct {
 	FeaturesAdded  int
 }
 
+// Figure1Dataset is the dataset the Figure 1 cost comparison truncates (the
+// largest in Table 3).
+const Figure1Dataset = "Bank"
+
 // Figure1InteractionCosts measures both interaction styles on truncations of
-// the Bank dataset (the largest in Table 3). Row-level cost grows linearly
-// with the row count; feature-level cost depends only on the schema.
-func Figure1InteractionCosts(sizes []int, cfg Config) ([]InteractionCost, error) {
+// the Bank dataset — a fold over the per-size Figure1Cell results. Row-level
+// cost grows linearly with the row count; feature-level cost depends only on
+// the schema.
+func Figure1InteractionCosts(ctx context.Context, sizes []int, cfg Config) ([]InteractionCost, error) {
 	if len(sizes) == 0 {
 		sizes = []int{100, 1000, 10000, 41189}
 	}
-	d, err := datasets.Load("Bank", cfg.Seed)
-	if err != nil {
-		return nil, err
-	}
-	full := d.Frame.DropNA()
-	var out []InteractionCost
+	out := make([]InteractionCost, 0, len(sizes))
 	for _, n := range sizes {
-		rows := n
-		if rows > full.Len() {
-			rows = full.Len()
-		}
-		idx := make([]int, rows)
-		for i := range idx {
-			idx[i] = i
-		}
-		sub := full.Take(idx)
-		point := InteractionCost{Rows: rows}
-
-		// Row-level: serialize every entry and ask for the masked value.
-		rowModel := fm.NewGPT35Sim(cfg.Seed+int64(rows), 0)
-		if _, err := core.CompleteRows(context.Background(), rowModel, sub, "Estimated_Subscription_Propensity", rows); err != nil {
-			return nil, err
-		}
-		ru := rowModel.Usage()
-		point.RowCalls = ru.Calls
-		point.RowTokens = ru.PromptTokens + ru.CompletionTokens
-		point.RowCostUSD = ru.SimCostUSD
-		point.RowLatency = ru.SimLatency
-
-		// The same workload through the gateway: cached, deduplicated,
-		// concurrently submitted. Row completions are deterministic per row
-		// content, so the values are identical — only the traffic shrinks.
-		gw := fmgate.New(fm.NewGPT35Sim(cfg.Seed+int64(rows), 0), fmgate.Options{
-			CacheSize:   1 << 16,
-			Concurrency: 8,
-		})
-		if _, err := core.CompleteRows(context.Background(), gw, sub, "Estimated_Subscription_Propensity", rows); err != nil {
-			return nil, err
-		}
-		gm := gw.Metrics()
-		point.GatewayUpstream = gm.UpstreamCalls
-		point.GatewayCacheHits = gm.CacheHits
-		point.GatewayInflight = gm.InflightShares
-		point.GatewayCostUSD = gw.Usage().SimCostUSD
-
-		// Feature-level: the full SMARTFEAT pipeline on the same rows.
-		opts, _, err := smartfeatOptions(d, cfg, core.AllOperators())
+		point, err := Figure1Cell(ctx, n, cfg)
 		if err != nil {
 			return nil, err
 		}
-		res, err := core.Run(sub, opts)
-		if err != nil {
-			return nil, err
-		}
-		fu := res.SelectorUsage
-		fu.Add(res.GeneratorUsage)
-		point.FeatureCalls = fu.Calls
-		point.FeatureTokens = fu.PromptTokens + fu.CompletionTokens
-		point.FeatureCostUSD = fu.SimCostUSD
-		point.FeatureLatency = fu.SimLatency
-		point.FeaturesAdded = len(res.AddedColumns())
 		out = append(out, point)
 	}
 	return out, nil
+}
+
+// Figure1Cell measures one dataset-size point of the Figure 1 comparison.
+// Each point is self-contained — the row-level simulators are seeded by the
+// row count and the SMARTFEAT gateways by cfg.Seed — so points compute
+// identically whether run in a loop, in parallel grid cells, or resumed.
+// Only the feature-level pipeline routes through the per-cell record/replay
+// store; the raw row-level sweep is the *measured baseline* (its per-row
+// traffic is exactly what the recording would eliminate).
+func Figure1Cell(ctx context.Context, size int, cfg Config) (InteractionCost, error) {
+	d, err := datasets.Load(Figure1Dataset, cfg.Seed)
+	if err != nil {
+		return InteractionCost{}, err
+	}
+	full := d.Frame.DropNA()
+	rows := size
+	if rows > full.Len() {
+		rows = full.Len()
+	}
+	idx := make([]int, rows)
+	for i := range idx {
+		idx[i] = i
+	}
+	sub := full.Take(idx)
+	point := InteractionCost{Rows: rows}
+
+	// Row-level: serialize every entry and ask for the masked value.
+	rowModel := fm.NewGPT35Sim(cfg.Seed+int64(rows), 0)
+	if _, err := core.CompleteRows(ctx, rowModel, sub, "Estimated_Subscription_Propensity", rows); err != nil {
+		return InteractionCost{}, err
+	}
+	ru := rowModel.Usage()
+	point.RowCalls = ru.Calls
+	point.RowTokens = ru.PromptTokens + ru.CompletionTokens
+	point.RowCostUSD = ru.SimCostUSD
+	point.RowLatency = ru.SimLatency
+
+	// The same workload through the gateway: cached, deduplicated,
+	// concurrently submitted. Row completions are deterministic per row
+	// content, so the values are identical — only the traffic shrinks.
+	gw := fmgate.New(fm.NewGPT35Sim(cfg.Seed+int64(rows), 0), fmgate.Options{
+		CacheSize:   1 << 16,
+		Concurrency: 8,
+	})
+	if _, err := core.CompleteRows(ctx, gw, sub, "Estimated_Subscription_Propensity", rows); err != nil {
+		return InteractionCost{}, err
+	}
+	gm := gw.Metrics()
+	point.GatewayUpstream = gm.UpstreamCalls
+	point.GatewayCacheHits = gm.CacheHits
+	point.GatewayInflight = gm.InflightShares
+	point.GatewayCostUSD = gw.Usage().SimCostUSD
+
+	// Feature-level: the full SMARTFEAT pipeline on the same rows.
+	opts, _, err := smartfeatOptions(d, cfg, core.AllOperators())
+	if err != nil {
+		return InteractionCost{}, err
+	}
+	res, err := core.RunContext(ctx, sub, opts)
+	if err != nil {
+		return InteractionCost{}, err
+	}
+	fu := res.SelectorUsage
+	fu.Add(res.GeneratorUsage)
+	point.FeatureCalls = fu.Calls
+	point.FeatureTokens = fu.PromptTokens + fu.CompletionTokens
+	point.FeatureCostUSD = fu.SimCostUSD
+	point.FeatureLatency = fu.SimLatency
+	point.FeaturesAdded = len(res.AddedColumns())
+	return point, nil
 }
 
 // Figure1String renders the interaction-cost series.
@@ -136,7 +156,7 @@ func Figure1String(points []InteractionCost) string {
 // Figure2Walkthrough reproduces the paper's Figure 2: the construction of
 // Bucketized Age on the Table 1 insurance example, returning a rendered
 // trace of the operator-selector and function-generator exchange.
-func Figure2Walkthrough(cfg Config) (string, error) {
+func Figure2Walkthrough(ctx context.Context, cfg Config) (string, error) {
 	f, err := dataframe.ReadCSVString(`Sex,Age,Age of car,Make,Claim in last 6 month,City,Safe
 M,21,6,Honda,1,SF,0
 F,35,2,Toyota,0,LA,1
@@ -164,7 +184,7 @@ F,56,5,Volkswagen,0,LA,1
 		GeneratorFM: fm.NewGPT35Sim(cfg.Seed+1, 0),
 		Operators:   core.OperatorSet{Unary: true},
 	}
-	res, err := core.Run(f, opts)
+	res, err := core.RunContext(ctx, f, opts)
 	if err != nil {
 		return "", err
 	}

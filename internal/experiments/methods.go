@@ -29,6 +29,9 @@ type DatasetEval struct {
 // are pass-throughs and the run is identical to talking to the simulators
 // directly.
 func smartfeatOptions(d *datasets.Dataset, cfg Config, operators core.OperatorSet) (core.Options, *fmgate.Router, error) {
+	// The selector/generator gateways stay unscoped: their keys match the
+	// smartfeat CLI's recordings, so a grid cell's shard and a CLI recording
+	// of the same seed/budget are interchangeable.
 	selector, err := newGateway(fm.NewGPT4Sim(cfg.Seed, cfg.FMErrorRate), cfg)
 	if err != nil {
 		return core.Options{}, nil, err
@@ -52,15 +55,25 @@ func smartfeatOptions(d *datasets.Dataset, cfg Config, operators core.OperatorSe
 	}, router, nil
 }
 
-// newGateway wraps one simulator with the config's gateway settings.
+// newGateway wraps one selector/generator simulator with the config's
+// gateway settings. The store resolution order is: the grid runner's
+// per-cell shard (record or replay) if installed, else the legacy
+// monolithic replay recording. With a per-cell shard both roles share one
+// Store instance — keys embed the model name, so their queues stay disjoint
+// while record appends land in one shard file per cell.
 func newGateway(model fm.Model, cfg Config) (*fmgate.Gateway, error) {
 	opts := fmgate.Options{
 		CacheSize:   cfg.FMCacheSize,
 		Concurrency: cfg.FMConcurrency,
 	}
-	if cfg.FMReplayPath != "" {
-		// Every cell opens its own cursor view of the recording, so replay
-		// order is per-run, not shared across concurrent cells.
+	switch {
+	case cfg.FMStore != nil:
+		opts.Store = cfg.FMStore
+		opts.Replay = cfg.FMStoreReplay
+	case cfg.FMReplayPath != "":
+		// Every gateway opens its own cursor view of the monolithic
+		// recording, so replay order is per-run, not shared across
+		// concurrent cells.
 		store, err := fmgate.OpenReplayStore(cfg.FMReplayPath)
 		if err != nil {
 			return nil, err
@@ -71,15 +84,33 @@ func newGateway(model fm.Model, cfg Config) (*fmgate.Gateway, error) {
 	return fmgate.New(model, opts), nil
 }
 
-// RunSmartfeat applies SMARTFEAT and evaluates the result.
-func RunSmartfeat(d *datasets.Dataset, clean *dataframe.Frame, cfg Config, operators core.OperatorSet) MethodResult {
+// newScopedGateway builds a per-session gateway that participates only in
+// the *sharded* per-cell store. The legacy monolithic FMReplayPath is
+// deliberately ignored: pre-sharding recordings hold selector/generator
+// traffic only, so routing CAAFE sessions through them would turn every
+// CAAFE prompt into a replay miss where the pre-grid harness ran the live
+// simulator.
+func newScopedGateway(model fm.Model, scope string, cfg Config) *fmgate.Gateway {
+	return fmgate.New(model, fmgate.Options{
+		CacheSize:   cfg.FMCacheSize,
+		Concurrency: cfg.FMConcurrency,
+		Scope:       scope,
+		Store:       cfg.FMStore,
+		Replay:      cfg.FMStore != nil && cfg.FMStoreReplay,
+	})
+}
+
+// RunSmartfeat applies SMARTFEAT and evaluates the result. Cancelling the
+// context aborts in-flight FM calls; the interrupted result carries the
+// context error (see MethodResult.Interrupted).
+func RunSmartfeat(ctx context.Context, d *datasets.Dataset, clean *dataframe.Frame, cfg Config, operators core.OperatorSet) MethodResult {
 	out := MethodResult{Method: MethodSmartfeat}
 	opts, router, err := smartfeatOptions(d, cfg, operators)
 	if err != nil {
 		out.Err = err
 		return out
 	}
-	res, err := core.Run(clean, opts)
+	res, err := core.RunContext(ctx, clean, opts)
 	out.FMMetrics = router.Metrics()
 	if err != nil {
 		out.Err = err
@@ -92,13 +123,18 @@ func RunSmartfeat(d *datasets.Dataset, clean *dataframe.Frame, cfg Config, opera
 	out.NewColumns = res.AddedColumns()
 	out.Selected = len(out.NewColumns)
 	out.Frame = res.Frame
-	out.AUCs, out.FailedModels, out.Err = EvaluateFrame(res.Frame, d.Target, cfg.Models, cfg)
+	out.AUCs, out.FailedModels, out.Err = EvaluateFrame(ctx, res.Frame, d.Target, cfg.Models, cfg)
 	return out
 }
 
-// RunFeaturetools applies the Featuretools baseline and evaluates.
-func RunFeaturetools(d *datasets.Dataset, clean *dataframe.Frame, cfg Config) MethodResult {
+// RunFeaturetools applies the Featuretools baseline and evaluates. The
+// baseline makes no FM calls; ctx only gates starting at all.
+func RunFeaturetools(ctx context.Context, d *datasets.Dataset, clean *dataframe.Frame, cfg Config) MethodResult {
 	out := MethodResult{Method: MethodFeaturetools}
+	if err := ctx.Err(); err != nil {
+		out.Err = err
+		return out
+	}
 	res, err := featuretools.Run(clean, d.Target, featuretools.DefaultConfig())
 	if err != nil {
 		out.Err = err
@@ -109,15 +145,19 @@ func RunFeaturetools(d *datasets.Dataset, clean *dataframe.Frame, cfg Config) Me
 	out.Selected = res.Selected
 	out.NewColumns = res.NewColumns
 	out.Frame = res.Frame
-	out.AUCs, out.FailedModels, out.Err = EvaluateFrame(res.Frame, d.Target, cfg.Models, cfg)
+	out.AUCs, out.FailedModels, out.Err = EvaluateFrame(ctx, res.Frame, d.Target, cfg.Models, cfg)
 	return out
 }
 
 // RunAutoFeat applies the AutoFeat baseline (on the factorized frame, as the
 // reference tool requires numeric input) and evaluates. A timeout becomes a
 // whole-method failure (the "-" cells of Tables 4-5).
-func RunAutoFeat(d *datasets.Dataset, clean *dataframe.Frame, cfg Config) MethodResult {
+func RunAutoFeat(ctx context.Context, d *datasets.Dataset, clean *dataframe.Frame, cfg Config) MethodResult {
 	out := MethodResult{Method: MethodAutoFeat}
+	if err := ctx.Err(); err != nil {
+		out.Err = err
+		return out
+	}
 	fact := clean.FactorizeAll()
 	afCfg := autofeat.DefaultConfig()
 	afCfg.TrainRows = trainRows(clean.Len(), cfg)
@@ -131,7 +171,7 @@ func RunAutoFeat(d *datasets.Dataset, clean *dataframe.Frame, cfg Config) Method
 	out.Selected = res.Selected
 	out.NewColumns = res.NewColumns
 	out.Frame = res.Frame
-	out.AUCs, out.FailedModels, out.Err = EvaluateFrame(res.Frame, d.Target, cfg.Models, cfg)
+	out.AUCs, out.FailedModels, out.Err = EvaluateFrame(ctx, res.Frame, d.Target, cfg.Models, cfg)
 	return out
 }
 
@@ -149,7 +189,7 @@ func RunAutoFeat(d *datasets.Dataset, clean *dataframe.Frame, cfg Config) Method
 // 2·repeats·iterations times during validation. Aggregation walks the
 // per-model slots in cfg.Models order, so the result is bit-identical to
 // the sequential loop at any worker count.
-func RunCAAFE(d *datasets.Dataset, clean *dataframe.Frame, cfg Config) MethodResult {
+func RunCAAFE(ctx context.Context, d *datasets.Dataset, clean *dataframe.Frame, cfg Config) MethodResult {
 	out := MethodResult{Method: MethodCAAFE, AUCs: map[string]float64{}, FailedModels: map[string]string{}}
 	fact := clean.FactorizeAll()
 	caafeCfg := caafe.DefaultConfig()
@@ -163,23 +203,37 @@ func RunCAAFE(d *datasets.Dataset, clean *dataframe.Frame, cfg Config) MethodRes
 		aucs     map[string]float64
 		failures map[string]string
 		evalErr  error
+		metrics  fmgate.Metrics
 	}
 	cells := make([]session, len(cfg.Models))
-	forEachIndex(cfg.workers(), len(cfg.Models), func(i int) {
+	ForEachIndex(cfg.workers(), len(cfg.Models), func(i int) {
 		ds := cfg.Models[i]
-		model := fm.NewGPT4Sim(cfg.Seed+7, cfg.FMErrorRate)
-		res, err := caafe.Run(context.Background(), fact, d.Target, d.Descriptions, model, ds, caafeCfg)
+		// Each session's gateway is scoped by its downstream model: the
+		// sessions start from identically-seeded simulators and reissue
+		// identical prompts on identical frames, so without a scope their
+		// record/replay queues would interleave nondeterministically under
+		// the shared per-cell shard.
+		gw := newScopedGateway(fm.NewGPT4Sim(cfg.Seed+7, cfg.FMErrorRate), "caafe/"+ds, cfg)
+		res, err := caafe.Run(ctx, fact, d.Target, d.Descriptions, gw, ds, caafeCfg)
 		if err != nil {
-			cells[i] = session{runErr: err}
+			cells[i] = session{runErr: err, metrics: gw.Metrics()}
 			return
 		}
-		aucs, failures, evalErr := EvaluateFrame(res.Frame, d.Target, []string{ds}, cfg)
-		cells[i] = session{res: res, aucs: aucs, failures: failures, evalErr: evalErr}
+		aucs, failures, evalErr := EvaluateFrame(ctx, res.Frame, d.Target, []string{ds}, cfg)
+		cells[i] = session{res: res, aucs: aucs, failures: failures, evalErr: evalErr, metrics: gw.Metrics()}
 	})
 
 	for i, ds := range cfg.Models {
 		c := cells[i]
+		out.FMMetrics.Add(c.metrics)
 		if c.runErr != nil {
+			if errors.Is(c.runErr, context.Canceled) || errors.Is(c.runErr, context.DeadlineExceeded) {
+				// An interrupted session is not a model failure: surface the
+				// cancellation as the method error so the grid runner reruns
+				// the cell on resume instead of persisting a bogus "-".
+				out.Err = c.runErr
+				continue
+			}
 			if errors.Is(c.runErr, caafe.ErrTimeout) {
 				out.FailedModels[ds] = "timeout"
 				continue
@@ -196,6 +250,13 @@ func RunCAAFE(d *datasets.Dataset, clean *dataframe.Frame, cfg Config) MethodRes
 			out.Frame = c.res.Frame
 		}
 		if c.evalErr != nil {
+			if errors.Is(c.evalErr, context.Canceled) || errors.Is(c.evalErr, context.DeadlineExceeded) {
+				// Cancellation during the post-session evaluation is an
+				// interruption too, not a model failure — same rule as the
+				// runErr path above, so the cell reruns on resume.
+				out.Err = c.evalErr
+				continue
+			}
 			out.FailedModels[ds] = c.evalErr.Error()
 			continue
 		}
@@ -206,7 +267,7 @@ func RunCAAFE(d *datasets.Dataset, clean *dataframe.Frame, cfg Config) MethodRes
 			out.FailedModels[m] = reason
 		}
 	}
-	if len(out.AUCs) == 0 {
+	if len(out.AUCs) == 0 && out.Err == nil {
 		out.Err = errors.New("caafe: all downstream models failed")
 	}
 	return out
@@ -228,33 +289,23 @@ func trainRows(n int, cfg Config) []int {
 // The five cells (initial + four methods) are independent — every method
 // clones the input frame and builds its own seeded FM simulators — so they
 // fan out on the shared worker pool with results identical to the
-// sequential order.
-func EvalDataset(name string, cfg Config) (*DatasetEval, error) {
+// sequential order (and to per-cell RunCell executions, which reload the
+// same deterministic dataset).
+func EvalDataset(ctx context.Context, name string, cfg Config) (*DatasetEval, error) {
 	d, err := datasets.Load(name, cfg.Seed)
 	if err != nil {
 		return nil, err
 	}
 	clean := d.Frame.DropNA()
 	ev := &DatasetEval{Dataset: name, Methods: make(map[string]MethodResult)}
-	tasks := []func() MethodResult{
-		func() MethodResult {
-			r := MethodResult{Method: MethodInitial}
-			r.AUCs, r.FailedModels, r.Err = EvaluateFrame(clean, d.Target, cfg.Models, cfg)
-			return r
-		},
-		func() MethodResult { return RunSmartfeat(d, clean, cfg, core.AllOperators()) },
-		func() MethodResult { return RunCAAFE(d, clean, cfg) },
-		func() MethodResult { return RunFeaturetools(d, clean, cfg) },
-		func() MethodResult { return RunAutoFeat(d, clean, cfg) },
-	}
-	results := make([]MethodResult, len(tasks))
-	forEachIndex(cfg.workers(), len(tasks), func(i int) {
-		results[i] = tasks[i]()
+	methods := ComparisonMethods()
+	results := make([]MethodResult, len(methods))
+	ForEachIndex(cfg.workers(), len(methods), func(i int) {
+		results[i], _ = runMethodOn(ctx, d, clean, methods[i], cfg)
 	})
 	ev.Initial = results[0]
-	ev.Methods[MethodSmartfeat] = results[1]
-	ev.Methods[MethodCAAFE] = results[2]
-	ev.Methods[MethodFeaturetools] = results[3]
-	ev.Methods[MethodAutoFeat] = results[4]
+	for i, m := range methods[1:] {
+		ev.Methods[m] = results[i+1]
+	}
 	return ev, nil
 }

@@ -14,13 +14,14 @@ func (cfg Config) workers() int {
 	return runtime.GOMAXPROCS(0)
 }
 
-// forEachIndex runs fn(0) … fn(n-1) on a bounded worker pool. Every task
+// ForEachIndex runs fn(0) … fn(n-1) on a bounded worker pool. Every task
 // writes only to its own result slot and derives its randomness from fixed
 // per-task seeds, so the outcome is bit-identical to the sequential order no
 // matter how the pool schedules. With workers ≤ 1 it degenerates to a plain
 // loop (no goroutines) — the sequential reference the equivalence tests pin
-// against.
-func forEachIndex(workers, n int, fn func(int)) {
+// against. Exported for the grid runner, which schedules cells with the
+// same guarantees.
+func ForEachIndex(workers, n int, fn func(int)) {
 	if n <= 0 {
 		return
 	}

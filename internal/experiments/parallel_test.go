@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"reflect"
 	"sync/atomic"
 	"testing"
@@ -23,7 +24,7 @@ func parallelTestConfig() Config {
 func TestForEachIndexCoversAllTasks(t *testing.T) {
 	for _, workers := range []int{1, 3, 16} {
 		var hits [57]int32
-		forEachIndex(workers, len(hits), func(i int) {
+		ForEachIndex(workers, len(hits), func(i int) {
 			atomic.AddInt32(&hits[i], 1)
 		})
 		for i, h := range hits {
@@ -32,7 +33,7 @@ func TestForEachIndexCoversAllTasks(t *testing.T) {
 			}
 		}
 	}
-	forEachIndex(4, 0, func(int) { t.Fatal("no tasks expected") })
+	ForEachIndex(4, 0, func(int) { t.Fatal("no tasks expected") })
 }
 
 // TestParallelHarnessMatchesSequential is the golden-equivalence check for
@@ -46,11 +47,11 @@ func TestParallelHarnessMatchesSequential(t *testing.T) {
 	par := parallelTestConfig()
 	par.Workers = 8
 
-	seqAvg, seqMed, err := RunComparison(names, seq)
+	seqAvg, seqMed, err := RunComparison(context.Background(), names, seq)
 	if err != nil {
 		t.Fatal(err)
 	}
-	parAvg, parMed, err := RunComparison(names, par)
+	parAvg, parMed, err := RunComparison(context.Background(), names, par)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -79,7 +80,7 @@ func TestParallelHarnessMatchesSequential(t *testing.T) {
 // TestEvaluateFrameParallelMatchesSequential pins the per-model pool inside
 // a single frame evaluation.
 func TestEvaluateFrameParallelMatchesSequential(t *testing.T) {
-	ev, err := EvalDataset("Tennis", func() Config {
+	ev, err := EvalDataset(context.Background(), "Tennis", func() Config {
 		cfg := parallelTestConfig()
 		cfg.Workers = 1
 		return cfg
@@ -87,7 +88,7 @@ func TestEvaluateFrameParallelMatchesSequential(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	evPar, err := EvalDataset("Tennis", func() Config {
+	evPar, err := EvalDataset(context.Background(), "Tennis", func() Config {
 		cfg := parallelTestConfig()
 		cfg.Workers = 6
 		return cfg
@@ -112,7 +113,7 @@ func TestRunCAAFEParallelMatchesSequential(t *testing.T) {
 	run := func(workers int) MethodResult {
 		cfg := parallelTestConfig()
 		cfg.Workers = workers
-		return RunCAAFE(d, clean, cfg)
+		return RunCAAFE(context.Background(), d, clean, cfg)
 	}
 	seq := run(1)
 	par := run(6)
@@ -138,7 +139,7 @@ func TestRunCAAFEParallelMatchesSequential(t *testing.T) {
 func TestRunEfficiencyParallelRowOrder(t *testing.T) {
 	cfg := parallelTestConfig()
 	cfg.Workers = 8
-	rows, err := RunEfficiency([]string{"Diabetes"}, cfg)
+	rows, err := RunEfficiency(context.Background(), []string{"Diabetes"}, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -32,54 +33,150 @@ type ComparisonTable struct {
 	Datasets  []string
 	// Initial maps dataset → aggregated initial AUC.
 	Initial map[string]float64
-	// Cells maps method → dataset → value; missing entry = failed ("-").
+	// Cells maps method → dataset → value; a missing entry with no Missing
+	// mark means the method itself failed ("-").
 	Cells map[string]map[string]float64
 	// Partial marks method/dataset cells that did not support all models
 	// (the paper's underline).
 	Partial map[string]map[string]bool
+	// Missing marks grid cells (method → dataset, MethodInitial included)
+	// that produced no result at all, with the scheduling reason: "failed"
+	// (cell infrastructure errored) or "skipped" (never started — fail-fast
+	// or cancellation). Distinct from a method-level "-", which is a real
+	// measured outcome.
+	Missing map[string]map[string]string
 	// Evals keeps the full per-dataset results for downstream analysis.
+	// Entries assembled from on-disk artifacts omit the augmented Frame.
 	Evals map[string]*DatasetEval
 }
 
 // RunComparison evaluates every method on the given datasets and assembles
-// both aggregate views. The (dataset × method) grid fans out on a bounded
-// worker pool (Config.Workers); per-cell seeding keeps every cell
-// bit-identical to the sequential order, and the tables are assembled
-// sequentially afterwards in dataset order.
-func RunComparison(names []string, cfg Config) (avg, median *ComparisonTable, err error) {
-	avg = newComparisonTable("average", names)
-	median = newComparisonTable("median", names)
-	evals := make([]*DatasetEval, len(names))
-	errs := make([]error, len(names))
-	var failed atomic.Bool
-	forEachIndex(cfg.workers(), len(names), func(i int) {
-		// Fail fast: once any dataset errors, skip the cells that have not
-		// started yet instead of training their full method × model grids.
-		if failed.Load() {
-			return
-		}
-		evals[i], errs[i] = EvalDataset(names[i], cfg)
-		if errs[i] != nil {
-			failed.Store(true)
-		}
-	})
-	for _, e := range errs {
-		if e != nil {
-			return nil, nil, e
+// both aggregate views. The (dataset × method) grid fans out cell-by-cell on
+// a bounded worker pool (Config.Workers); per-cell seeding keeps every cell
+// bit-identical to the sequential order, and the tables are a pure fold over
+// the completed cells in dataset order.
+//
+// On failure the partial tables are still returned: the error is a *RunError
+// distinguishing the cells that failed from the ones fail-fast skipped, and
+// the tables mark the same distinction per cell (Missing). Cancelling the
+// context stops scheduling new cells and aborts in-flight FM calls.
+func RunComparison(ctx context.Context, names []string, cfg Config) (avg, median *ComparisonTable, err error) {
+	type ref struct{ dataset, method string }
+	var refs []ref
+	for _, name := range names {
+		for _, m := range ComparisonMethods() {
+			refs = append(refs, ref{name, m})
 		}
 	}
-	for k, name := range names {
-		ev := evals[k]
+	results := make([]MethodResult, len(refs))
+	states := make([]CellState, len(refs))
+	interrupted := make([]bool, len(refs))
+	cellErrs := make([]error, len(refs))
+	var failed atomic.Bool
+	cache := newDatasetCache(cfg.Seed) // one deterministic load per dataset, not per cell
+	ForEachIndex(cfg.workers(), len(refs), func(i int) {
+		// Fail fast: once any cell errors (or the run is cancelled), skip
+		// the cells that have not started yet instead of training their
+		// model grids — but record that they were skipped, not failed.
+		if failed.Load() || ctx.Err() != nil {
+			states[i] = CellSkipped
+			return
+		}
+		res, err := func() (MethodResult, error) {
+			d, clean, err := cache.load(refs[i].dataset)
+			if err != nil {
+				return MethodResult{Method: refs[i].method}, err
+			}
+			return runMethodOn(ctx, d, clean, refs[i].method, cfg)
+		}()
+		switch {
+		case err != nil:
+			states[i] = CellFailed
+			cellErrs[i] = err
+			failed.Store(true)
+		case res.Interrupted():
+			// Folds treat an interrupted cell like a skipped one (no result
+			// either way), but the error report below distinguishes them.
+			states[i] = CellSkipped
+			interrupted[i] = true
+			cellErrs[i] = res.Err
+		default:
+			results[i] = res
+			states[i] = CellCompleted
+		}
+	})
+	byCell := make(map[[2]string]int, len(refs))
+	for i, r := range refs {
+		byCell[[2]string{r.dataset, r.method}] = i
+	}
+	get := func(dataset, method string) (MethodResult, CellState) {
+		i := byCell[[2]string{dataset, method}]
+		return results[i], states[i]
+	}
+	avg, median = ComparisonFromCells(names, cfg, get)
+	runErr := &RunError{Cause: ctx.Err()}
+	for i, r := range refs {
+		switch states[i] {
+		case CellFailed:
+			runErr.Failed = append(runErr.Failed, CellFailure{Dataset: r.dataset, Method: r.method, Err: cellErrs[i]})
+		case CellSkipped:
+			if interrupted[i] {
+				runErr.Interrupted = append(runErr.Interrupted, r.dataset+" × "+r.method)
+				if runErr.Cause == nil {
+					runErr.Cause = cellErrs[i]
+				}
+			} else {
+				runErr.Skipped = append(runErr.Skipped, r.dataset+" × "+r.method)
+			}
+		}
+	}
+	if len(runErr.Failed) > 0 || len(runErr.Skipped) > 0 || len(runErr.Interrupted) > 0 || runErr.Cause != nil {
+		return avg, median, runErr
+	}
+	return avg, median, nil
+}
+
+// ComparisonFromCells assembles Tables 4/5 as a pure fold over per-cell
+// results, in dataset order. get reports each (dataset × method) cell's
+// result and scheduling state; the same fold serves the in-process harness
+// (RunComparison) and the grid engine's on-disk artifacts, so a resumed or
+// replayed run assembles bit-identical tables from whatever mix of live and
+// loaded cells it has.
+func ComparisonFromCells(names []string, cfg Config, get func(dataset, method string) (MethodResult, CellState)) (avg, median *ComparisonTable) {
+	avg = newComparisonTable("average", names)
+	median = newComparisonTable("median", names)
+	markMissing := func(t *ComparisonTable, method, dataset string, state CellState) {
+		reason := "failed"
+		if state == CellSkipped {
+			reason = "skipped"
+		}
+		t.Missing[method][dataset] = reason
+	}
+	for _, name := range names {
+		ev := &DatasetEval{Dataset: name, Methods: make(map[string]MethodResult)}
 		avg.Evals[name] = ev
 		median.Evals[name] = ev
-		if v, ok := ev.Initial.AvgAUC(); ok {
-			avg.Initial[name] = v
-		}
-		if v, ok := ev.Initial.MedianAUC(); ok {
-			median.Initial[name] = v
+		initial, state := get(name, MethodInitial)
+		if state == CellCompleted {
+			ev.Initial = initial
+			if v, ok := initial.AvgAUC(); ok {
+				avg.Initial[name] = v
+			}
+			if v, ok := initial.MedianAUC(); ok {
+				median.Initial[name] = v
+			}
+		} else {
+			markMissing(avg, MethodInitial, name, state)
+			markMissing(median, MethodInitial, name, state)
 		}
 		for _, method := range Methods() {
-			res := ev.Methods[method]
+			res, state := get(name, method)
+			if state != CellCompleted {
+				markMissing(avg, method, name, state)
+				markMissing(median, method, name, state)
+				continue
+			}
+			ev.Methods[method] = res
 			if v, ok := res.AvgAUC(); ok {
 				avg.Cells[method][name] = v
 				avg.Partial[method][name] = !res.SupportsAllModels(cfg.Models)
@@ -90,7 +187,7 @@ func RunComparison(names []string, cfg Config) (avg, median *ComparisonTable, er
 			}
 		}
 	}
-	return avg, median, nil
+	return avg, median
 }
 
 func newComparisonTable(agg string, names []string) *ComparisonTable {
@@ -100,11 +197,14 @@ func newComparisonTable(agg string, names []string) *ComparisonTable {
 		Initial:   make(map[string]float64),
 		Cells:     make(map[string]map[string]float64),
 		Partial:   make(map[string]map[string]bool),
+		Missing:   make(map[string]map[string]string),
 		Evals:     make(map[string]*DatasetEval),
 	}
+	t.Missing[MethodInitial] = make(map[string]string)
 	for _, m := range Methods() {
 		t.Cells[m] = make(map[string]float64)
 		t.Partial[m] = make(map[string]bool)
+		t.Missing[m] = make(map[string]string)
 	}
 	return t
 }
@@ -124,7 +224,11 @@ func (t *ComparisonTable) String() string {
 	b.WriteByte('\n')
 	fmt.Fprintf(&b, "%-14s", MethodInitial)
 	for _, d := range t.Datasets {
-		fmt.Fprintf(&b, " %-18s", fmt.Sprintf("%.2f", t.Initial[d]))
+		cell := fmt.Sprintf("%.2f", t.Initial[d])
+		if mark, miss := t.missMark(MethodInitial, d); miss {
+			cell = mark
+		}
+		fmt.Fprintf(&b, " %-18s", cell)
 	}
 	b.WriteByte('\n')
 	for _, m := range Methods() {
@@ -132,7 +236,11 @@ func (t *ComparisonTable) String() string {
 		for _, d := range t.Datasets {
 			v, ok := t.Cells[m][d]
 			if !ok {
-				fmt.Fprintf(&b, " %-18s", "-")
+				mark := "-"
+				if mm, miss := t.missMark(m, d); miss {
+					mark = mm
+				}
+				fmt.Fprintf(&b, " %-18s", mark)
 				continue
 			}
 			base := t.Initial[d]
@@ -156,8 +264,21 @@ func (t *ComparisonTable) String() string {
 		}
 		b.WriteByte('\n')
 	}
-	b.WriteString("(* = method did not support all ML models on this dataset; '-' = failed/timeout)\n")
+	b.WriteString("(* = method did not support all ML models on this dataset; '-' = method failed/timeout;\n" +
+		" '!' = cell errored before producing a result; '?' = cell skipped, never ran)\n")
 	return b.String()
+}
+
+// missMark returns the render marker for a cell that has no result because
+// it never produced one: '!' for a failed cell, '?' for a skipped one.
+func (t *ComparisonTable) missMark(method, dataset string) (string, bool) {
+	switch t.Missing[method][dataset] {
+	case "failed":
+		return "!", true
+	case "skipped":
+		return "?", true
+	}
+	return "", false
 }
 
 // ImportanceRow is one Table 6 row: the share of top-10 important features
@@ -172,38 +293,47 @@ type ImportanceRow struct {
 
 // Table6FeatureImportance reproduces Table 6 on the named dataset (the paper
 // uses Tennis): for each method, the percentage of new features among the
-// top-10 by information gain, RFE and tree importance.
-func Table6FeatureImportance(dataset string, cfg Config) ([]ImportanceRow, error) {
-	d, err := datasets.Load(dataset, cfg.Seed)
-	if err != nil {
-		return nil, err
-	}
-	clean := d.Frame.DropNA()
-	type applied struct {
-		name string
-		res  MethodResult
-	}
-	runs := []applied{
-		{MethodSmartfeat, RunSmartfeat(d, clean, cfg, core.AllOperators())},
-		{MethodCAAFE, RunCAAFE(d, clean, cfg)},
-		{MethodFeaturetools, RunFeaturetools(d, clean, cfg)},
-		{MethodAutoFeat, RunAutoFeat(d, clean, cfg)},
-	}
-	var rows []ImportanceRow
-	for _, r := range runs {
-		row := ImportanceRow{Method: r.name, Generated: r.res.Generated}
-		if r.res.Frame == nil || len(r.res.NewColumns) == 0 {
-			rows = append(rows, row)
-			continue
-		}
-		ig, rfe, fi, err := table6ForFrame(r.res.Frame, d.Target, r.res.NewColumns, cfg.Seed)
+// top-10 by information gain, RFE and tree importance — a fold over the
+// per-method Table6Cell results.
+func Table6FeatureImportance(ctx context.Context, dataset string, cfg Config) ([]ImportanceRow, error) {
+	rows := make([]ImportanceRow, 0, len(Methods()))
+	for _, m := range Methods() {
+		row, err := Table6Cell(ctx, dataset, m, cfg)
 		if err != nil {
 			return nil, err
 		}
-		row.IGAt10, row.RFEAt10, row.FIAt10 = ig, rfe, fi
 		rows = append(rows, row)
 	}
 	return rows, nil
+}
+
+// Table6Cell computes one method's Table 6 row: run the method, then rank the
+// augmented frame's features and measure the share of generated ones in the
+// top-10 under each selection metric. The ranking happens inside the cell —
+// the resulting row is a small self-contained artifact that never needs the
+// augmented frame again.
+func Table6Cell(ctx context.Context, dataset, method string, cfg Config) (ImportanceRow, error) {
+	d, err := datasets.Load(dataset, cfg.Seed)
+	if err != nil {
+		return ImportanceRow{}, err
+	}
+	res, err := runMethodOn(ctx, d, d.Frame.DropNA(), method, cfg)
+	if err != nil {
+		return ImportanceRow{}, err
+	}
+	if res.Interrupted() {
+		return ImportanceRow{}, res.Err
+	}
+	row := ImportanceRow{Method: method, Generated: res.Generated}
+	if res.Frame == nil || len(res.NewColumns) == 0 {
+		return row, nil
+	}
+	ig, rfe, fi, err := table6ForFrame(res.Frame, d.Target, res.NewColumns, cfg.Seed)
+	if err != nil {
+		return ImportanceRow{}, err
+	}
+	row.IGAt10, row.RFEAt10, row.FIAt10 = ig, rfe, fi
+	return row, nil
 }
 
 // table6ForFrame computes the three @10 shares given the augmented frame and
@@ -264,50 +394,79 @@ type AblationRow struct {
 	Avg    float64
 }
 
+// Table7Configs lists the ablation configurations in table column order.
+func Table7Configs() []string {
+	return []string{"Initial", "+Unary", "+Binary", "+High-order", "+Extractor", "all"}
+}
+
+// table7OperatorSet maps a Table 7 configuration name to its operator set
+// (nil = the initial, un-engineered frame).
+func table7OperatorSet(name string) (*core.OperatorSet, error) {
+	switch name {
+	case "Initial":
+		return nil, nil
+	case "+Unary":
+		return &core.OperatorSet{Unary: true}, nil
+	case "+Binary":
+		return &core.OperatorSet{Binary: true}, nil
+	case "+High-order":
+		return &core.OperatorSet{HighOrder: true}, nil
+	case "+Extractor":
+		return &core.OperatorSet{Extractor: true}, nil
+	case "all":
+		s := core.AllOperators()
+		return &s, nil
+	}
+	return nil, fmt.Errorf("experiments: unknown Table 7 configuration %q", name)
+}
+
 // Table7OperatorAblation reproduces Table 7 on the named dataset (Tennis in
-// the paper): Initial, +Unary, +Binary, +High-order, +Extractor, and all.
-func Table7OperatorAblation(dataset string, cfg Config) ([]AblationRow, error) {
-	d, err := datasets.Load(dataset, cfg.Seed)
-	if err != nil {
-		return nil, err
-	}
-	clean := d.Frame.DropNA()
-	configs := []struct {
-		name string
-		ops  *core.OperatorSet
-	}{
-		{"Initial", nil},
-		{"+Unary", &core.OperatorSet{Unary: true}},
-		{"+Binary", &core.OperatorSet{Binary: true}},
-		{"+High-order", &core.OperatorSet{HighOrder: true}},
-		{"+Extractor", &core.OperatorSet{Extractor: true}},
-		{"all", func() *core.OperatorSet { s := core.AllOperators(); return &s }()},
-	}
-	var rows []AblationRow
-	for _, c := range configs {
-		row := AblationRow{Config: c.name}
-		if c.ops == nil {
-			aucs, _, err := EvaluateFrame(clean, d.Target, cfg.Models, cfg)
-			if err != nil {
-				return nil, err
-			}
-			row.AUCs = aucs
-		} else {
-			res := RunSmartfeat(d, clean, cfg, *c.ops)
-			if res.Err != nil {
-				return nil, res.Err
-			}
-			row.AUCs = res.AUCs
+// the paper): Initial, +Unary, +Binary, +High-order, +Extractor, and all —
+// a fold over the per-configuration Table7Cell results.
+func Table7OperatorAblation(ctx context.Context, dataset string, cfg Config) ([]AblationRow, error) {
+	rows := make([]AblationRow, 0, len(Table7Configs()))
+	for _, c := range Table7Configs() {
+		row, err := Table7Cell(ctx, dataset, c, cfg)
+		if err != nil {
+			return nil, err
 		}
-		// Average in sorted model order so the cell is bit-stable run to run.
-		vals := make([]float64, 0, len(row.AUCs))
-		for _, name := range sortedModelNames(row.AUCs) {
-			vals = append(vals, row.AUCs[name])
-		}
-		row.Avg = metrics.Mean(vals)
 		rows = append(rows, row)
 	}
 	return rows, nil
+}
+
+// Table7Cell computes one ablation configuration's column.
+func Table7Cell(ctx context.Context, dataset, config string, cfg Config) (AblationRow, error) {
+	ops, err := table7OperatorSet(config)
+	if err != nil {
+		return AblationRow{}, err
+	}
+	d, err := datasets.Load(dataset, cfg.Seed)
+	if err != nil {
+		return AblationRow{}, err
+	}
+	clean := d.Frame.DropNA()
+	row := AblationRow{Config: config}
+	if ops == nil {
+		aucs, _, err := EvaluateFrame(ctx, clean, d.Target, cfg.Models, cfg)
+		if err != nil {
+			return AblationRow{}, err
+		}
+		row.AUCs = aucs
+	} else {
+		res := RunSmartfeat(ctx, d, clean, cfg, *ops)
+		if res.Err != nil {
+			return AblationRow{}, res.Err
+		}
+		row.AUCs = res.AUCs
+	}
+	// Average in sorted model order so the cell is bit-stable run to run.
+	vals := make([]float64, 0, len(row.AUCs))
+	for _, name := range sortedModelNames(row.AUCs) {
+		vals = append(vals, row.AUCs[name])
+	}
+	row.Avg = metrics.Mean(vals)
+	return row, nil
 }
 
 // Table7String renders the ablation in the paper's layout (models as rows,

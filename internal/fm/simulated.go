@@ -116,7 +116,7 @@ func (s *Simulated) answer(prompt string) (string, error) {
 			// row-level runs deterministic end to end.
 			key := fmt.Sprintf("%d|%s", s.cfg.Seed, prompt)
 			if hashFrac(key) < s.cfg.ErrorRate {
-				return corruptedVariant(int(3 * hashFrac("variant|" + key))), nil
+				return corruptedVariant(int(3 * hashFrac("variant|"+key))), nil
 			}
 		} else if s.rng.Float64() < s.cfg.ErrorRate {
 			return s.corrupted(fields), nil

@@ -39,6 +39,15 @@ import (
 type Options struct {
 	// Concurrency bounds in-flight upstream model calls (default 8).
 	Concurrency int
+	// Scope namespaces the gateway's content addresses (cache keys and
+	// record/replay store keys). Gateways sharing one Store but serving
+	// logically independent call sequences — e.g. the per-downstream-model
+	// CAAFE sessions inside one grid cell, which reissue identical prompts
+	// from identically-seeded simulators — set distinct scopes so replay
+	// pops each session's own recorded queue in its own order instead of
+	// interleaving across sessions. Empty keeps the historical unscoped
+	// keys (recordings made before scopes existed stay replayable).
+	Scope string
 	// CacheSize is the LRU capacity in completions; 0 disables caching.
 	CacheSize int
 	// Cacheable gates which prompts may be cached and deduplicated.
@@ -89,6 +98,17 @@ func (m Metrics) String() string {
 
 // Saved reports how many completions were served without an upstream call.
 func (m Metrics) Saved() int64 { return m.CacheHits + m.InflightShares + m.Replayed }
+
+// Add merges another snapshot into m (aggregating across gateways).
+func (m *Metrics) Add(o Metrics) {
+	m.Requests += o.Requests
+	m.UpstreamCalls += o.UpstreamCalls
+	m.CacheHits += o.CacheHits
+	m.InflightShares += o.InflightShares
+	m.Replayed += o.Replayed
+	m.Retries += o.Retries
+	m.Errors += o.Errors
+}
 
 // call is one in-flight upstream completion that concurrent identical
 // prompts can share.
@@ -148,9 +168,14 @@ func (g *Gateway) Usage() fm.Usage { return g.model.Usage() }
 func (g *Gateway) ResetUsage() { g.model.ResetUsage() }
 
 // Key returns the content address of a prompt for this gateway's model: the
-// cache key and the record/replay store key.
+// cache key and the record/replay store key. A non-empty Options.Scope is
+// mixed in, so scoped gateways sharing one store never collide.
 func (g *Gateway) Key(prompt string) string {
-	h := sha256.Sum256([]byte(g.model.Name() + "\x00" + prompt))
+	s := g.model.Name() + "\x00" + prompt
+	if g.opts.Scope != "" {
+		s = g.opts.Scope + "\x00" + s
+	}
+	h := sha256.Sum256([]byte(s))
 	return hex.EncodeToString(h[:16])
 }
 
@@ -189,11 +214,17 @@ func (g *Gateway) complete(ctx context.Context, prompt string) (text string, cac
 	shareable := g.opts.Cacheable(prompt)
 
 	if g.opts.Replay {
-		text, ok := g.opts.Store.replay(key, shareable)
+		text, rerr, ok := g.opts.Store.replay(key, shareable)
 		if !ok {
 			return "", false, fmt.Errorf("fmgate: replay miss for prompt %s (%s)", key, firstLine(prompt))
 		}
 		g.bump(func(m *Metrics) { m.Replayed++ })
+		if rerr != nil {
+			// A recorded upstream failure: reproduce it so the caller's
+			// error-threshold logic sees the same sequence the recording
+			// run did.
+			return "", true, rerr
+		}
 		return text, true, nil
 	}
 
@@ -272,10 +303,19 @@ func (g *Gateway) callUpstream(ctx context.Context, key, prompt string) (string,
 		}
 	}
 	if err != nil {
+		// Record upstream failures too (but never the caller's own
+		// cancellation, which says nothing about the model): the simulators
+		// legitimately error on structurally-impossible prompts, and replay
+		// must reproduce those outcomes in sequence rather than miss.
+		if g.opts.Store != nil && ctx.Err() == nil {
+			if serr := g.opts.Store.record(key, prompt, "", err.Error()); serr != nil {
+				return "", fmt.Errorf("fmgate: recording upstream error: %w", serr)
+			}
+		}
 		return "", err
 	}
 	if g.opts.Store != nil {
-		if serr := g.opts.Store.record(key, prompt, text); serr != nil {
+		if serr := g.opts.Store.record(key, prompt, text, ""); serr != nil {
 			return "", fmt.Errorf("fmgate: recording completion: %w", serr)
 		}
 	}

@@ -61,14 +61,7 @@ func (r *Router) Usage() fm.Usage {
 func (r *Router) Metrics() Metrics {
 	var total Metrics
 	for _, role := range r.order {
-		m := r.gates[role].Metrics()
-		total.Requests += m.Requests
-		total.UpstreamCalls += m.UpstreamCalls
-		total.CacheHits += m.CacheHits
-		total.InflightShares += m.InflightShares
-		total.Replayed += m.Replayed
-		total.Retries += m.Retries
-		total.Errors += m.Errors
+		total.Add(r.gates[role].Metrics())
 	}
 	return total
 }

@@ -2,6 +2,7 @@ package fmgate
 
 import (
 	"bufio"
+	"bytes"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -12,10 +13,16 @@ import (
 // storeEntry is one recorded completion, serialized as a JSON line. The
 // prompt's first line is kept for human inspection of recordings; the key is
 // the content address (model name + full prompt) the gateway looks up by.
+// Error records an upstream *failure* for that prompt — the simulators
+// legitimately error on structurally-impossible requests (no valid group-by
+// keys, not enough numeric attributes), and the error-threshold logic
+// downstream counts those, so a faithful replay must reproduce them in
+// sequence rather than miss.
 type storeEntry struct {
 	Key      string `json:"key"`
 	Prompt   string `json:"prompt,omitempty"`
-	Response string `json:"response"`
+	Response string `json:"response,omitempty"`
+	Error    string `json:"error,omitempty"`
 }
 
 // Store is the on-disk record/replay store. One recorded run of a pipeline
@@ -32,7 +39,7 @@ type Store struct {
 	mu      sync.Mutex
 	w       *bufio.Writer
 	closer  io.Closer
-	queues  map[string][]string
+	queues  map[string][]replayEntry
 	cursors map[string]int
 }
 
@@ -46,31 +53,54 @@ func NewRecordStore(path string) (*Store, error) {
 }
 
 // OpenReplayStore loads a recording for replay.
+//
+// Every line must be a complete JSON record terminated by a newline. A final
+// line without its newline is the signature of a recording run that crashed
+// (or was killed) mid-write: if that trailing fragment is not itself valid
+// JSON it is reported as a truncated record — naming the interrupted
+// recording as the likely cause — instead of being silently dropped or
+// surfaced as a generic parse error.
 func OpenReplayStore(path string) (*Store, error) {
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, fmt.Errorf("fmgate: opening recording: %w", err)
 	}
 	defer f.Close()
-	s := &Store{queues: make(map[string][]string), cursors: make(map[string]int)}
-	sc := bufio.NewScanner(f)
-	sc.Buffer(make([]byte, 0, 1<<16), 1<<24)
+	s := &Store{queues: make(map[string][]replayEntry), cursors: make(map[string]int)}
+	r := bufio.NewReaderSize(f, 1<<16)
 	line := 0
-	for sc.Scan() {
-		line++
-		if len(sc.Bytes()) == 0 {
-			continue
+	for {
+		raw, readErr := r.ReadBytes('\n')
+		if len(raw) > 0 {
+			line++
+			terminated := raw[len(raw)-1] == '\n'
+			data := bytes.TrimRight(raw, "\r\n")
+			if len(data) > 0 {
+				var e storeEntry
+				if err := json.Unmarshal(data, &e); err != nil {
+					if !terminated && readErr == io.EOF {
+						return nil, fmt.Errorf("fmgate: recording %s line %d: truncated trailing record (interrupted recording run?): %w", path, line, err)
+					}
+					return nil, fmt.Errorf("fmgate: recording %s line %d: %w", path, line, err)
+				}
+				s.queues[e.Key] = append(s.queues[e.Key], replayEntry{response: e.Response, err: e.Error})
+			}
 		}
-		var e storeEntry
-		if err := json.Unmarshal(sc.Bytes(), &e); err != nil {
-			return nil, fmt.Errorf("fmgate: recording %s line %d: %w", path, line, err)
+		if readErr == io.EOF {
+			break
 		}
-		s.queues[e.Key] = append(s.queues[e.Key], e.Response)
-	}
-	if err := sc.Err(); err != nil {
-		return nil, fmt.Errorf("fmgate: reading recording: %w", err)
+		if readErr != nil {
+			return nil, fmt.Errorf("fmgate: reading recording: %w", readErr)
+		}
 	}
 	return s, nil
+}
+
+// replayEntry is one queued replay outcome: a response or a recorded
+// upstream error.
+type replayEntry struct {
+	response string
+	err      string
 }
 
 // Len reports how many completions the store holds (replay) or has written
@@ -85,14 +115,14 @@ func (s *Store) Len() int {
 	return n
 }
 
-// record appends one completion (record mode).
-func (s *Store) record(key, prompt, response string) error {
+// record appends one completion or upstream error (record mode).
+func (s *Store) record(key, prompt, response, errMsg string) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.w == nil {
 		return nil // replay-mode store attached to a recording gateway: ignore
 	}
-	b, err := json.Marshal(storeEntry{Key: key, Prompt: firstLine(prompt), Response: response})
+	b, err := json.Marshal(storeEntry{Key: key, Prompt: firstLine(prompt), Response: response, Error: errMsg})
 	if err != nil {
 		return err
 	}
@@ -104,33 +134,38 @@ func (s *Store) record(key, prompt, response string) error {
 	return s.w.Flush()
 }
 
-// replay pops the next recorded response for the key. sticky controls the
+// replay pops the next recorded outcome for the key — a response, or the
+// recorded upstream error (replayed faithfully so error-threshold logic
+// counts the same failures the recording run saw). sticky controls the
 // exhausted-queue behaviour: cacheable (deterministic) prompts stick at the
-// last response — the recording run may have served later repeats from its
+// last outcome — the recording run may have served later repeats from its
 // cache, and the repeat is exactly what a deterministic FM returns — while
 // non-cacheable sampling prompts miss once the queue runs dry, because each
 // recorded entry stands for a distinct draw and serving one twice would
 // silently fabricate duplicate candidates.
-func (s *Store) replay(key string, sticky bool) (string, bool) {
+func (s *Store) replay(key string, sticky bool) (string, error, bool) {
 	if s == nil {
-		return "", false
+		return "", nil, false
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	q, ok := s.queues[key]
 	if !ok || len(q) == 0 {
-		return "", false
+		return "", nil, false
 	}
 	i := s.cursors[key]
 	if i >= len(q) {
 		if !sticky {
-			return "", false
+			return "", nil, false
 		}
 		i = len(q) - 1
 	} else {
 		s.cursors[key] = i + 1
 	}
-	return q[i], true
+	if q[i].err != "" {
+		return "", fmt.Errorf("fmgate: replayed upstream error: %s", q[i].err), true
+	}
+	return q[i].response, nil, true
 }
 
 // Close flushes and closes the recording file (no-op for replay stores).

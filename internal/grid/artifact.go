@@ -1,0 +1,124 @@
+package grid
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"smartfeat/internal/experiments"
+	"smartfeat/internal/fm"
+	"smartfeat/internal/fmgate"
+	"smartfeat/internal/jsonio"
+)
+
+// artifactVersion is the on-disk artifact format version.
+const artifactVersion = 1
+
+// Artifact is the serialized outcome of one completed cell — everything the
+// table folds need, and nothing they don't: the augmented frames are
+// deliberately omitted (cells that need feature rankings, like Table 6,
+// compute them in-cell and persist only the resulting row).
+type Artifact struct {
+	Version    int    `json:"version"`
+	Cell       Cell   `json:"cell"`
+	Kind       string `json:"kind"` // "method", "table6", "table7", "figure1"
+	ConfigHash string `json:"config_hash"`
+
+	// Exactly one of the payloads below is set, per Kind.
+	Method  *MethodArtifact              `json:"method,omitempty"`
+	Table6  *experiments.ImportanceRow   `json:"table6,omitempty"`
+	Table7  *experiments.AblationRow     `json:"table7,omitempty"`
+	Figure1 *experiments.InteractionCost `json:"figure1,omitempty"`
+}
+
+// MethodArtifact is the serializable slice of an experiments.MethodResult.
+type MethodArtifact struct {
+	AUCs         map[string]float64 `json:"aucs,omitempty"`
+	FailedModels map[string]string  `json:"failed_models,omitempty"`
+	Err          string             `json:"err,omitempty"`
+	Generated    int                `json:"generated,omitempty"`
+	Selected     int                `json:"selected,omitempty"`
+	NewColumns   []string           `json:"new_columns,omitempty"`
+	ElapsedNS    time.Duration      `json:"elapsed_ns,omitempty"`
+	FMUsage      fm.Usage           `json:"fm_usage"`
+	FMMetrics    fmgate.Metrics     `json:"fm_metrics"`
+}
+
+// newMethodArtifact flattens a method result for serialization.
+func newMethodArtifact(r experiments.MethodResult) *MethodArtifact {
+	a := &MethodArtifact{
+		AUCs:         r.AUCs,
+		FailedModels: r.FailedModels,
+		Generated:    r.Generated,
+		Selected:     r.Selected,
+		NewColumns:   r.NewColumns,
+		ElapsedNS:    r.Elapsed,
+		FMUsage:      r.FMUsage,
+		FMMetrics:    r.FMMetrics,
+	}
+	if r.Err != nil {
+		a.Err = r.Err.Error()
+	}
+	return a
+}
+
+// Result rehydrates the method result (Frame-less; Err as an opaque error).
+func (a *MethodArtifact) Result(method string) experiments.MethodResult {
+	r := experiments.MethodResult{
+		Method:       method,
+		AUCs:         a.AUCs,
+		FailedModels: a.FailedModels,
+		Generated:    a.Generated,
+		Selected:     a.Selected,
+		NewColumns:   a.NewColumns,
+		Elapsed:      a.ElapsedNS,
+		FMUsage:      a.FMUsage,
+		FMMetrics:    a.FMMetrics,
+	}
+	if a.Err != "" {
+		r.Err = errors.New(a.Err)
+	}
+	return r
+}
+
+// artifactPath is the cell's artifact file inside a run directory.
+func artifactPath(dir string, c Cell) string {
+	return filepath.Join(dir, c.Key()+".json")
+}
+
+// WriteArtifact atomically persists a cell artifact (temp file + rename): a
+// run killed mid-write never leaves a half-written artifact for resume to
+// trip over.
+func WriteArtifact(dir string, a *Artifact) error {
+	a.Version = artifactVersion
+	if err := jsonio.WriteAtomic(artifactPath(dir, a.Cell), a); err != nil {
+		return fmt.Errorf("grid: artifact %s: %w", a.Cell, err)
+	}
+	return nil
+}
+
+// ReadArtifact loads a cell's artifact. A missing file returns os.ErrNotExist
+// (the cell simply has not completed); a version or config-hash mismatch is a
+// hard error — resuming a run under a drifted configuration would silently
+// mix incomparable cells.
+func ReadArtifact(dir string, c Cell, wantConfigHash string) (*Artifact, error) {
+	raw, err := os.ReadFile(artifactPath(dir, c))
+	if err != nil {
+		return nil, err
+	}
+	var a Artifact
+	if err := json.Unmarshal(raw, &a); err != nil {
+		return nil, fmt.Errorf("grid: parsing artifact %s: %w", artifactPath(dir, c), err)
+	}
+	if a.Version != artifactVersion {
+		return nil, fmt.Errorf("grid: artifact %s has version %d, want %d", artifactPath(dir, c), a.Version, artifactVersion)
+	}
+	if wantConfigHash != "" && a.ConfigHash != wantConfigHash {
+		return nil, fmt.Errorf("grid: artifact %s was produced under config %s, this run is %s — start a fresh run directory",
+			artifactPath(dir, c), a.ConfigHash, wantConfigHash)
+	}
+	return &a, nil
+}

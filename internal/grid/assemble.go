@@ -1,0 +1,96 @@
+package grid
+
+import (
+	"strconv"
+
+	"smartfeat/internal/experiments"
+)
+
+// methodCellState maps a cell's outcome to the experiments fold vocabulary.
+func (r *RunResult) methodCellState(dataset, method string) (experiments.MethodResult, experiments.CellState) {
+	o := r.outcome(Cell{Dataset: dataset, Method: method})
+	if o == nil {
+		return experiments.MethodResult{}, experiments.CellSkipped
+	}
+	switch o.Status {
+	case StatusCompleted, StatusResumed:
+		if o.Artifact == nil || o.Artifact.Method == nil {
+			return experiments.MethodResult{}, experiments.CellFailed
+		}
+		return o.Artifact.Method.Result(method), experiments.CellCompleted
+	case StatusFailed:
+		return experiments.MethodResult{}, experiments.CellFailed
+	default: // skipped, interrupted
+		return experiments.MethodResult{}, experiments.CellSkipped
+	}
+}
+
+// Comparison folds Tables 4/5 over the plan's completed comparison cells.
+// Failed and skipped cells surface as the tables' distinct miss markers.
+func (r *RunResult) Comparison(datasets []string, cfg experiments.Config) (avg, median *experiments.ComparisonTable) {
+	return experiments.ComparisonFromCells(datasets, cfg, r.methodCellState)
+}
+
+// Efficiency folds the per-method timing/traffic table from the comparison
+// cells' artifacts — the per-cell cost accounting of a recorded, replayed or
+// resumed run, without re-executing anything. Cells without artifacts are
+// left out.
+func (r *RunResult) Efficiency(datasets []string) []experiments.EfficiencyRow {
+	return experiments.EfficiencyFromCells(datasets, func(dataset, method string) (experiments.MethodResult, bool) {
+		res, state := r.methodCellState(dataset, method)
+		return res, state == experiments.CellCompleted
+	})
+}
+
+// Table6 folds the feature-importance table from the per-method table6
+// cells. ok is false unless every method's cell completed.
+func (r *RunResult) Table6(dataset string) ([]experiments.ImportanceRow, bool) {
+	rows := make([]experiments.ImportanceRow, 0, len(experiments.Methods()))
+	for _, m := range experiments.Methods() {
+		art, found := r.Artifact(Cell{Dataset: dataset, Method: prefixTable6 + m})
+		if !found || art.Table6 == nil {
+			return nil, false
+		}
+		rows = append(rows, *art.Table6)
+	}
+	return rows, true
+}
+
+// Table7 folds the operator ablation from the per-configuration cells.
+func (r *RunResult) Table7(dataset string) ([]experiments.AblationRow, bool) {
+	rows := make([]experiments.AblationRow, 0, len(experiments.Table7Configs()))
+	for _, c := range experiments.Table7Configs() {
+		art, found := r.Artifact(Cell{Dataset: dataset, Method: prefixTable7 + c})
+		if !found || art.Table7 == nil {
+			return nil, false
+		}
+		rows = append(rows, *art.Table7)
+	}
+	return rows, true
+}
+
+// Figure1 folds the interaction-cost series from the per-size cells.
+func (r *RunResult) Figure1(sizes []int) ([]experiments.InteractionCost, bool) {
+	points := make([]experiments.InteractionCost, 0, len(sizes))
+	for _, n := range sizes {
+		art, found := r.Artifact(Cell{Dataset: experiments.Figure1Dataset, Method: prefixFigure1 + strconv.Itoa(n)})
+		if !found || art.Figure1 == nil {
+			return nil, false
+		}
+		points = append(points, *art.Figure1)
+	}
+	return points, true
+}
+
+// Descriptions folds the §4.2 feature-description ablation from its two
+// cells.
+func (r *RunResult) Descriptions(dataset string) (*experiments.DescriptionsAblation, bool) {
+	full, okFull := r.Artifact(Cell{Dataset: dataset, Method: descriptionsWith})
+	names, okNames := r.Artifact(Cell{Dataset: dataset, Method: descriptionsNames})
+	if !okFull || !okNames || full.Method == nil || names.Method == nil {
+		return nil, false
+	}
+	return experiments.DescriptionsAblationFromCells(dataset,
+		full.Method.Result(experiments.MethodSmartfeat),
+		names.Method.Result(experiments.MethodSmartfeat)), true
+}

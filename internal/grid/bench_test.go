@@ -1,0 +1,137 @@
+package grid
+
+import (
+	"context"
+	"fmt"
+	"testing"
+
+	"smartfeat/internal/experiments"
+	"smartfeat/internal/fm"
+	"smartfeat/internal/fmgate"
+)
+
+// benchArtifact is a representative comparison-cell artifact: five model
+// AUCs, a few generated columns, full FM accounting.
+func benchArtifact() *Artifact {
+	return &Artifact{
+		Cell:       Cell{Dataset: "Bank", Method: experiments.MethodSmartfeat},
+		Kind:       "method",
+		ConfigHash: "0123456789abcdef",
+		Method: &MethodArtifact{
+			AUCs:         map[string]float64{"LR": 88.1, "NB": 84.2, "RF": 90.3, "ET": 89.9, "DNN": 87.5},
+			FailedModels: map[string]string{},
+			Generated:    23,
+			Selected:     9,
+			NewColumns:   []string{"Bucketize_Age", "Ratio_Balance_Duration", "GroupBy_Job_Mean_Balance"},
+			ElapsedNS:    123456789,
+			FMUsage:      fm.Usage{Calls: 41, PromptTokens: 9000, CompletionTokens: 2100, SimCostUSD: 0.41},
+			FMMetrics:    fmgate.Metrics{Requests: 41, UpstreamCalls: 30, CacheHits: 11},
+		},
+	}
+}
+
+// BenchmarkArtifactWrite measures serializing + atomically committing one
+// cell artifact — the per-cell overhead the grid engine adds to every
+// completed cell.
+func BenchmarkArtifactWrite(b *testing.B) {
+	dir := b.TempDir()
+	art := benchArtifact()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := WriteArtifact(dir, art); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkArtifactRead measures loading one artifact — the per-cell cost of
+// -resume.
+func BenchmarkArtifactRead(b *testing.B) {
+	dir := b.TempDir()
+	art := benchArtifact()
+	if err := WriteArtifact(dir, art); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ReadArtifact(dir, art.Cell, art.ConfigHash); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkManifestSave measures the per-cell manifest rewrite at full-grid
+// size (8 datasets × 5 methods plus the auxiliary cells).
+func BenchmarkManifestSave(b *testing.B) {
+	dir := b.TempDir()
+	m := newManifest("bench", "0123456789abcdef", 2024)
+	for d := 0; d < 8; d++ {
+		for _, method := range experiments.ComparisonMethods() {
+			c := Cell{Dataset: fmt.Sprintf("dataset-%d", d), Method: method}
+			m.Cells[c.Key()] = CellRecord{Status: "completed", FinishedAt: "2026-07-29T00:00:00Z"}
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := m.save(dir); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkGridResume measures a full resume pass over a 40-cell run
+// directory: manifest load + every artifact read + fold into Tables 4/5 —
+// the fixed cost of restarting an interrupted full-grid run.
+func BenchmarkGridResume(b *testing.B) {
+	cfg := experiments.QuickConfig()
+	dir := b.TempDir()
+	var names []string
+	for d := 0; d < 8; d++ {
+		names = append(names, fmt.Sprintf("dataset-%d", d))
+	}
+	plan := ComparisonPlan(names, nil)
+	for _, c := range plan {
+		art := benchArtifact()
+		art.Cell = c
+		art.ConfigHash = cfg.Fingerprint()
+		if err := WriteArtifact(dir, art); err != nil {
+			b.Fatal(err)
+		}
+	}
+	m := newManifest("bench", cfg.Fingerprint(), cfg.Seed)
+	if err := m.save(dir); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r := &Runner{Config: cfg, Dir: dir, Resume: true}
+		res, err := r.Run(context.Background(), plan)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if c := res.Counts(); c[StatusResumed] != len(plan) {
+			b.Fatalf("counts = %v", c)
+		}
+		avg, _ := res.Comparison(names, cfg)
+		if avg == nil {
+			b.Fatal("no fold")
+		}
+	}
+	b.ReportMetric(float64(len(plan)), "cells/op")
+}
+
+// BenchmarkStoreSetShard measures opening a shard in record mode (file
+// create + manifest rewrite) — the per-cell setup cost of -fm-record.
+func BenchmarkStoreSetShard(b *testing.B) {
+	set, err := fmgate.NewRecordStoreSet(b.TempDir(), fmgate.StoreSetManifest{ConfigHash: "bench"})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer set.Close()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := set.Shard(fmt.Sprintf("cell-%d", i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

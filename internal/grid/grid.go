@@ -1,0 +1,141 @@
+// Package grid is the resumable run engine for the paper's evaluation grid.
+// The experiments package knows how to execute one *cell* — one
+// (dataset × method) unit of Tables 4/5 and the efficiency study, one
+// per-method Table 6 row, one Table 7 ablation column, one Figure 1 size
+// point — and how to fold completed cells back into tables. This package
+// owns everything between those two layers:
+//
+//   - a Runner that schedules cells on a bounded worker pool with per-cell
+//     seeding (bit-identical to sequential execution at any worker count),
+//     fail-fast that distinguishes failed from skipped cells, and prompt
+//     reaction to cancellation;
+//   - a run directory (runs/<name>/): one JSON artifact per completed cell
+//     (<dataset>__<method>.json) plus a manifest recording the config hash
+//     and per-cell status, so an interrupted run resumes incrementally —
+//     completed cells load from disk, everything else reruns;
+//   - per-cell FM record/replay via fmgate.StoreSet: each cell's foundation-
+//     model traffic lands in its own shard (fm/<dataset>__<method>.jsonl),
+//     so one recorded grid run replays any subset — a single cell included —
+//     at zero simulated cost.
+//
+// Tables and figures are assembled as pure folds over completed artifacts
+// (see RunResult's accessors), so a resumed, replayed or partially-failed
+// run renders exactly the cells it has.
+package grid
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"smartfeat/internal/experiments"
+)
+
+// Cell identifies one unit of the evaluation grid. Dataset names a built-in
+// dataset ("Tennis") or a pseudo-dataset scope; Method is either a
+// comparison method ("SMARTFEAT", "Initial AUC", …) or a prefixed auxiliary
+// cell kind ("table6:SMARTFEAT", "table7:+Unary", "figure1:1000",
+// "descriptions:with").
+type Cell struct {
+	Dataset string `json:"dataset"`
+	Method  string `json:"method"`
+}
+
+// String renders the cell for humans and error messages.
+func (c Cell) String() string { return c.Dataset + " × " + c.Method }
+
+// Key is the cell's filesystem-safe identity: artifact filenames
+// (<key>.json) and FM shard filenames (<key>.jsonl) both derive from it.
+func (c Cell) Key() string { return sanitize(c.Dataset) + "__" + sanitize(c.Method) }
+
+// sanitize maps a name component onto the filesystem-safe alphabet; every
+// byte outside it becomes '-'. The substitution is lossy in principle (two
+// methods differing only in ':' vs ' ' would share a key), so Runner.Run
+// rejects plans whose cells collide on Key() rather than letting their
+// artifacts or shards silently overwrite each other.
+func sanitize(s string) string {
+	var b strings.Builder
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9',
+			c == '.', c == '_', c == '+', c == '-':
+			b.WriteByte(c)
+		default:
+			b.WriteByte('-')
+		}
+	}
+	return b.String()
+}
+
+// Auxiliary-cell method prefixes.
+const (
+	prefixTable6       = "table6:"
+	prefixTable7       = "table7:"
+	prefixFigure1      = "figure1:"
+	prefixDescriptions = "descriptions:"
+
+	descriptionsWith  = prefixDescriptions + "with"
+	descriptionsNames = prefixDescriptions + "names-only"
+)
+
+// ComparisonPlan spans the full (dataset × method) comparison grid: for each
+// dataset, the initial evaluation plus every method, in table order. methods
+// restricts the method set (nil = all of experiments.ComparisonMethods).
+func ComparisonPlan(datasets, methods []string) []Cell {
+	if methods == nil {
+		methods = experiments.ComparisonMethods()
+	}
+	cells := make([]Cell, 0, len(datasets)*len(methods))
+	for _, d := range datasets {
+		for _, m := range methods {
+			cells = append(cells, Cell{Dataset: d, Method: m})
+		}
+	}
+	return cells
+}
+
+// Table6Plan spans the per-method feature-importance cells on one dataset.
+func Table6Plan(dataset string) []Cell {
+	cells := make([]Cell, 0, len(experiments.Methods()))
+	for _, m := range experiments.Methods() {
+		cells = append(cells, Cell{Dataset: dataset, Method: prefixTable6 + m})
+	}
+	return cells
+}
+
+// Table7Plan spans the per-configuration operator-ablation cells.
+func Table7Plan(dataset string) []Cell {
+	cells := make([]Cell, 0, len(experiments.Table7Configs()))
+	for _, c := range experiments.Table7Configs() {
+		cells = append(cells, Cell{Dataset: dataset, Method: prefixTable7 + c})
+	}
+	return cells
+}
+
+// Figure1Plan spans the per-size interaction-cost cells.
+func Figure1Plan(sizes []int) []Cell {
+	cells := make([]Cell, 0, len(sizes))
+	for _, n := range sizes {
+		cells = append(cells, Cell{Dataset: experiments.Figure1Dataset, Method: prefixFigure1 + strconv.Itoa(n)})
+	}
+	return cells
+}
+
+// DescriptionsPlan spans the two §4.2 feature-description ablation cells.
+func DescriptionsPlan(dataset string) []Cell {
+	return []Cell{
+		{Dataset: dataset, Method: descriptionsWith},
+		{Dataset: dataset, Method: descriptionsNames},
+	}
+}
+
+// parseFigure1Size extracts the row count from a "figure1:<n>" method.
+func parseFigure1Size(method string) (int, error) {
+	raw := strings.TrimPrefix(method, prefixFigure1)
+	n, err := strconv.Atoi(raw)
+	if err != nil || n <= 0 {
+		return 0, fmt.Errorf("grid: bad figure1 cell size %q", raw)
+	}
+	return n, nil
+}

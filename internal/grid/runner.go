@@ -1,0 +1,326 @@
+package grid
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"os"
+	"runtime"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"smartfeat/internal/experiments"
+	"smartfeat/internal/fmgate"
+)
+
+// Status classifies a cell's scheduling outcome.
+type Status string
+
+const (
+	// StatusCompleted: the cell executed and produced an artifact (possibly
+	// holding a method-level failure — that is still a result).
+	StatusCompleted Status = "completed"
+	// StatusResumed: the cell's artifact was loaded from the run directory.
+	StatusResumed Status = "resumed"
+	// StatusFailed: the cell's infrastructure errored (dataset load, store
+	// wiring, artifact write).
+	StatusFailed Status = "failed"
+	// StatusSkipped: the cell never started (fail-fast after a failure, or
+	// the run was already cancelled).
+	StatusSkipped Status = "skipped"
+	// StatusInterrupted: the cell was aborted mid-execution by cancellation;
+	// no artifact is persisted, so resume reruns it.
+	StatusInterrupted Status = "interrupted"
+)
+
+// Outcome is one cell's scheduling result.
+type Outcome struct {
+	Cell     Cell
+	Status   Status
+	Artifact *Artifact // nil unless Completed/Resumed
+	Err      error     // set for Failed (and Interrupted: the context error)
+}
+
+// Runner schedules grid cells on a bounded worker pool. The zero value plus
+// a Config is a usable in-memory engine; Dir adds artifact persistence and
+// resume, Stores adds per-cell FM record/replay.
+type Runner struct {
+	// Config is the shared evaluation protocol. Its Workers field bounds the
+	// cell-level fan-out exactly like the pre-grid harness (0 = GOMAXPROCS,
+	// 1 = sequential); per-cell seeding keeps results bit-identical at any
+	// setting.
+	Config experiments.Config
+	// Dir is the run directory (artifacts + manifest). Empty disables
+	// persistence.
+	Dir string
+	// Name labels the run in the manifest.
+	Name string
+	// Resume loads completed cells' artifacts from Dir and skips their
+	// execution. Without Resume, an existing manifest in Dir is an error —
+	// silently overwriting a half-finished run would discard paid-for cells.
+	Resume bool
+	// KeepGoing disables fail-fast: every cell runs even after one fails.
+	KeepGoing bool
+	// Stores shards FM record/replay per cell (optional).
+	Stores *fmgate.StoreSet
+	// Logf, when set, receives one line per finished cell (progress UX for
+	// long grid runs).
+	Logf func(format string, args ...any)
+}
+
+// RunResult is the outcome of a Run: per-cell outcomes in plan order plus
+// the completed artifacts, with fold accessors for every table and figure.
+type RunResult struct {
+	Outcomes []Outcome
+	byKey    map[string]*Outcome
+}
+
+// outcome returns the cell's outcome (nil if the cell was not in the plan).
+func (r *RunResult) outcome(c Cell) *Outcome { return r.byKey[c.Key()] }
+
+// Artifact returns the cell's artifact if it completed (live or resumed).
+func (r *RunResult) Artifact(c Cell) (*Artifact, bool) {
+	o := r.outcome(c)
+	if o == nil || o.Artifact == nil {
+		return nil, false
+	}
+	return o.Artifact, true
+}
+
+// Counts tallies outcomes per status.
+func (r *RunResult) Counts() map[Status]int {
+	m := make(map[Status]int)
+	for i := range r.Outcomes {
+		m[r.Outcomes[i].Status]++
+	}
+	return m
+}
+
+// Err aggregates the run's failures into an *experiments.RunError (nil when
+// every cell completed). Interrupted runs unwrap to the context error.
+func (r *RunResult) Err() error {
+	re := &experiments.RunError{}
+	for i := range r.Outcomes {
+		o := &r.Outcomes[i]
+		switch o.Status {
+		case StatusFailed:
+			re.Failed = append(re.Failed, experiments.CellFailure{Dataset: o.Cell.Dataset, Method: o.Cell.Method, Err: o.Err})
+		case StatusSkipped:
+			re.Skipped = append(re.Skipped, o.Cell.String())
+		case StatusInterrupted:
+			re.Interrupted = append(re.Interrupted, o.Cell.String())
+			if re.Cause == nil {
+				re.Cause = o.Err
+			}
+		}
+	}
+	if len(re.Failed) == 0 && len(re.Skipped) == 0 && len(re.Interrupted) == 0 {
+		return nil
+	}
+	return re
+}
+
+// Run executes the plan. Completed cells are persisted (and, with Resume,
+// loaded) under Dir; each cell's FM traffic goes through its own StoreSet
+// shard when Stores is set. Cancelling ctx stops scheduling new cells,
+// aborts in-flight FM calls, and leaves a resumable run directory.
+//
+// The returned error is the same aggregate RunResult.Err reports; the
+// RunResult is always returned, so callers can fold and render whatever
+// subset of the grid completed.
+func (r *Runner) Run(ctx context.Context, plan []Cell) (*RunResult, error) {
+	res := &RunResult{Outcomes: make([]Outcome, len(plan)), byKey: make(map[string]*Outcome, len(plan))}
+	for i, c := range plan {
+		res.Outcomes[i] = Outcome{Cell: c, Status: StatusSkipped}
+		if prev, dup := res.byKey[c.Key()]; dup {
+			return res, fmt.Errorf("grid: duplicate cell %s in plan (also %s)", c, prev.Cell)
+		}
+		res.byKey[c.Key()] = &res.Outcomes[i]
+	}
+
+	var manifest *Manifest
+	var manifestMu sync.Mutex
+	configHash := r.Config.Fingerprint()
+	if r.Dir != "" {
+		if err := os.MkdirAll(r.Dir, 0o755); err != nil {
+			return res, fmt.Errorf("grid: creating run dir: %w", err)
+		}
+		existing, err := LoadManifest(r.Dir)
+		switch {
+		case err == nil:
+			if !r.Resume {
+				return res, fmt.Errorf("grid: run dir %s already holds a manifest; pass resume to continue it or pick a fresh directory", r.Dir)
+			}
+			if existing.ConfigHash != configHash {
+				return res, fmt.Errorf("grid: run dir %s was produced under config %s, this run is %s — the cells would not be comparable; start a fresh run directory",
+					r.Dir, existing.ConfigHash, configHash)
+			}
+			manifest = existing
+		case errors.Is(err, os.ErrNotExist):
+			manifest = newManifest(r.Name, configHash, r.Config.Seed)
+			if err := manifest.save(r.Dir); err != nil {
+				return res, err
+			}
+		default:
+			return res, err
+		}
+	}
+
+	// Resume: load completed cells before scheduling anything.
+	if r.Dir != "" && r.Resume {
+		for i := range res.Outcomes {
+			o := &res.Outcomes[i]
+			art, err := ReadArtifact(r.Dir, o.Cell, configHash)
+			switch {
+			case err == nil:
+				o.Status, o.Artifact = StatusResumed, art
+				r.logf("cell %-40s resumed from artifact", o.Cell)
+			case errors.Is(err, os.ErrNotExist):
+				// Not completed yet: runs below.
+			default:
+				return res, err
+			}
+		}
+	}
+
+	recordCell := func(key string, rec CellRecord) error {
+		if manifest == nil {
+			return nil
+		}
+		manifestMu.Lock()
+		defer manifestMu.Unlock()
+		rec.FinishedAt = time.Now().UTC().Format(time.RFC3339)
+		manifest.Cells[key] = rec
+		return manifest.save(r.Dir)
+	}
+
+	var failFast atomic.Bool
+	workers := r.Config.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	experiments.ForEachIndex(workers, len(plan), func(i int) {
+		o := &res.Outcomes[i]
+		if o.Status == StatusResumed {
+			return
+		}
+		if ctx.Err() != nil || (!r.KeepGoing && failFast.Load()) {
+			o.Status = StatusSkipped // zero-valued already; explicit for clarity
+			return
+		}
+		art, err := r.executeCell(ctx, o.Cell, configHash)
+		switch {
+		case err != nil && isCancellation(err):
+			o.Status, o.Err = StatusInterrupted, err
+			r.logf("cell %-40s interrupted", o.Cell)
+		case err != nil:
+			o.Status, o.Err = StatusFailed, err
+			failFast.Store(true)
+			r.logf("cell %-40s FAILED: %v", o.Cell, err)
+			if rerr := recordCell(o.Cell.Key(), CellRecord{Status: string(StatusFailed), Err: err.Error()}); rerr != nil {
+				o.Err = errors.Join(o.Err, rerr)
+			}
+		default:
+			if r.Dir != "" {
+				if werr := WriteArtifact(r.Dir, art); werr != nil {
+					// Same reporting as an execution failure: the run paid
+					// for this cell, so the log and manifest must say why it
+					// is not in the results.
+					o.Status, o.Err = StatusFailed, werr
+					failFast.Store(true)
+					r.logf("cell %-40s FAILED: %v", o.Cell, werr)
+					if rerr := recordCell(o.Cell.Key(), CellRecord{Status: string(StatusFailed), Err: werr.Error()}); rerr != nil {
+						o.Err = errors.Join(o.Err, rerr)
+					}
+					return
+				}
+			}
+			o.Status, o.Artifact = StatusCompleted, art
+			r.logf("cell %-40s completed", o.Cell)
+			if rerr := recordCell(o.Cell.Key(), CellRecord{Status: string(StatusCompleted)}); rerr != nil {
+				o.Status, o.Err = StatusFailed, rerr
+				failFast.Store(true)
+			}
+		}
+	})
+	err := res.Err()
+	if err != nil {
+		// A cancelled run may have only skipped cells (none caught mid-
+		// flight); attach the context error so errors.Is(err,
+		// context.Canceled) holds either way.
+		var re *experiments.RunError
+		if errors.As(err, &re) && re.Cause == nil {
+			re.Cause = ctx.Err()
+		}
+	}
+	return res, err
+}
+
+// executeCell dispatches one cell to the experiments layer, wiring its FM
+// shard first. The error covers cell infrastructure and interruption;
+// method-level failures come back inside the artifact.
+func (r *Runner) executeCell(ctx context.Context, c Cell, configHash string) (*Artifact, error) {
+	cfg := r.Config
+	if r.Stores != nil {
+		shard, err := r.Stores.Shard(c.Key())
+		if err != nil {
+			return nil, err
+		}
+		cfg.FMStore = shard
+		cfg.FMStoreReplay = r.Stores.Replay()
+	}
+	art := &Artifact{Cell: c, ConfigHash: configHash}
+	switch {
+	case strings.HasPrefix(c.Method, prefixTable6):
+		row, err := experiments.Table6Cell(ctx, c.Dataset, strings.TrimPrefix(c.Method, prefixTable6), cfg)
+		if err != nil {
+			return nil, err
+		}
+		art.Kind, art.Table6 = "table6", &row
+	case strings.HasPrefix(c.Method, prefixTable7):
+		row, err := experiments.Table7Cell(ctx, c.Dataset, strings.TrimPrefix(c.Method, prefixTable7), cfg)
+		if err != nil {
+			return nil, err
+		}
+		art.Kind, art.Table7 = "table7", &row
+	case strings.HasPrefix(c.Method, prefixFigure1):
+		size, err := parseFigure1Size(c.Method)
+		if err != nil {
+			return nil, err
+		}
+		point, err := experiments.Figure1Cell(ctx, size, cfg)
+		if err != nil {
+			return nil, err
+		}
+		art.Kind, art.Figure1 = "figure1", &point
+	case strings.HasPrefix(c.Method, prefixDescriptions):
+		res, err := experiments.DescriptionsCell(ctx, c.Dataset, c.Method == descriptionsWith, cfg)
+		if err != nil {
+			return nil, err
+		}
+		art.Kind, art.Method = "method", newMethodArtifact(res)
+	default:
+		res, err := experiments.RunCell(ctx, c.Dataset, c.Method, cfg)
+		if err != nil {
+			return nil, err
+		}
+		if res.Interrupted() {
+			return nil, res.Err
+		}
+		art.Kind, art.Method = "method", newMethodArtifact(res)
+	}
+	return art, nil
+}
+
+// isCancellation reports whether err stems from context cancellation.
+func isCancellation(err error) bool {
+	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
+}
+
+func (r *Runner) logf(format string, args ...any) {
+	if r.Logf != nil {
+		r.Logf(format, args...)
+	}
+}

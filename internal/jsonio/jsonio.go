@@ -1,0 +1,30 @@
+// Package jsonio holds the one JSON-file idiom the run engine's persistence
+// layers share: atomic writes. Artifacts, run manifests and recording
+// manifests are all read back by later processes (resume, replay), so a
+// crash mid-write must never leave a half-written file behind.
+package jsonio
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+// WriteAtomic marshals v (indented, trailing newline) and commits it to path
+// via a temp file + rename, so readers only ever observe the old or the new
+// complete contents.
+func WriteAtomic(path string, v any) error {
+	b, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		return fmt.Errorf("jsonio: encoding %s: %w", path, err)
+	}
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, append(b, '\n'), 0o644); err != nil {
+		return fmt.Errorf("jsonio: writing %s: %w", path, err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("jsonio: committing %s: %w", path, err)
+	}
+	return nil
+}
