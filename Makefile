@@ -1,24 +1,26 @@
 GO ?= go
 PKGS := ./...
 # Kernel-level microbenchmarks (tree/forest/linear fits, ColMatrix, group-by).
-KERNEL_BENCH := BenchmarkTreeFit|BenchmarkForestFit|BenchmarkExtraTreesFit|BenchmarkLogisticFit|BenchmarkMatrixTakeRows|BenchmarkColMatrix|BenchmarkRowMajorMatrix|BenchmarkDropNANoNulls|BenchmarkSeriesStd|BenchmarkGroupKeys
+KERNEL_BENCH := BenchmarkTreeFit|BenchmarkForestFit|BenchmarkExtraTreesFit|BenchmarkHistogramSplit|BenchmarkLogisticFit|BenchmarkMatrixTakeRows|BenchmarkColMatrix|BenchmarkRowMajorMatrix|BenchmarkDropNANoNulls|BenchmarkSeriesStd|BenchmarkGroupKeys
 
-.PHONY: test race check bench bench-kernel bench-grid bench-cpu fmt vet
+.PHONY: test race check bench bench-kernel bench-grid bench-json bench-cpu fmt fmt-check vet
 
 test:
 	$(GO) build $(PKGS)
 	$(GO) test $(PKGS)
 
+# The race suite runs under a CPU matrix: the worker pools (grid runner,
+# parallel CAAFE, fmgate Submit, forest tree fits) degenerate to sequential
+# order on the 1-vCPU dev box, so -cpu 4 is what actually exercises their
+# interleavings.
 race:
-	$(GO) test -race $(PKGS)
+	$(GO) test -race -cpu 1,4 $(PKGS)
 
-# Pre-commit gate: static analysis plus the full suite under the race
-# detector (the fmgate gateway, the parallel evaluation harness and the
-# forest presort cache are all concurrency-bearing — run this before every
-# commit).
-check:
-	$(GO) vet $(PKGS)
-	$(GO) test -race $(PKGS)
+# Pre-commit gate: formatting, static analysis, then the full suite under
+# the race detector across the CPU matrix (the fmgate gateway, the parallel
+# evaluation harness and the shared histogram/presort caches are all
+# concurrency-bearing — run this before every commit).
+check: fmt-check vet race
 
 # Full benchmark sweep: every paper table/figure plus the kernel benches.
 bench:
@@ -36,6 +38,14 @@ GRID_BENCH := BenchmarkArtifactWrite|BenchmarkArtifactRead|BenchmarkManifestSave
 bench-grid:
 	$(GO) test ./internal/grid -bench '$(GRID_BENCH)' -benchmem -run xxx -count 3
 
+# Machine-readable perf trajectory: the kernel and grid bench sweeps piped
+# through tools/benchjson into BENCH_kernel.json / BENCH_grid.json (raw
+# runs plus per-benchmark medians). CI runs this on every push and uploads
+# both files as workflow artifacts.
+bench-json:
+	$(GO) test ./internal/ml ./internal/dataframe -bench '$(KERNEL_BENCH)' -benchmem -run xxx -count 3 | tee /dev/stderr | $(GO) run ./tools/benchjson > BENCH_kernel.json
+	$(GO) test ./internal/grid -bench '$(GRID_BENCH)' -benchmem -run xxx -count 3 | tee /dev/stderr | $(GO) run ./tools/benchjson > BENCH_grid.json
+
 # CPU profile of forest training; inspect with `go tool pprof cpu.out`.
 bench-cpu:
 	$(GO) test ./internal/ml -bench 'BenchmarkForestFit' -run xxx -cpuprofile cpu.out -benchtime 5s
@@ -43,6 +53,13 @@ bench-cpu:
 
 fmt:
 	gofmt -l -w .
+
+# Fail (listing the offenders) when any file needs gofmt; the CI check job
+# and `make check` gate on this.
+fmt-check:
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; \
+	fi
 
 vet:
 	$(GO) vet $(PKGS)

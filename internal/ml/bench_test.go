@@ -54,6 +54,38 @@ func BenchmarkExtraTreesFit(b *testing.B) {
 	}
 }
 
+// BenchmarkHistogramSplit compares the histogram-binned split kernel with
+// the exact sort-scan kernel on the Quick-scale shapes: the RF-40 forest
+// fit (bootstrap rows over forest-shared bins) and a full-feature greedy
+// tree (where every right child derives its histograms by subtraction).
+func BenchmarkHistogramSplit(b *testing.B) {
+	X, y := benchMatrix(b, 2000, 20)
+	for _, k := range []struct {
+		name string
+		hist bool
+	}{{"hist", true}, {"exact", false}} {
+		b.Run("forest-"+k.name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				f := NewRandomForest(40, 1)
+				f.Histogram = k.hist
+				if err := f.Fit(X, y); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run("tree-"+k.name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				tr := NewTree(TreeConfig{MaxDepth: 10, Histogram: k.hist, Seed: 1})
+				if err := tr.Fit(X, y); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
 func BenchmarkLogisticFit(b *testing.B) {
 	X, y := benchMatrix(b, 2000, 20)
 	b.ReportAllocs()

@@ -21,6 +21,17 @@ type Forest struct {
 	Bootstrap bool
 	// RandomSplits selects the extra-trees split rule.
 	RandomSplits bool
+	// Histogram enables histogram-binned greedy split finding: columns
+	// are bucketed once per forest into ≤MaxBins quantile bins shared by
+	// every tree, and nodes scan per-bin class counts instead of sorting
+	// (see histogram.go). NewRandomForest and NewExtraTrees enable it; it
+	// is a no-op for the RandomSplits rule, which never sorts.
+	Histogram bool
+	// MaxBins caps per-column histogram bins (0 or out of [2,256] → 256).
+	MaxBins int
+	// HistMinNode is the node size below which histogram split finding
+	// falls back to the exact sort-scan kernel (0 → 128).
+	HistMinNode int
 	// Seed drives all per-tree randomness.
 	Seed int64
 
@@ -38,6 +49,7 @@ func NewRandomForest(numTrees int, seed int64) *Forest {
 	return &Forest{
 		NumTrees:  numTrees,
 		Bootstrap: true,
+		Histogram: true,
 		Seed:      seed,
 		name:      "RF",
 	}
@@ -48,6 +60,7 @@ func NewExtraTrees(numTrees int, seed int64) *Forest {
 	return &Forest{
 		NumTrees:     numTrees,
 		RandomSplits: true,
+		Histogram:    true,
 		Seed:         seed,
 		name:         "ET",
 	}
@@ -83,8 +96,17 @@ func (f *Forest) Fit(X *Matrix, y []int) error {
 	for i := range seeds {
 		seeds[i] = rng.Int63()
 	}
+	// Histogram-binned greedy forests bucket each column once, shared by
+	// every tree (bins depend only on the full training column, so they
+	// are valid for bootstrap resamples too); the exact greedy kernel
+	// instead shares root-split sorted orders on non-bootstrap forests.
+	histOn := f.Histogram && !f.RandomSplits
+	var bins *binSet
+	if histOn {
+		bins = newBinSet(X, y, f.MaxBins)
+	}
 	var presort *forestPresort
-	if !f.Bootstrap && !f.noPresort {
+	if !f.Bootstrap && !f.noPresort && !histOn {
 		presort = newForestPresort(X, y)
 	}
 	workers := runtime.GOMAXPROCS(0)
@@ -99,15 +121,27 @@ func (f *Forest) Fit(X *Matrix, y []int) error {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			// One histogram arena per worker: trees fitted by this worker
+			// reuse its node-histogram scratch sequentially.
+			var arena *histArena
+			if histOn {
+				arena = &histArena{}
+			}
 			for ti := range jobs {
 				tree := NewTree(TreeConfig{
 					MaxDepth:       f.MaxDepth,
 					MinSamplesLeaf: f.MinSamplesLeaf,
 					MaxFeatures:    maxFeatures,
 					RandomSplits:   f.RandomSplits,
+					Histogram:      f.Histogram,
+					MaxBins:        f.MaxBins,
+					HistMinNode:    f.HistMinNode,
 					Seed:           seeds[ti],
 				})
 				tree.presort = presort
+				tree.bins = bins
+				tree.hist = arena
+				tree.sharedRoot = !f.Bootstrap
 				var rows []int
 				if f.Bootstrap {
 					sampleRng := rand.New(rand.NewSource(seeds[ti] ^ 0x5f5f5f5f))

@@ -285,7 +285,11 @@ func TestForestGoldenEquivalence(t *testing.T) {
 	m := mustMatrix(t, X)
 	probeM := mustMatrix(t, probe)
 
+	// Pin the exact kernel: this reference is the seed's sort-scan CART;
+	// histogram-vs-exact equivalence is pinned separately in
+	// histogram_test.go.
 	rf := NewRandomForest(12, 77)
+	rf.Histogram = false
 	if err := rf.Fit(m, y); err != nil {
 		t.Fatal(err)
 	}
@@ -298,6 +302,7 @@ func TestForestGoldenEquivalence(t *testing.T) {
 	}
 
 	et := NewExtraTrees(12, 78)
+	et.Histogram = false
 	if err := et.Fit(m, y); err != nil {
 		t.Fatal(err)
 	}

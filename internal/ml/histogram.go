@@ -1,0 +1,320 @@
+package ml
+
+import (
+	"sort"
+	"sync"
+)
+
+// Histogram-binned split finding.
+//
+// The exact kernel pays O(n·log n) per (node, feature): gather the node's
+// (value, label) pairs from the column and sort them before the Gini scan.
+// The histogram kernel instead buckets each feature column ONCE — per tree,
+// or once per forest, since every tree of a forest trains over (a resample
+// of) the same rows — into at most 256 quantile bins, and then finds each
+// node's best greedy split by scanning per-bin class counts: O(n + bins)
+// per (node, feature), no per-node sorting at all. Sibling histograms are
+// derived by subtraction (parent minus the first-built child) instead of
+// re-accumulated, so on average a level of the tree only pays the
+// accumulation pass for half its rows per shared feature.
+//
+// Bin boundaries land on observed values: every candidate threshold is the
+// midpoint of two observed column values, exactly like the exact kernel's
+// cut points. When a column has at most MaxBins distinct values each bin
+// holds exactly one value, the candidate set is identical to the exact
+// kernel's, and the grown trees match node for node (pinned by the golden
+// tests in histogram_test.go). Columns with more distinct values scan a
+// quantile-spaced subset of the exact candidate set — split thresholds may
+// differ there, but remain AUC-neutral (also pinned, with tolerance).
+//
+// The extra-trees random-split rule never sorts (it reads a (min, max)
+// range and counts one threshold per feature), so Histogram is a no-op for
+// RandomSplits trees: they keep the exact counting scan and the forest
+// presort cache.
+
+const (
+	// defaultMaxBins caps per-column bin counts; bin codes must fit uint8.
+	defaultMaxBins = 256
+	// defaultHistMinNode is the node size below which split finding falls
+	// back to the exact sort-scan kernel: zeroing and scanning up to 256
+	// bins per candidate feature costs more than sorting a few dozen
+	// values, and the exact scan is at least as accurate.
+	defaultHistMinNode = 128
+)
+
+// binSet holds the per-column histogram bins for one training matrix. A
+// forest shares one binSet across all its trees (bins depend only on the
+// full training column, so they are valid for bootstrap resamples too).
+// Columns build lazily — only columns some node actually considers pay the
+// sort — and exactly once (sync.Once per column), so parallel tree fits
+// share the work race-free. All arrays are read-only after build.
+type binSet struct {
+	n       int
+	maxBins int
+	X       *Matrix
+	y       []int
+	once    []sync.Once
+	cols    []binnedCol
+	colBuf  sync.Pool
+}
+
+// binnedCol is one column's histogram binning.
+type binnedCol struct {
+	// nb is the number of bins (1 for a constant column).
+	nb int
+	// binOf maps each training row to its bin code.
+	binOf []uint8
+	// lo and hi bound the observed values in each bin; candidate split
+	// thresholds are midpoints (hi[a]+lo[b])/2 across a bin boundary, so
+	// they always land between observed values, like the exact kernel's.
+	lo, hi []float64
+	// rootCnt and rootPos are the full-training-set per-bin row and
+	// positive-label counts — the root histogram every non-bootstrap tree
+	// of a forest shares instead of re-accumulating.
+	rootCnt, rootPos []int32
+}
+
+// newBinSet prepares a lazy bin cache over the training set. maxBins
+// outside [2, 256] is clamped to the default of 256.
+func newBinSet(X *Matrix, y []int, maxBins int) *binSet {
+	if maxBins < 2 || maxBins > defaultMaxBins {
+		maxBins = defaultMaxBins
+	}
+	return &binSet{
+		n:       X.Rows(),
+		maxBins: maxBins,
+		X:       X,
+		y:       y,
+		once:    make([]sync.Once, X.Cols()),
+		cols:    make([]binnedCol, X.Cols()),
+	}
+}
+
+// column returns feature f's bins, building them on first use.
+func (s *binSet) column(f int) *binnedCol {
+	s.once[f].Do(func() {
+		buf, _ := s.colBuf.Get().([]float64)
+		sorted := s.X.ColCopy(f, buf)
+		sort.Float64s(sorted)
+		s.cols[f] = buildBinnedCol(s.X.Col(f), sorted, s.y, s.maxBins)
+		s.colBuf.Put(sorted)
+	})
+	return &s.cols[f]
+}
+
+// buildBinnedCol bins one column. sorted is a sorted copy of col; it is
+// only read.
+func buildBinnedCol(col, sorted []float64, y []int, maxBins int) binnedCol {
+	n := len(col)
+	// Count distinct values: m ≤ maxBins gets one bin per value (the
+	// exact-equivalence regime); otherwise runs of equal values pack into
+	// equal-frequency quantile bins.
+	m := 1
+	for i := 1; i < n; i++ {
+		if sorted[i] != sorted[i-1] {
+			m++
+		}
+	}
+	nb := m
+	if nb > maxBins {
+		nb = maxBins
+	}
+	lo := make([]float64, 0, nb)
+	hi := make([]float64, 0, nb)
+	if m <= maxBins {
+		for i := 0; i < n; i++ {
+			if i == 0 || sorted[i] != sorted[i-1] {
+				lo = append(lo, sorted[i])
+				hi = append(hi, sorted[i])
+			}
+		}
+	} else {
+		b := 0
+		for i := 0; i < n; {
+			j := i + 1
+			for j < n && sorted[j] == sorted[i] {
+				j++
+			}
+			if len(lo) == b {
+				lo = append(lo, sorted[i])
+				hi = append(hi, sorted[i])
+			} else {
+				hi[b] = sorted[i]
+			}
+			// Close the bin once it holds its quantile share of rows, as
+			// long as distinct values remain to seed the next bin.
+			if b < maxBins-1 && j < n && j*maxBins >= (b+1)*n {
+				b++
+			}
+			i = j
+		}
+	}
+	nb = len(lo)
+	bc := binnedCol{
+		nb:      nb,
+		binOf:   make([]uint8, n),
+		lo:      lo,
+		hi:      hi,
+		rootCnt: make([]int32, nb),
+		rootPos: make([]int32, nb),
+	}
+	for i, v := range col {
+		b := lowerBound(hi, v)
+		bc.binOf[i] = uint8(b)
+		bc.rootCnt[b]++
+		bc.rootPos[b] += int32(y[i])
+	}
+	return bc
+}
+
+// histArena is the per-worker scratch for node histograms, indexed by tree
+// depth. A node's histograms stay live at their depth while both subtrees
+// grow, which is exactly what the subtraction trick needs: when the
+// second (right) child starts, its parent's histograms sit at depth-1 and
+// its already-built left sibling's at its own depth, so for every feature
+// both of them computed the right child fills counts as parent−sibling in
+// O(bins) instead of re-accumulating O(rows).
+//
+// fill/stamp generation counters (monotone across all trees sharing the
+// arena) make staleness explicit: a level's contents are only trusted when
+// the caller knows the exact fill id that wrote them.
+type histArena struct {
+	clock  int64
+	levels []*histLevel
+}
+
+// histLevel holds one depth's per-feature histograms.
+type histLevel struct {
+	// fill identifies the bestSplitHist invocation that last wrote this
+	// level; stamps[f] records which fill wrote feature f's counts.
+	fill   int64
+	stamps []int64
+	cnt    [][]int32
+	pos    [][]int32
+}
+
+// level returns the arena slot for depth, sized for d features.
+func (a *histArena) level(depth, d int) *histLevel {
+	for len(a.levels) <= depth {
+		a.levels = append(a.levels, &histLevel{})
+	}
+	lvl := a.levels[depth]
+	if len(lvl.stamps) != d {
+		lvl.stamps = make([]int64, d)
+		lvl.cnt = make([][]int32, d)
+		lvl.pos = make([][]int32, d)
+	}
+	return lvl
+}
+
+// feat returns feature f's count buffers at this level, sized to nb bins.
+func (l *histLevel) feat(f, nb int) (cnt, pos []int32) {
+	if cap(l.cnt[f]) < nb {
+		l.cnt[f] = make([]int32, nb)
+		l.pos[f] = make([]int32, nb)
+	}
+	return l.cnt[f][:nb], l.pos[f][:nb]
+}
+
+// levelFill reports the fill id of the arena level at depth (0 if the
+// level was never filled or the tree has no histogram arena).
+func (t *Tree) levelFill(depth int) int64 {
+	if t.hist == nil || depth >= len(t.hist.levels) {
+		return 0
+	}
+	return t.hist.levels[depth].fill
+}
+
+// histMinNode resolves the exact-fallback threshold.
+func (t *Tree) histMinNode() int {
+	if t.cfg.HistMinNode > 0 {
+		return t.cfg.HistMinNode
+	}
+	return defaultHistMinNode
+}
+
+// bestSplitHist is the histogram-binned greedy split search. It fills this
+// depth's arena level for every candidate feature — from the shared root
+// histogram, by sibling subtraction, or by one accumulation pass over the
+// node's rows — then scans bin class counts for the best Gini decrease.
+// It returns the fill id stamped on the level so the caller can route the
+// subtraction trick to the node's children.
+//
+// Candidate thresholds fall between consecutive bins that are non-empty in
+// this node, at the midpoint of the two bins' adjacent observed values —
+// for ≤MaxBins-distinct columns exactly the cut points, gains and
+// tie-breaking order of the exact kernel.
+func (t *Tree) bestSplitHist(X *Matrix, y []int, idx []int, depth, pos int, parentFill, sibFill int64) (int, float64, float64, int64) {
+	feats := t.candidateFeatures(X.Cols())
+	n := len(idx)
+	parent := gini(pos, n)
+	bestFeat, bestThresh, bestGain := -1, 0.0, 0.0
+	lvl := t.hist.level(depth, X.Cols())
+	var parentLvl *histLevel
+	if parentFill != 0 && depth > 0 {
+		parentLvl = t.hist.level(depth-1, X.Cols())
+	}
+	t.hist.clock++
+	fill := t.hist.clock
+	lvl.fill = fill
+	for _, f := range feats {
+		bc := t.bins.column(f)
+		nb := bc.nb
+		if nb < 2 {
+			continue // constant column: nothing to cut
+		}
+		cnt, cpos := lvl.feat(f, nb)
+		switch {
+		case parentLvl != nil && parentLvl.stamps[f] == parentFill && sibFill != 0 && lvl.stamps[f] == sibFill:
+			// Subtraction trick: this level still holds the left
+			// sibling's counts for f; parent−sibling is this node.
+			pc, pp := parentLvl.cnt[f][:nb], parentLvl.pos[f][:nb]
+			for b := 0; b < nb; b++ {
+				cnt[b] = pc[b] - cnt[b]
+				cpos[b] = pp[b] - cpos[b]
+			}
+		case t.sharedRoot && n == t.bins.n:
+			// A root over the full (non-resampled) training set copies
+			// the forest-shared root histogram.
+			copy(cnt, bc.rootCnt)
+			copy(cpos, bc.rootPos)
+		default:
+			for b := range cnt {
+				cnt[b] = 0
+			}
+			for b := range cpos {
+				cpos[b] = 0
+			}
+			binOf := bc.binOf
+			for _, i := range idx {
+				b := binOf[i]
+				cnt[b]++
+				cpos[b] += int32(y[i])
+			}
+		}
+		lvl.stamps[f] = fill
+		prev := -1
+		cumN, cumP := 0, 0
+		for b := 0; b < nb; b++ {
+			c := int(cnt[b])
+			if c == 0 {
+				continue
+			}
+			if prev >= 0 {
+				ln, lp := cumN, cumP
+				rn, rp := n-ln, pos-lp
+				if ln >= t.cfg.MinSamplesLeaf && rn >= t.cfg.MinSamplesLeaf {
+					gain := parent - (float64(ln)*gini(lp, ln)+float64(rn)*gini(rp, rn))/float64(n)
+					if gain > bestGain {
+						bestFeat, bestGain = f, gain
+						bestThresh = (bc.hi[prev] + bc.lo[b]) / 2
+					}
+				}
+			}
+			cumN += c
+			cumP += int(cpos[b])
+			prev = b
+		}
+	}
+	return bestFeat, bestThresh, bestGain, fill
+}

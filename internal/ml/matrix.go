@@ -56,6 +56,18 @@ func (m *Matrix) Set(i, j int, v float64) { m.data[j*m.rows+i] = v }
 // Mutating the returned slice mutates the matrix.
 func (m *Matrix) Col(j int) []float64 { return m.data[j*m.rows : (j+1)*m.rows] }
 
+// ColCopy copies column j into buf (grown as needed) and returns it — for
+// consumers that must mutate or sort a column without touching the matrix,
+// like the histogram bin builder.
+func (m *Matrix) ColCopy(j int, buf []float64) []float64 {
+	if cap(buf) < m.rows {
+		buf = make([]float64, m.rows)
+	}
+	buf = buf[:m.rows]
+	copy(buf, m.Col(j))
+	return buf
+}
+
 // Row gathers row i into buf (grown as needed) and returns it. The gather is
 // strided; models that are inherently row-oriented (the MLP's per-sample
 // SGD) use it with a reused buffer.

@@ -60,6 +60,21 @@ func (p *forestPresort) column(f int) *presortedCol {
 	return &p.cols[f]
 }
 
+// lowerBound returns the first index whose value is >= x. The histogram
+// binner uses it to map a value onto the bin whose upper edge covers it.
+func lowerBound(vals []float64, x float64) int {
+	lo, hi := 0, len(vals)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if vals[mid] < x {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
 // upperBound returns the count of sorted values <= x (the first index whose
 // value exceeds x).
 func upperBound(vals []float64, x float64) int {

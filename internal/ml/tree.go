@@ -17,6 +17,17 @@ type TreeConfig struct {
 	// RandomSplits picks one uniform random threshold per feature instead of
 	// scanning all cut points — the extra-trees split rule.
 	RandomSplits bool
+	// Histogram enables histogram-binned greedy split finding (see
+	// histogram.go): bucket each column once into ≤MaxBins quantile bins
+	// and scan per-bin class counts per node instead of sorting per node.
+	// NewRandomForest and NewExtraTrees enable it by default; it is a
+	// no-op for RandomSplits trees, whose split rule never sorts.
+	Histogram bool
+	// MaxBins caps per-column histogram bins (0 or out of [2,256] → 256).
+	MaxBins int
+	// HistMinNode is the node size below which histogram split finding
+	// falls back to the exact sort-scan kernel (0 → 128).
+	HistMinNode int
 	// Seed drives feature subsampling and random thresholds.
 	Seed int64
 }
@@ -46,6 +57,16 @@ type Tree struct {
 	// root) use it instead of re-sorting.
 	presort *forestPresort
 
+	// bins, when histogram splits are enabled, holds the per-column bin
+	// codes (built per fit, or shared across a forest's trees). sharedRoot
+	// marks that this tree trains on the full un-resampled row set, so its
+	// root can copy the precomputed full-set histograms. hist is the
+	// per-worker depth-indexed histogram arena (see histogram.go); all
+	// three are released when the fit completes.
+	bins       *binSet
+	sharedRoot bool
+	hist       *histArena
+
 	// Per-fit scratch, reused across nodes to keep allocs flat.
 	scratchVals []float64
 	scratchLabs []int8
@@ -72,6 +93,11 @@ func (t *Tree) Fit(X *Matrix, y []int) error {
 	if err := validate(X, y); err != nil {
 		return err
 	}
+	if t.cfg.Histogram && !t.cfg.RandomSplits {
+		t.bins = newBinSet(X, y, t.cfg.MaxBins)
+		t.sharedRoot = true
+		t.hist = &histArena{}
+	}
 	idx := make([]int, X.Rows())
 	for i := range idx {
 		idx[i] = i
@@ -81,6 +107,10 @@ func (t *Tree) Fit(X *Matrix, y []int) error {
 
 // fitRows grows the tree over the given training rows of X (rows may repeat,
 // as with a bootstrap sample). idx is consumed: it is partitioned in place.
+// When histogram splits are enabled the caller (Fit, or a forest sharing
+// one binSet and per-worker arena across trees) populates t.bins/t.hist
+// first; both references are dropped on return — prediction only walks the
+// node array.
 func (t *Tree) fitRows(X *Matrix, y []int, idx []int) error {
 	t.nodes = t.nodes[:0]
 	t.importance = make([]float64, X.Cols())
@@ -89,8 +119,10 @@ func (t *Tree) fitRows(X *Matrix, y []int, idx []int) error {
 		t.scratchLabs = make([]int8, len(idx))
 		t.scratchIdx = make([]int, len(idx))
 	}
-	t.build(X, y, idx, 0)
+	t.build(X, y, idx, 0, 0, 0)
 	t.fitted = true
+	t.bins = nil
+	t.hist = nil
 	return nil
 }
 
@@ -104,8 +136,11 @@ func gini(pos, n int) float64 {
 }
 
 // build grows the subtree over idx and returns its node index. idx is
-// partitioned in place (stably) before recursing.
-func (t *Tree) build(X *Matrix, y []int, idx []int, depth int) int {
+// partitioned in place (stably) before recursing. parentFill and sibFill
+// carry the histogram-arena fill ids of this node's parent and left
+// sibling (0 when absent or stale), enabling the subtraction trick; they
+// are unused on the exact path.
+func (t *Tree) build(X *Matrix, y []int, idx []int, depth int, parentFill, sibFill int64) int {
 	pos := 0
 	for _, i := range idx {
 		pos += y[i]
@@ -116,7 +151,7 @@ func (t *Tree) build(X *Matrix, y []int, idx []int, depth int) int {
 	if depth >= t.cfg.MaxDepth || pos == 0 || pos == len(idx) || len(idx) < 2*t.cfg.MinSamplesLeaf {
 		return self
 	}
-	feat, thresh, gain := t.bestSplit(X, y, idx, pos)
+	feat, thresh, gain, selfFill := t.bestSplit(X, y, idx, depth, pos, parentFill, sibFill)
 	if feat < 0 || gain <= 1e-12 {
 		return self
 	}
@@ -138,8 +173,17 @@ func (t *Tree) build(X *Matrix, y []int, idx []int, depth int) int {
 		return self
 	}
 	t.importance[feat] += float64(len(idx)) * gain
-	l := t.build(X, y, idx[:nl], depth+1)
-	r := t.build(X, y, idx[nl:], depth+1)
+	// The left child is built from its rows; if it fills its histogram
+	// level the right child can derive its own histograms as
+	// parent − left-sibling. Fill ids distinguish a level the left child
+	// actually wrote from stale contents left by an earlier subtree.
+	leftFillBefore := t.levelFill(depth + 1)
+	l := t.build(X, y, idx[:nl], depth+1, selfFill, 0)
+	var sib int64
+	if after := t.levelFill(depth + 1); after != leftFillBefore {
+		sib = after
+	}
+	r := t.build(X, y, idx[nl:], depth+1, selfFill, sib)
 	t.nodes[self].feature = feat
 	t.nodes[self].thresh = thresh
 	t.nodes[self].left = l
@@ -148,8 +192,24 @@ func (t *Tree) build(X *Matrix, y []int, idx []int, depth int) int {
 }
 
 // bestSplit searches candidate features for the split with the largest Gini
-// decrease. Returns (-1, 0, 0) when no admissible split exists.
-func (t *Tree) bestSplit(X *Matrix, y []int, idx []int, pos int) (int, float64, float64) {
+// decrease, routing to the histogram kernel when enabled and to the exact
+// sort-scan otherwise (always for the random-split rule, and for nodes
+// below the histogram fallback threshold). The fourth return is the
+// histogram-arena fill id this node wrote (0 on the exact path). Returns
+// feature -1 when no admissible split exists.
+func (t *Tree) bestSplit(X *Matrix, y []int, idx []int, depth, pos int, parentFill, sibFill int64) (int, float64, float64, int64) {
+	if t.bins == nil || t.cfg.RandomSplits || len(idx) < t.histMinNode() {
+		f, thresh, gain := t.bestSplitExact(X, y, idx, pos)
+		return f, thresh, gain, 0
+	}
+	return t.bestSplitHist(X, y, idx, depth, pos, parentFill, sibFill)
+}
+
+// bestSplitExact is the sort-scan split search: per candidate feature the
+// node's (value, label) pairs are gathered and sorted, then every distinct-
+// value boundary is a candidate cut. Returns (-1, 0, 0) when no admissible
+// split exists.
+func (t *Tree) bestSplitExact(X *Matrix, y []int, idx []int, pos int) (int, float64, float64) {
 	feats := t.candidateFeatures(X.Cols())
 	n := len(idx)
 	parent := gini(pos, n)

@@ -1,0 +1,166 @@
+// Command benchjson converts `go test -bench` output on stdin into a
+// machine-readable JSON document on stdout, so CI can archive benchmark
+// runs as artifacts and the perf trajectory (BENCH_kernel.json,
+// BENCH_grid.json) stays diffable across commits instead of living in
+// prose. Every raw benchmark line is kept (repeated -count runs included)
+// and a per-benchmark median summary is computed for quick comparisons.
+//
+// Usage: go test -bench . -benchmem ./... | go run ./tools/benchjson
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Benchmark is one raw result line. Name is kept exactly as printed
+// (including any -GOMAXPROCS suffix): a trailing -N is ambiguous between
+// the procs suffix and a sub-benchmark name that happens to end in a
+// number, so the verbatim name is the only safe identity; Procs is a
+// best-effort parse of the suffix for convenience.
+type Benchmark struct {
+	Pkg        string  `json:"pkg,omitempty"`
+	Name       string  `json:"name"`
+	Procs      int     `json:"procs"`
+	Iterations int64   `json:"iterations"`
+	NsPerOp    float64 `json:"ns_per_op"`
+	// BytesPerOp and AllocsPerOp are present with -benchmem.
+	BytesPerOp  *float64 `json:"bytes_per_op,omitempty"`
+	AllocsPerOp *int64   `json:"allocs_per_op,omitempty"`
+}
+
+// Summary aggregates repeated runs of one benchmark.
+type Summary struct {
+	Runs          int     `json:"runs"`
+	MedianNsPerOp float64 `json:"median_ns_per_op"`
+	MinNsPerOp    float64 `json:"min_ns_per_op"`
+	MaxNsPerOp    float64 `json:"max_ns_per_op"`
+}
+
+// Report is the whole document.
+type Report struct {
+	GOOS       string             `json:"goos,omitempty"`
+	GOARCH     string             `json:"goarch,omitempty"`
+	CPU        string             `json:"cpu,omitempty"`
+	Benchmarks []Benchmark        `json:"benchmarks"`
+	Summary    map[string]Summary `json:"summary"`
+}
+
+// parseProcs best-effort parses the trailing -GOMAXPROCS suffix the
+// testing package appends to benchmark names (absent when GOMAXPROCS=1;
+// indistinguishable from a sub-benchmark name ending in -N, which is why
+// callers must not use it to rewrite the name).
+func parseProcs(name string) int {
+	i := strings.LastIndexByte(name, '-')
+	if i < 0 {
+		return 1
+	}
+	if n, err := strconv.Atoi(name[i+1:]); err == nil && n > 0 {
+		return n
+	}
+	return 1
+}
+
+// parseLine parses one benchmark result line, reporting ok=false for
+// non-benchmark output (build noise, pass/fail lines, headers).
+func parseLine(line, pkg string) (Benchmark, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+		return Benchmark{}, false
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return Benchmark{}, false
+	}
+	b := Benchmark{Pkg: pkg, Name: fields[0], Procs: parseProcs(fields[0]), Iterations: iters}
+	seen := false
+	for i := 2; i+1 < len(fields); i += 2 {
+		val, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return Benchmark{}, false
+		}
+		switch fields[i+1] {
+		case "ns/op":
+			b.NsPerOp = val
+			seen = true
+		case "B/op":
+			v := val
+			b.BytesPerOp = &v
+		case "allocs/op":
+			n := int64(val)
+			b.AllocsPerOp = &n
+		}
+	}
+	return b, seen
+}
+
+// summarize computes the run statistics from one benchmark's per-run
+// ns/op values; vals is sorted in place.
+func summarize(vals []float64) Summary {
+	sort.Float64s(vals)
+	n := len(vals)
+	med := vals[n/2]
+	if n%2 == 0 {
+		med = (vals[n/2-1] + vals[n/2]) / 2
+	}
+	return Summary{
+		Runs:          n,
+		MedianNsPerOp: med,
+		MinNsPerOp:    vals[0],
+		MaxNsPerOp:    vals[n-1],
+	}
+}
+
+func main() {
+	rep := Report{Benchmarks: []Benchmark{}, Summary: map[string]Summary{}}
+	pkg := ""
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case strings.HasPrefix(line, "goos: "):
+			rep.GOOS = strings.TrimPrefix(line, "goos: ")
+		case strings.HasPrefix(line, "goarch: "):
+			rep.GOARCH = strings.TrimPrefix(line, "goarch: ")
+		case strings.HasPrefix(line, "cpu: "):
+			rep.CPU = strings.TrimPrefix(line, "cpu: ")
+		case strings.HasPrefix(line, "pkg: "):
+			pkg = strings.TrimPrefix(line, "pkg: ")
+		default:
+			if b, ok := parseLine(line, pkg); ok {
+				rep.Benchmarks = append(rep.Benchmarks, b)
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson: read:", err)
+		os.Exit(1)
+	}
+	if len(rep.Benchmarks) == 0 {
+		fmt.Fprintln(os.Stderr, "benchjson: no benchmark lines on stdin")
+		os.Exit(1)
+	}
+	byName := map[string][]float64{}
+	for _, b := range rep.Benchmarks {
+		key := b.Name
+		if b.Pkg != "" {
+			key = b.Pkg + "." + b.Name
+		}
+		byName[key] = append(byName[key], b.NsPerOp)
+	}
+	for key, vals := range byName {
+		rep.Summary[key] = summarize(vals)
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson: write:", err)
+		os.Exit(1)
+	}
+}
