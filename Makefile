@@ -3,7 +3,7 @@ PKGS := ./...
 # Kernel-level microbenchmarks (tree/forest/linear fits, ColMatrix, group-by).
 KERNEL_BENCH := BenchmarkTreeFit|BenchmarkForestFit|BenchmarkExtraTreesFit|BenchmarkHistogramSplit|BenchmarkLogisticFit|BenchmarkMatrixTakeRows|BenchmarkColMatrix|BenchmarkRowMajorMatrix|BenchmarkDropNANoNulls|BenchmarkSeriesStd|BenchmarkGroupKeys
 
-.PHONY: test race check bench bench-kernel bench-grid bench-json bench-cpu fmt fmt-check vet
+.PHONY: test race check bench bench-kernel bench-grid bench-json bench-cpu fmt fmt-check vet grid-workers
 
 test:
 	$(GO) build $(PKGS)
@@ -34,22 +34,33 @@ bench-kernel:
 # 40-cell resume pass, and record-shard setup. Keeps the run engine's fixed
 # costs visible in the perf trajectory (they must stay negligible next to
 # cell compute).
-GRID_BENCH := BenchmarkArtifactWrite|BenchmarkArtifactRead|BenchmarkManifestSave|BenchmarkGridResume|BenchmarkStoreSetShard
+GRID_BENCH := BenchmarkArtifactWrite|BenchmarkArtifactRead|BenchmarkManifestSave|BenchmarkGridResume|BenchmarkStoreSetShard|BenchmarkLeaseClaim
 bench-grid:
 	$(GO) test ./internal/grid -bench '$(GRID_BENCH)' -benchmem -run xxx -count 3
 
 # Machine-readable perf trajectory: the kernel and grid bench sweeps piped
-# through tools/benchjson into BENCH_kernel.json / BENCH_grid.json (raw
-# runs plus per-benchmark medians). CI runs this on every push and uploads
-# both files as workflow artifacts.
+# through tools/benchjson into BENCH_kernel.json / BENCH_grid.json. Each
+# sweep is APPENDED to the committed trajectory (a JSON array, one report
+# per sweep with raw runs plus per-benchmark medians), so the files
+# accumulate history instead of overwriting it. CI runs this on every push
+# and uploads both files as workflow artifacts. The tmp-then-mv dance keeps
+# the append source readable while the new array is being produced.
 bench-json:
-	$(GO) test ./internal/ml ./internal/dataframe -bench '$(KERNEL_BENCH)' -benchmem -run xxx -count 3 | tee /dev/stderr | $(GO) run ./tools/benchjson > BENCH_kernel.json
-	$(GO) test ./internal/grid -bench '$(GRID_BENCH)' -benchmem -run xxx -count 3 | tee /dev/stderr | $(GO) run ./tools/benchjson > BENCH_grid.json
+	$(GO) test ./internal/ml ./internal/dataframe -bench '$(KERNEL_BENCH)' -benchmem -run xxx -count 3 | tee /dev/stderr | $(GO) run ./tools/benchjson -append BENCH_kernel.json > BENCH_kernel.json.tmp && mv BENCH_kernel.json.tmp BENCH_kernel.json
+	$(GO) test ./internal/grid -bench '$(GRID_BENCH)' -benchmem -run xxx -count 3 | tee /dev/stderr | $(GO) run ./tools/benchjson -append BENCH_grid.json > BENCH_grid.json.tmp && mv BENCH_grid.json.tmp BENCH_grid.json
 
 # CPU profile of forest training; inspect with `go tool pprof cpu.out`.
 bench-cpu:
 	$(GO) test ./internal/ml -bench 'BenchmarkForestFit' -run xxx -cpuprofile cpu.out -benchtime 5s
 	@echo "profile written to cpu.out (and ml.test); open with: go tool pprof cpu.out"
+
+# End-to-end distributed-grid check across real processes: record the quick
+# grid sequentially, drain it with 3 concurrent -worker processes replaying
+# the recording (tables must be byte-identical to the sequential output),
+# then repeat with one worker killed mid-run and its lease reclaimed by the
+# survivors. CI runs this on every push alongside the bench job.
+grid-workers:
+	sh tools/grid_workers.sh
 
 fmt:
 	gofmt -l -w .

@@ -45,6 +45,32 @@
 // the methods sequentially; timings are therefore contended but every FM
 // counter is exact. Ctrl-C cancels in-flight cells; with -run-dir/-resume
 // the interrupted grid resumes incrementally.
+//
+// # Multi-worker runs
+//
+// -worker <id> turns the run directory into a shared job queue: N
+// processes with distinct ids pointed at the same -run-dir (and the same
+// selection flags) drain one plan concurrently, coordinating through
+// lease files under <run-dir>/leases — no external services. Each worker
+// executes only the cells it claims; a completed artifact always wins over
+// any lease; a worker killed mid-cell stops heartbeating its lease, and
+// after -lease-ttl any peer reclaims the cell. Workers that finish early
+// wait for their peers' artifacts, so every worker folds and prints the
+// complete tables; cells still held elsewhere when a worker is interrupted
+// render as '?' (in progress on another worker). The same recording
+// directory (-fm-replay) can back any number of workers.
+//
+//	experiments -table 4 -quick -run-dir runs/t4 -fm-replay rec/ -worker w1 &
+//	experiments -table 4 -quick -run-dir runs/t4 -fm-replay rec/ -worker w2 &
+//
+// # Run-directory GC
+//
+//	experiments -gc runs/ -gc-keep 3
+//
+// applies the retention policy to a directory of run dirs: per config
+// hash the newest -gc-keep runs are kept, older ones deleted, and
+// orphaned lease files (completed cell, stale heartbeat, reap tombstones)
+// are swept from the kept runs.
 package main
 
 import (
@@ -57,6 +83,7 @@ import (
 	"strconv"
 	"strings"
 	"syscall"
+	"time"
 
 	"smartfeat/internal/datasets"
 	"smartfeat/internal/experiments"
@@ -108,7 +135,28 @@ func main() {
 	runDir := flag.String("run-dir", "", "persist per-cell artifacts and a run manifest into this directory (the grid engine's resumable run directory)")
 	resume := flag.String("resume", "", "resume an interrupted run directory: completed cells load from artifacts and are skipped")
 	keepGoing := flag.Bool("keep-going", false, "run every grid cell even after one fails (default: fail fast, skipping unstarted cells)")
+	worker := flag.String("worker", "", "worker id for a multi-process run: N processes with distinct ids and one -run-dir drain the same grid concurrently via filesystem leases")
+	leaseTTL := flag.Duration("lease-ttl", 0, "staleness threshold for peer leases in -worker mode (0 = 30s): a worker silent this long is presumed crashed and its cells are reclaimed")
+	gcDir := flag.String("gc", "", "compact this directory of run dirs (keep the newest -gc-keep runs per config hash, sweep orphaned leases) and exit")
+	gcKeep := flag.Int("gc-keep", 3, "runs to keep per config hash under -gc")
 	flag.Parse()
+
+	if *gcDir != "" {
+		rep, err := grid.Compact(*gcDir, *gcKeep, *leaseTTL)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("gc: kept %d run(s), removed %d run(s), swept %d orphaned lease file(s)\n",
+			len(rep.Kept), len(rep.RemovedRuns), len(rep.RemovedLeases))
+		for _, d := range rep.RemovedRuns {
+			fmt.Println("gc: removed run", d)
+		}
+		for _, l := range rep.RemovedLeases {
+			fmt.Println("gc: swept lease", l)
+		}
+		return
+	}
 
 	cfg := experiments.DefaultConfig()
 	if *quick {
@@ -146,12 +194,12 @@ func main() {
 	defer stop()
 
 	gridMode := *runDir != "" || *resume != "" || *fmRecord != "" || *keepGoing ||
-		methods != nil || isDir(*fmReplay)
+		*worker != "" || methods != nil || isDir(*fmReplay)
 	var err error
 	if gridMode {
 		err = runGrid(ctx, sel, selected, methods, cfg, gridOptions{
 			runDir: *runDir, resume: *resume, fmRecord: *fmRecord, fmReplay: *fmReplay,
-			keepGoing: *keepGoing, quick: *quick,
+			keepGoing: *keepGoing, quick: *quick, worker: *worker, leaseTTL: *leaseTTL,
 		})
 	} else {
 		cfg.FMReplayPath = *fmReplay
@@ -233,6 +281,8 @@ type gridOptions struct {
 	fmRecord, fmReplay string
 	keepGoing          bool
 	quick              bool
+	worker             string
+	leaseTTL           time.Duration
 }
 
 // runGrid is the cell-addressed path: build the plan for the selection, run
@@ -248,12 +298,17 @@ func runGrid(ctx context.Context, sel selections, names, methods []string, cfg e
 	if o.fmRecord != "" && o.fmReplay != "" {
 		return fmt.Errorf("-fm-record and -fm-replay are mutually exclusive (a replayed run makes no upstream calls to record)")
 	}
+	if o.worker != "" && o.runDir == "" && o.resume == "" {
+		return fmt.Errorf("-worker needs -run-dir (or -resume): the run directory's leases and artifacts are how workers coordinate")
+	}
 
 	runner := &grid.Runner{
 		Config:    cfg,
 		Dir:       o.runDir,
 		Resume:    false,
 		KeepGoing: o.keepGoing,
+		Worker:    o.worker,
+		LeaseTTL:  o.leaseTTL,
 		Name:      strings.Join(names, ","),
 		Logf: func(format string, args ...any) {
 			fmt.Fprintf(os.Stderr, "grid: "+format+"\n", args...)
@@ -375,9 +430,10 @@ func runGrid(ctx context.Context, sel selections, names, methods []string, cfg e
 	}
 
 	counts := result.Counts()
-	fmt.Fprintf(os.Stderr, "grid: %d cells: %d completed, %d resumed, %d failed, %d skipped, %d interrupted\n",
+	fmt.Fprintf(os.Stderr, "grid: %d cells: %d completed, %d resumed, %d failed, %d skipped, %d interrupted, %d on other workers\n",
 		len(plan), counts[grid.StatusCompleted], counts[grid.StatusResumed],
-		counts[grid.StatusFailed], counts[grid.StatusSkipped], counts[grid.StatusInterrupted])
+		counts[grid.StatusFailed], counts[grid.StatusSkipped], counts[grid.StatusInterrupted],
+		counts[grid.StatusLeased])
 	if runErr != nil && runner.Dir != "" {
 		fmt.Fprintf(os.Stderr, "grid: resume with: experiments -resume %s %s\n",
 			runner.Dir, replaySelectionHint(sel, o, names, methods))

@@ -23,14 +23,17 @@ func ComparisonMethods() []string {
 // CellState classifies a grid cell's scheduling outcome. A *completed* cell
 // may still hold a method-level failure (MethodResult.Err — the "-" cells of
 // Tables 4/5); CellFailed means the cell's infrastructure errored (dataset
-// load, store wiring) and CellSkipped means it never started (fail-fast
-// after another cell's failure, or run cancellation).
+// load, store wiring); CellSkipped means it never started (fail-fast after
+// another cell's failure, or run cancellation); CellElsewhere means another
+// worker of a distributed run held the cell's live lease when this process
+// finished — in progress, just not here.
 type CellState int
 
 const (
 	CellCompleted CellState = iota
 	CellFailed
 	CellSkipped
+	CellElsewhere
 )
 
 // CellFailure names one failed cell.
@@ -55,6 +58,10 @@ type RunError struct {
 	Skipped []string
 	// Interrupted lists cells aborted mid-execution by cancellation.
 	Interrupted []string
+	// Elsewhere lists cells held under other workers' live leases when this
+	// process finished — in progress on the shared run directory, not here.
+	// A later fold (another worker, or -resume) picks their artifacts up.
+	Elsewhere []string
 	// Cause is the context error when the run was cancelled.
 	Cause error
 }
@@ -75,6 +82,9 @@ func (e *RunError) Error() string {
 	}
 	if len(e.Interrupted) > 0 {
 		fmt.Fprintf(&b, "; interrupted mid-cell: %s", strings.Join(e.Interrupted, ", "))
+	}
+	if len(e.Elsewhere) > 0 {
+		fmt.Fprintf(&b, "; %d cell(s) in progress on other workers: %s", len(e.Elsewhere), strings.Join(e.Elsewhere, ", "))
 	}
 	if len(e.Skipped) > 0 {
 		fmt.Fprintf(&b, "; skipped %d unstarted cell(s): %s", len(e.Skipped), strings.Join(e.Skipped, ", "))

@@ -147,8 +147,11 @@ func ComparisonFromCells(names []string, cfg Config, get func(dataset, method st
 	median = newComparisonTable("median", names)
 	markMissing := func(t *ComparisonTable, method, dataset string, state CellState) {
 		reason := "failed"
-		if state == CellSkipped {
+		switch state {
+		case CellSkipped:
 			reason = "skipped"
+		case CellElsewhere:
+			reason = "elsewhere"
 		}
 		t.Missing[method][dataset] = reason
 	}
@@ -265,17 +268,18 @@ func (t *ComparisonTable) String() string {
 		b.WriteByte('\n')
 	}
 	b.WriteString("(* = method did not support all ML models on this dataset; '-' = method failed/timeout;\n" +
-		" '!' = cell errored before producing a result; '?' = cell skipped, never ran)\n")
+		" '!' = cell errored before producing a result; '?' = cell skipped or in progress on another worker)\n")
 	return b.String()
 }
 
 // missMark returns the render marker for a cell that has no result because
-// it never produced one: '!' for a failed cell, '?' for a skipped one.
+// it never produced one here: '!' for a failed cell, '?' for one that was
+// skipped or is still running on another worker of a distributed run.
 func (t *ComparisonTable) missMark(method, dataset string) (string, bool) {
 	switch t.Missing[method][dataset] {
 	case "failed":
 		return "!", true
-	case "skipped":
+	case "skipped", "elsewhere":
 		return "?", true
 	}
 	return "", false

@@ -63,9 +63,29 @@ type StoreSet struct {
 	replay bool
 
 	mu       sync.Mutex
+	locker   Locker
 	manifest StoreSetManifest
 	shards   map[string]*Store
 	closed   bool
+}
+
+// Locker serializes the manifest's read-merge-write cycle across processes.
+// Multi-worker grid recordings plug in a lease.Mutex here; single-process
+// recordings need none (the in-process mutex suffices).
+type Locker interface {
+	Lock() error
+	Unlock() error
+}
+
+// Dir returns the shard directory.
+func (s *StoreSet) Dir() string { return s.dir }
+
+// SetLocker installs the cross-process manifest lock. Call before the first
+// Shard; replay sets ignore it (the manifest is read-only after open).
+func (s *StoreSet) SetLocker(l Locker) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.locker = l
 }
 
 // NewRecordStoreSet creates a shard directory for recording. The manifest's
@@ -240,7 +260,30 @@ func (s *StoreSet) Close() error {
 	return first
 }
 
-// writeManifestLocked atomically rewrites the manifest file.
+// writeManifestLocked atomically rewrites the manifest file. In record mode
+// the on-disk cell list is re-read and unioned in first, so concurrent
+// recording workers — each opening shards only for the cells it claimed —
+// never erase each other's coverage; the optional Locker closes the
+// read-union-write race across processes.
 func (s *StoreSet) writeManifestLocked() error {
+	if s.locker != nil {
+		if err := s.locker.Lock(); err != nil {
+			return err
+		}
+		defer s.locker.Unlock()
+	}
+	if !s.replay {
+		if raw, err := os.ReadFile(filepath.Join(s.dir, storeSetManifestName)); err == nil {
+			var disk StoreSetManifest
+			if err := json.Unmarshal(raw, &disk); err == nil && disk.ConfigHash == s.manifest.ConfigHash {
+				for _, c := range disk.Cells {
+					if !s.hasCellLocked(c) {
+						s.manifest.Cells = append(s.manifest.Cells, c)
+					}
+				}
+				sort.Strings(s.manifest.Cells)
+			}
+		}
+	}
 	return jsonio.WriteAtomic(filepath.Join(s.dir, storeSetManifestName), s.manifest)
 }

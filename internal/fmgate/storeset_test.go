@@ -203,6 +203,53 @@ func TestStoreSetResumedRecordingKeepsCells(t *testing.T) {
 	}
 }
 
+// TestStoreSetConcurrentRecorderManifestMerge pins the multi-worker
+// recording contract: two open StoreSets over one directory — as two
+// -worker processes recording their claimed cells would be — union their
+// cell lists through the on-disk manifest instead of clobbering each other.
+func TestStoreSetConcurrentRecorderManifestMerge(t *testing.T) {
+	dir := t.TempDir()
+	a, err := NewRecordStoreSet(dir, StoreSetManifest{ConfigHash: "cfg-1"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewRecordStoreSet(dir, StoreSetManifest{ConfigHash: "cfg-1"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.Shard("Bank__SMARTFEAT"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.Shard("Tennis__CAAFE"); err != nil {
+		t.Fatal(err)
+	}
+	// a's next manifest write must not erase b's cell, nor vice versa.
+	if _, err := a.Shard("Bank__CAAFE"); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Close(); err != nil {
+		t.Fatal(err)
+	}
+	replay, err := OpenReplayStoreSet(dir, "cfg-1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer replay.Close()
+	want := []string{"Bank__CAAFE", "Bank__SMARTFEAT", "Tennis__CAAFE"}
+	got := replay.Cells()
+	if len(got) != len(want) {
+		t.Fatalf("cells = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("cells = %v, want %v", got, want)
+		}
+	}
+}
+
 // TestOpenReplayStoreTruncatedTrailingRecord pins the crash-detection fix: a
 // recording whose final line was cut mid-write (no trailing newline, invalid
 // JSON) is reported as truncated instead of silently accepted or dropped.

@@ -20,6 +20,8 @@ func (r *RunResult) methodCellState(dataset, method string) (experiments.MethodR
 		return o.Artifact.Method.Result(method), experiments.CellCompleted
 	case StatusFailed:
 		return experiments.MethodResult{}, experiments.CellFailed
+	case StatusLeased:
+		return experiments.MethodResult{}, experiments.CellElsewhere
 	default: // skipped, interrupted
 		return experiments.MethodResult{}, experiments.CellSkipped
 	}

@@ -8,6 +8,7 @@ import (
 	"smartfeat/internal/experiments"
 	"smartfeat/internal/fm"
 	"smartfeat/internal/fmgate"
+	"smartfeat/internal/lease"
 )
 
 // benchArtifact is a representative comparison-cell artifact: five model
@@ -118,6 +119,28 @@ func BenchmarkGridResume(b *testing.B) {
 		}
 	}
 	b.ReportMetric(float64(len(plan)), "cells/op")
+}
+
+// BenchmarkLeaseClaim measures one claim/release cycle through the
+// filesystem lease protocol — the per-cell coordination overhead worker
+// mode adds on top of single-process scheduling (two syscall-bound file
+// operations; it must stay invisible next to cell compute).
+func BenchmarkLeaseClaim(b *testing.B) {
+	fc, err := lease.New(b.TempDir(), lease.Options{Worker: "bench"})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer fc.Close()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cl, ok, err := fc.Claim("Bank__SMARTFEAT")
+		if err != nil || !ok {
+			b.Fatalf("claim: ok=%v err=%v", ok, err)
+		}
+		if err := cl.Release(); err != nil {
+			b.Fatal(err)
+		}
+	}
 }
 
 // BenchmarkStoreSetShard measures opening a shard in record mode (file

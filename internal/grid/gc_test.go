@@ -1,0 +1,119 @@
+package grid
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+// mkRun synthesizes a run directory under root with the given config hash
+// and UpdatedAt stamp.
+func mkRun(t *testing.T, root, name, hash string, updated time.Time) string {
+	t.Helper()
+	dir := filepath.Join(root, name)
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	m := newManifest(name, hash, 1)
+	if err := m.save(dir); err != nil {
+		t.Fatal(err)
+	}
+	// save stamps UpdatedAt with now; rewrite it to the synthetic time.
+	m.UpdatedAt = updated.UTC().Format(time.RFC3339)
+	raw := "{\n  \"version\": 1,\n  \"name\": \"" + name + "\",\n  \"config_hash\": \"" + hash + "\",\n  \"seed\": 1,\n  \"updated_at\": \"" + m.UpdatedAt + "\",\n  \"cells\": {}\n}\n"
+	if err := os.WriteFile(filepath.Join(dir, manifestName), []byte(raw), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return dir
+}
+
+// mkLease plants a lease file in a run dir with the given age.
+func mkLease(t *testing.T, runDir, name string, age time.Duration) string {
+	t.Helper()
+	dir := LeasesDir(runDir)
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, name)
+	if err := os.WriteFile(path, []byte(`{"worker":"w","pid":1,"acquired_at":"2026-01-01T00:00:00Z"}`+"\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	when := time.Now().Add(-age)
+	if err := os.Chtimes(path, when, when); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// TestCompactRetention pins the keep-last-N-per-config-hash policy.
+func TestCompactRetention(t *testing.T) {
+	root := t.TempDir()
+	now := time.Now()
+	oldA := mkRun(t, root, "a-old", "hash-A", now.Add(-3*time.Hour))
+	midA := mkRun(t, root, "a-mid", "hash-A", now.Add(-2*time.Hour))
+	newA := mkRun(t, root, "a-new", "hash-A", now.Add(-time.Hour))
+	soleB := mkRun(t, root, "b-sole", "hash-B", now.Add(-10*time.Hour))
+	// A non-run directory (an FM recording, say) must be left alone.
+	fmDir := filepath.Join(root, "fm-shards")
+	if err := os.MkdirAll(fmDir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+
+	rep, err := Compact(root, 2, time.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.RemovedRuns) != 1 || rep.RemovedRuns[0] != oldA {
+		t.Fatalf("removed = %v, want [%s]", rep.RemovedRuns, oldA)
+	}
+	for _, kept := range []string{midA, newA, soleB, fmDir} {
+		if _, err := os.Stat(kept); err != nil {
+			t.Fatalf("%s should have been kept: %v", kept, err)
+		}
+	}
+	if _, err := os.Stat(oldA); !os.IsNotExist(err) {
+		t.Fatalf("%s should have been removed", oldA)
+	}
+	// keepN below 1 is a caller bug.
+	if _, err := Compact(root, 0, 0); err == nil {
+		t.Fatal("keepN=0 accepted")
+	}
+}
+
+// TestCompactSweepsOrphanedLeases pins the lease sweep inside kept runs:
+// completed-artifact leases, stale leases and reap tombstones go; live
+// leases of unfinished cells stay.
+func TestCompactSweepsOrphanedLeases(t *testing.T) {
+	root := t.TempDir()
+	run := mkRun(t, root, "run", "hash-A", time.Now())
+
+	// An artifact for cell X: its lease is an orphan no matter how fresh.
+	if err := os.WriteFile(filepath.Join(run, "Tennis__SMARTFEAT.json"), []byte("{}\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	doneLease := mkLease(t, run, "Tennis__SMARTFEAT.lease", 0)
+	staleLease := mkLease(t, run, "Tennis__CAAFE.lease", time.Hour)
+	liveLease := mkLease(t, run, "Tennis__AutoFeat.lease", 0)
+	tomb := mkLease(t, run, "Tennis__CAAFE.lease.reap-w9", 0)
+
+	rep, err := Compact(root, 1, time.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]bool{doneLease: true, staleLease: true, tomb: true}
+	if len(rep.RemovedLeases) != len(want) {
+		t.Fatalf("removed leases = %v, want %v", rep.RemovedLeases, want)
+	}
+	for _, p := range rep.RemovedLeases {
+		if !want[p] {
+			t.Fatalf("unexpected sweep of %s", p)
+		}
+		if _, err := os.Stat(p); !os.IsNotExist(err) {
+			t.Fatalf("%s reported swept but still present", p)
+		}
+	}
+	if _, err := os.Stat(liveLease); err != nil {
+		t.Fatalf("live lease swept: %v", err)
+	}
+}

@@ -25,6 +25,10 @@ type CellRecord struct {
 	Err string `json:"err,omitempty"`
 	// FinishedAt stamps the cell (RFC 3339).
 	FinishedAt string `json:"finished_at,omitempty"`
+	// Worker names the worker that resolved the cell (multi-worker runs;
+	// empty for single-process runs). Peers use failure records to skip
+	// re-executing a cell that already failed elsewhere.
+	Worker string `json:"worker,omitempty"`
 }
 
 // Manifest describes a run directory: which configuration produced it and

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"os"
+	"path/filepath"
 	"runtime"
 	"strings"
 	"sync"
@@ -13,6 +14,7 @@ import (
 
 	"smartfeat/internal/experiments"
 	"smartfeat/internal/fmgate"
+	"smartfeat/internal/lease"
 )
 
 // Status classifies a cell's scheduling outcome.
@@ -22,10 +24,13 @@ const (
 	// StatusCompleted: the cell executed and produced an artifact (possibly
 	// holding a method-level failure — that is still a result).
 	StatusCompleted Status = "completed"
-	// StatusResumed: the cell's artifact was loaded from the run directory.
+	// StatusResumed: the cell's artifact was loaded from the run directory —
+	// written by an earlier run (-resume) or by another worker of the same
+	// distributed run.
 	StatusResumed Status = "resumed"
 	// StatusFailed: the cell's infrastructure errored (dataset load, store
-	// wiring, artifact write).
+	// wiring, artifact write) — locally, or on another worker per the shared
+	// manifest.
 	StatusFailed Status = "failed"
 	// StatusSkipped: the cell never started (fail-fast after a failure, or
 	// the run was already cancelled).
@@ -33,6 +38,11 @@ const (
 	// StatusInterrupted: the cell was aborted mid-execution by cancellation;
 	// no artifact is persisted, so resume reruns it.
 	StatusInterrupted Status = "interrupted"
+	// StatusLeased: the cell was held under another worker's live lease when
+	// this process finished — in progress elsewhere. Only multi-worker runs
+	// that stop early (cancellation, fail-fast) report it; a healthy worker
+	// waits for the peer's artifact and resolves the cell to StatusResumed.
+	StatusLeased Status = "leased"
 )
 
 // Outcome is one cell's scheduling result.
@@ -41,11 +51,14 @@ type Outcome struct {
 	Status   Status
 	Artifact *Artifact // nil unless Completed/Resumed
 	Err      error     // set for Failed (and Interrupted: the context error)
+	Holder   string    // Leased: the worker id holding the cell's lease
 }
 
 // Runner schedules grid cells on a bounded worker pool. The zero value plus
 // a Config is a usable in-memory engine; Dir adds artifact persistence and
-// resume, Stores adds per-cell FM record/replay.
+// resume, Stores adds per-cell FM record/replay, Worker turns the run
+// directory into a shared job queue that N independent processes drain
+// concurrently.
 type Runner struct {
 	// Config is the shared evaluation protocol. Its Workers field bounds the
 	// cell-level fan-out exactly like the pre-grid harness (0 = GOMAXPROCS,
@@ -65,10 +78,35 @@ type Runner struct {
 	KeepGoing bool
 	// Stores shards FM record/replay per cell (optional).
 	Stores *fmgate.StoreSet
+	// Worker switches cell acquisition to filesystem leases under
+	// Dir/leases: N processes with distinct Worker ids pointed at one Dir
+	// drain the same plan concurrently, each executing only the cells it
+	// claims. Completed-artifact presence always wins over any lease; cells
+	// left by a crashed peer are reclaimed once its lease goes stale
+	// (LeaseTTL); the shared manifest is merged under a cross-process lock.
+	// A worker that finishes while peers still execute waits for their
+	// artifacts and folds the full grid, so every worker can render the
+	// complete tables. Requires Dir; implies join semantics (an existing
+	// manifest with a matching config hash is continued, not refused).
+	Worker string
+	// LeaseTTL is the staleness threshold for peer leases (0 =
+	// lease.DefaultTTL). Leases are heartbeated at TTL/3; a worker missing
+	// heartbeats for TTL is presumed crashed and its cells are reclaimed.
+	LeaseTTL time.Duration
+	// Claimer overrides the cell-acquisition protocol (tests; custom
+	// coordination backends). Nil selects lease.NewMem for single-process
+	// runs and a lease.FileClaimer under Dir/leases for Worker mode.
+	Claimer lease.Claimer
 	// Logf, when set, receives one line per finished cell (progress UX for
 	// long grid runs).
 	Logf func(format string, args ...any)
 }
+
+// leasesDirName is the lease directory inside a run directory.
+const leasesDirName = "leases"
+
+// LeasesDir returns the lease directory of a run directory.
+func LeasesDir(runDir string) string { return filepath.Join(runDir, leasesDirName) }
 
 // RunResult is the outcome of a Run: per-cell outcomes in plan order plus
 // the completed artifacts, with fold accessors for every table and figure.
@@ -99,7 +137,9 @@ func (r *RunResult) Counts() map[Status]int {
 }
 
 // Err aggregates the run's failures into an *experiments.RunError (nil when
-// every cell completed). Interrupted runs unwrap to the context error.
+// every cell completed). Interrupted runs unwrap to the context error; cells
+// still held by other workers' live leases are reported as in progress
+// elsewhere.
 func (r *RunResult) Err() error {
 	re := &experiments.RunError{}
 	for i := range r.Outcomes {
@@ -114,12 +154,39 @@ func (r *RunResult) Err() error {
 			if re.Cause == nil {
 				re.Cause = o.Err
 			}
+		case StatusLeased:
+			name := o.Cell.String()
+			if o.Holder != "" {
+				name += " (held by " + o.Holder + ")"
+			}
+			re.Elsewhere = append(re.Elsewhere, name)
 		}
 	}
-	if len(re.Failed) == 0 && len(re.Skipped) == 0 && len(re.Interrupted) == 0 {
+	if len(re.Failed) == 0 && len(re.Skipped) == 0 && len(re.Interrupted) == 0 && len(re.Elsewhere) == 0 {
 		return nil
 	}
 	return re
+}
+
+// runState carries the per-Run machinery shared by the scheduling passes.
+type runState struct {
+	res        *RunResult
+	configHash string
+	claimer    lease.Claimer
+	workers    int
+	failFast   atomic.Bool
+
+	// priorFailed snapshots the manifest's failure records as of Run start
+	// (Worker mode). Only failures *newer* than the snapshot propagate
+	// between workers: a failure from an earlier session stays retryable —
+	// this worker re-executes it, exactly as single-process -resume would —
+	// while a failure recorded by a live peer during this run is honored
+	// without wasting a re-execution.
+	priorFailed map[string]CellRecord
+
+	manifest   *Manifest
+	manifestMu sync.Mutex   // in-process serialization of manifest updates
+	fileMu     *lease.Mutex // cross-process serialization (Worker mode)
 }
 
 // Run executes the plan. Completed cells are persisted (and, with Resume,
@@ -127,9 +194,12 @@ func (r *RunResult) Err() error {
 // shard when Stores is set. Cancelling ctx stops scheduling new cells,
 // aborts in-flight FM calls, and leaves a resumable run directory.
 //
-// The returned error is the same aggregate RunResult.Err reports; the
-// RunResult is always returned, so callers can fold and render whatever
-// subset of the grid completed.
+// With Worker set, acquisition goes through filesystem leases: the plan is
+// drained in passes — claim and execute what is free, load what peers
+// completed, wait (polling) on what peers still hold — until every cell is
+// resolved or the run stops early. The returned error is the same aggregate
+// RunResult.Err reports; the RunResult is always returned, so callers can
+// fold and render whatever subset of the grid completed.
 func (r *Runner) Run(ctx context.Context, plan []Cell) (*RunResult, error) {
 	res := &RunResult{Outcomes: make([]Outcome, len(plan)), byKey: make(map[string]*Outcome, len(plan))}
 	for i, c := range plan {
@@ -139,28 +209,33 @@ func (r *Runner) Run(ctx context.Context, plan []Cell) (*RunResult, error) {
 		}
 		res.byKey[c.Key()] = &res.Outcomes[i]
 	}
+	distributed := r.Worker != ""
+	if distributed && r.Dir == "" {
+		return res, fmt.Errorf("grid: worker mode needs a run directory (the leases and artifacts are the coordination medium)")
+	}
 
-	var manifest *Manifest
-	var manifestMu sync.Mutex
-	configHash := r.Config.Fingerprint()
+	st := &runState{res: res, configHash: r.Config.Fingerprint()}
 	if r.Dir != "" {
 		if err := os.MkdirAll(r.Dir, 0o755); err != nil {
 			return res, fmt.Errorf("grid: creating run dir: %w", err)
 		}
+		if distributed {
+			st.fileMu = lease.NewMutex(filepath.Join(r.Dir, manifestName+".lock"), r.LeaseTTL)
+		}
 		existing, err := LoadManifest(r.Dir)
 		switch {
 		case err == nil:
-			if !r.Resume {
+			if !r.Resume && !distributed {
 				return res, fmt.Errorf("grid: run dir %s already holds a manifest; pass resume to continue it or pick a fresh directory", r.Dir)
 			}
-			if existing.ConfigHash != configHash {
+			if existing.ConfigHash != st.configHash {
 				return res, fmt.Errorf("grid: run dir %s was produced under config %s, this run is %s — the cells would not be comparable; start a fresh run directory",
-					r.Dir, existing.ConfigHash, configHash)
+					r.Dir, existing.ConfigHash, st.configHash)
 			}
-			manifest = existing
+			st.manifest = existing
 		case errors.Is(err, os.ErrNotExist):
-			manifest = newManifest(r.Name, configHash, r.Config.Seed)
-			if err := manifest.save(r.Dir); err != nil {
+			st.manifest = newManifest(r.Name, st.configHash, r.Config.Seed)
+			if err := r.saveManifest(st, func(m *Manifest) {}); err != nil {
 				return res, err
 			}
 		default:
@@ -172,7 +247,7 @@ func (r *Runner) Run(ctx context.Context, plan []Cell) (*RunResult, error) {
 	if r.Dir != "" && r.Resume {
 		for i := range res.Outcomes {
 			o := &res.Outcomes[i]
-			art, err := ReadArtifact(r.Dir, o.Cell, configHash)
+			art, err := ReadArtifact(r.Dir, o.Cell, st.configHash)
 			switch {
 			case err == nil:
 				o.Status, o.Artifact = StatusResumed, art
@@ -185,66 +260,77 @@ func (r *Runner) Run(ctx context.Context, plan []Cell) (*RunResult, error) {
 		}
 	}
 
-	recordCell := func(key string, rec CellRecord) error {
-		if manifest == nil {
-			return nil
+	// Snapshot pre-existing failure records: they mark cells an *earlier*
+	// session failed, which this run retries (like -resume); only failures
+	// recorded after this point — by a live peer — short-circuit cells.
+	if distributed {
+		st.priorFailed = make(map[string]CellRecord)
+		for k, rec := range st.manifest.Cells {
+			if rec.Status == string(StatusFailed) {
+				st.priorFailed[k] = rec
+			}
 		}
-		manifestMu.Lock()
-		defer manifestMu.Unlock()
-		rec.FinishedAt = time.Now().UTC().Format(time.RFC3339)
-		manifest.Cells[key] = rec
-		return manifest.save(r.Dir)
 	}
 
-	var failFast atomic.Bool
-	workers := r.Config.Workers
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
+	// Cell acquisition: a trivial in-memory claimer in single-process mode
+	// (every claim granted, zero I/O — behavior identical to the pre-lease
+	// engine), filesystem leases under Dir/leases in worker mode.
+	st.claimer = r.Claimer
+	if st.claimer == nil {
+		if distributed {
+			fc, err := lease.New(LeasesDir(r.Dir), lease.Options{Worker: r.Worker, TTL: r.LeaseTTL})
+			if err != nil {
+				return res, err
+			}
+			defer fc.Close()
+			st.claimer = fc
+		} else {
+			st.claimer = lease.NewMem()
+		}
 	}
-	experiments.ForEachIndex(workers, len(plan), func(i int) {
-		o := &res.Outcomes[i]
-		if o.Status == StatusResumed {
-			return
+
+	// Concurrent recording workers each open shards only for their claimed
+	// cells; the recording manifest's coverage list must merge across
+	// processes under a lock of its own.
+	if distributed && r.Stores != nil && !r.Stores.Replay() {
+		r.Stores.SetLocker(lease.NewMutex(filepath.Join(r.Stores.Dir(), "manifest.json.lock"), r.LeaseTTL))
+	}
+
+	st.workers = r.Config.Workers
+	if st.workers <= 0 {
+		st.workers = runtime.GOMAXPROCS(0)
+	}
+
+	todo := make([]int, 0, len(plan))
+	for i := range res.Outcomes {
+		if res.Outcomes[i].Status != StatusResumed {
+			todo = append(todo, i)
 		}
-		if ctx.Err() != nil || (!r.KeepGoing && failFast.Load()) {
-			o.Status = StatusSkipped // zero-valued already; explicit for clarity
-			return
+	}
+	poll := r.pollInterval()
+	for {
+		r.pass(ctx, st, todo, distributed)
+		if !distributed {
+			break
 		}
-		art, err := r.executeCell(ctx, o.Cell, configHash)
-		switch {
-		case err != nil && isCancellation(err):
-			o.Status, o.Err = StatusInterrupted, err
-			r.logf("cell %-40s interrupted", o.Cell)
-		case err != nil:
-			o.Status, o.Err = StatusFailed, err
-			failFast.Store(true)
-			r.logf("cell %-40s FAILED: %v", o.Cell, err)
-			if rerr := recordCell(o.Cell.Key(), CellRecord{Status: string(StatusFailed), Err: err.Error()}); rerr != nil {
-				o.Err = errors.Join(o.Err, rerr)
-			}
-		default:
-			if r.Dir != "" {
-				if werr := WriteArtifact(r.Dir, art); werr != nil {
-					// Same reporting as an execution failure: the run paid
-					// for this cell, so the log and manifest must say why it
-					// is not in the results.
-					o.Status, o.Err = StatusFailed, werr
-					failFast.Store(true)
-					r.logf("cell %-40s FAILED: %v", o.Cell, werr)
-					if rerr := recordCell(o.Cell.Key(), CellRecord{Status: string(StatusFailed), Err: werr.Error()}); rerr != nil {
-						o.Err = errors.Join(o.Err, rerr)
-					}
-					return
-				}
-			}
-			o.Status, o.Artifact = StatusCompleted, art
-			r.logf("cell %-40s completed", o.Cell)
-			if rerr := recordCell(o.Cell.Key(), CellRecord{Status: string(StatusCompleted)}); rerr != nil {
-				o.Status, o.Err = StatusFailed, rerr
-				failFast.Store(true)
+		// Cells still under peers' live leases: wait for their artifacts (or
+		// their leases to go stale) and re-scan, unless the run stopped.
+		todo = todo[:0]
+		for i := range res.Outcomes {
+			if res.Outcomes[i].Status == StatusLeased {
+				todo = append(todo, i)
 			}
 		}
-	})
+		if len(todo) == 0 || ctx.Err() != nil || (!r.KeepGoing && st.failFast.Load()) {
+			break
+		}
+		r.logf("waiting on %d cell(s) held by other workers", len(todo))
+		select {
+		case <-ctx.Done():
+		case <-time.After(poll):
+		}
+	}
+
 	err := res.Err()
 	if err != nil {
 		// A cancelled run may have only skipped cells (none caught mid-
@@ -256,6 +342,186 @@ func (r *Runner) Run(ctx context.Context, plan []Cell) (*RunResult, error) {
 		}
 	}
 	return res, err
+}
+
+// pollInterval paces the wait-on-peers loop: fast enough to pick up a
+// finished peer cell promptly, slow enough that idle waiting costs nothing
+// next to cell compute.
+func (r *Runner) pollInterval() time.Duration {
+	ttl := r.LeaseTTL
+	if ttl <= 0 {
+		ttl = lease.DefaultTTL
+	}
+	poll := ttl / 6
+	switch {
+	case poll < 10*time.Millisecond:
+		return 10 * time.Millisecond
+	case poll > 5*time.Second:
+		return 5 * time.Second
+	}
+	return poll
+}
+
+// pass schedules one sweep over the unresolved cells on the worker pool.
+func (r *Runner) pass(ctx context.Context, st *runState, todo []int, distributed bool) {
+	if len(todo) == 0 {
+		return
+	}
+	// Failures recorded by other workers (shared manifest) resolve cells
+	// without re-executing them and trigger cross-process fail-fast.
+	var foreign map[string]CellRecord
+	if distributed {
+		if m, err := LoadManifest(r.Dir); err == nil {
+			foreign = m.Cells
+		}
+	}
+	experiments.ForEachIndex(st.workers, len(todo), func(j int) {
+		o := &st.res.Outcomes[todo[j]]
+		if ctx.Err() != nil || (!r.KeepGoing && st.failFast.Load()) {
+			// A cell already observed under a peer's live lease stays
+			// "in progress elsewhere" — it is running, not skipped.
+			if o.Status != StatusLeased {
+				o.Status = StatusSkipped
+			}
+			return
+		}
+		key := o.Cell.Key()
+		if distributed {
+			if r.loadPeerArtifact(st, o) {
+				return
+			}
+			if rec, ok := foreign[key]; ok && rec.Status == string(StatusFailed) && rec != st.priorFailed[key] {
+				o.Status, o.Holder = StatusFailed, ""
+				o.Err = fmt.Errorf("grid: cell failed on worker %q: %s", rec.Worker, rec.Err)
+				st.failFast.Store(true)
+				r.logf("cell %-40s failed on worker %q", o.Cell, rec.Worker)
+				return
+			}
+		}
+		claim, ok, err := st.claimer.Claim(key)
+		if err != nil {
+			o.Status, o.Err = StatusFailed, err
+			st.failFast.Store(true)
+			r.logf("cell %-40s FAILED: %v", o.Cell, err)
+			return
+		}
+		if !ok {
+			o.Status = StatusLeased
+			if info, held := st.claimer.Holder(key); held {
+				o.Holder = info.Worker
+			}
+			r.logf("cell %-40s held by worker %q", o.Cell, o.Holder)
+			return
+		}
+		defer claim.Release()
+		// Completed-artifact presence always wins over any lease: the
+		// previous holder may have finished between our artifact check and
+		// the claim.
+		if distributed && r.loadPeerArtifact(st, o) {
+			return
+		}
+		r.executeClaimed(ctx, st, o)
+	})
+}
+
+// loadPeerArtifact resolves a cell from an artifact another worker (or an
+// earlier run) committed. Unreadable artifacts fail the cell: silently
+// re-executing would mask corruption.
+func (r *Runner) loadPeerArtifact(st *runState, o *Outcome) bool {
+	art, err := ReadArtifact(r.Dir, o.Cell, st.configHash)
+	switch {
+	case err == nil:
+		o.Status, o.Artifact, o.Err, o.Holder = StatusResumed, art, nil, ""
+		r.logf("cell %-40s loaded (completed by another worker)", o.Cell)
+		return true
+	case errors.Is(err, os.ErrNotExist):
+		return false
+	default:
+		o.Status, o.Err = StatusFailed, err
+		st.failFast.Store(true)
+		r.logf("cell %-40s FAILED: %v", o.Cell, err)
+		return true
+	}
+}
+
+// executeClaimed runs one claimed cell and commits its outcome (artifact +
+// manifest record).
+func (r *Runner) executeClaimed(ctx context.Context, st *runState, o *Outcome) {
+	art, err := r.executeCell(ctx, o.Cell, st.configHash)
+	switch {
+	case err != nil && isCancellation(err):
+		o.Status, o.Err = StatusInterrupted, err
+		r.logf("cell %-40s interrupted", o.Cell)
+	case err != nil:
+		o.Status, o.Err = StatusFailed, err
+		st.failFast.Store(true)
+		r.logf("cell %-40s FAILED: %v", o.Cell, err)
+		if rerr := r.recordCell(st, o.Cell.Key(), CellRecord{Status: string(StatusFailed), Err: err.Error()}); rerr != nil {
+			o.Err = errors.Join(o.Err, rerr)
+		}
+	default:
+		if r.Dir != "" {
+			if werr := WriteArtifact(r.Dir, art); werr != nil {
+				// Same reporting as an execution failure: the run paid
+				// for this cell, so the log and manifest must say why it
+				// is not in the results.
+				o.Status, o.Err = StatusFailed, werr
+				st.failFast.Store(true)
+				r.logf("cell %-40s FAILED: %v", o.Cell, werr)
+				if rerr := r.recordCell(st, o.Cell.Key(), CellRecord{Status: string(StatusFailed), Err: werr.Error()}); rerr != nil {
+					o.Err = errors.Join(o.Err, rerr)
+				}
+				return
+			}
+		}
+		o.Status, o.Artifact = StatusCompleted, art
+		r.logf("cell %-40s completed", o.Cell)
+		if rerr := r.recordCell(st, o.Cell.Key(), CellRecord{Status: string(StatusCompleted)}); rerr != nil {
+			o.Status, o.Err = StatusFailed, rerr
+			st.failFast.Store(true)
+		}
+	}
+}
+
+// recordCell commits one cell's status line to the run manifest. The
+// Dir check stands in for a manifest-presence check deliberately: the two
+// are equivalent (Run sets st.manifest exactly when Dir is non-empty), and
+// reading st.manifest here would race with saveManifest reassigning it
+// under the lock.
+func (r *Runner) recordCell(st *runState, key string, rec CellRecord) error {
+	if r.Dir == "" {
+		return nil
+	}
+	rec.FinishedAt = time.Now().UTC().Format(time.RFC3339)
+	rec.Worker = r.Worker
+	return r.saveManifest(st, func(m *Manifest) {
+		m.Cells[key] = rec
+	})
+}
+
+// saveManifest applies update to the manifest and rewrites it. In worker
+// mode the read-merge-write cycle runs under the cross-process manifest
+// lock, over a fresh load of the on-disk manifest, so concurrent workers
+// never clobber each other's cell records.
+func (r *Runner) saveManifest(st *runState, update func(*Manifest)) error {
+	st.manifestMu.Lock()
+	defer st.manifestMu.Unlock()
+	if st.fileMu != nil {
+		if err := st.fileMu.Lock(); err != nil {
+			return err
+		}
+		defer st.fileMu.Unlock()
+		if disk, err := LoadManifest(r.Dir); err == nil {
+			if disk.ConfigHash != st.manifest.ConfigHash {
+				return fmt.Errorf("grid: run dir %s manifest drifted to config %s mid-run (ours: %s)",
+					r.Dir, disk.ConfigHash, st.manifest.ConfigHash)
+			}
+			disk.Name = st.manifest.Name
+			st.manifest = disk
+		}
+	}
+	update(st.manifest)
+	return st.manifest.save(r.Dir)
 }
 
 // executeCell dispatches one cell to the experiments layer, wiring its FM

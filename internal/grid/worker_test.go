@@ -1,0 +1,301 @@
+package grid
+
+import (
+	"context"
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"smartfeat/internal/experiments"
+	"smartfeat/internal/fmgate"
+	"smartfeat/internal/lease"
+)
+
+// workerTTL keeps multi-worker tests responsive: poll ≈ TTL/6, heartbeat =
+// TTL/3, both well under cell execution time, while the TTL itself stays far
+// enough above a heartbeat that a loaded CI box (race detector, -cpu 1)
+// cannot starve a ticker long enough to fake a stale lease.
+const workerTTL = 5 * time.Second
+
+// recordTinyGrid records the tiny comparison grid once and returns the
+// sequential reference tables plus the recording directory.
+func recordTinyGrid(t *testing.T, names []string, cfg experiments.Config, plan []Cell) (avg, median string, fmDir string, ref *RunResult) {
+	t.Helper()
+	fmDir = t.TempDir()
+	stores, err := fmgate.NewRecordStoreSet(fmDir, fmgate.StoreSetManifest{
+		ConfigHash: cfg.Fingerprint(), Seed: cfg.Seed, Budget: cfg.SamplingBudget,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err = (&Runner{Config: cfg, Dir: t.TempDir(), Stores: stores}).Run(context.Background(), plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := stores.Close(); err != nil {
+		t.Fatal(err)
+	}
+	a, m := comparisonTables(t, ref, names, cfg)
+	return a.String(), m.String(), fmDir, ref
+}
+
+// runWorker drains the shared run directory as one worker process would:
+// its own Runner, its own replay StoreSet over the shared recording.
+func runWorker(ctx context.Context, t *testing.T, worker, dir, fmDir string, cfg experiments.Config, plan []Cell) (*RunResult, error) {
+	t.Helper()
+	stores, err := fmgate.OpenReplayStoreSet(fmDir, cfg.Fingerprint())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer stores.Close()
+	r := &Runner{Config: cfg, Dir: dir, Stores: stores, Worker: worker, LeaseTTL: workerTTL}
+	return r.Run(ctx, plan)
+}
+
+// TestGridMultiWorkersMatchSequential pins the tentpole acceptance contract:
+// three concurrent workers draining one replayed run directory partition the
+// cells between them, every worker folds the full grid, and the tables are
+// byte-identical to the single-process sequential run.
+func TestGridMultiWorkersMatchSequential(t *testing.T) {
+	names := []string{"Diabetes"}
+	cfg := tinyConfig()
+	cfg.Workers = 1
+	plan := ComparisonPlan(names, nil)
+	refAvg, refMed, fmDir, _ := recordTinyGrid(t, names, cfg, plan)
+
+	dir := t.TempDir()
+	const workers = 3
+	results := make([]*RunResult, workers)
+	errs := make([]error, workers)
+	var wg sync.WaitGroup
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			results[i], errs[i] = runWorker(context.Background(), t, string(rune('a'+i)), dir, fmDir, cfg, plan)
+		}(i)
+	}
+	wg.Wait()
+
+	executed := 0
+	for i := 0; i < workers; i++ {
+		if errs[i] != nil {
+			t.Fatalf("worker %d: %v", i, errs[i])
+		}
+		c := results[i].Counts()
+		executed += c[StatusCompleted]
+		if c[StatusCompleted]+c[StatusResumed] != len(plan) {
+			t.Fatalf("worker %d did not resolve the full grid: %v", i, c)
+		}
+		avg, median := comparisonTables(t, results[i], names, cfg)
+		if avg.String() != refAvg || median.String() != refMed {
+			t.Fatalf("worker %d tables differ from sequential run:\n%s\nvs\n%s", i, avg, refAvg)
+		}
+	}
+	// The workers partitioned the plan: every cell executed exactly once.
+	if executed != len(plan) {
+		t.Fatalf("cells executed across workers = %d, want %d (each exactly once)", executed, len(plan))
+	}
+	// No leases survive a clean drain.
+	leases, err := filepath.Glob(filepath.Join(LeasesDir(dir), "*.lease"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(leases) != 0 {
+		t.Fatalf("leases left behind: %v", leases)
+	}
+}
+
+// TestGridWorkerReclaimsCrashedPeer pins crashed-worker takeover: a worker is
+// interrupted mid-grid and a stale lease is left behind (as a kill -9 would),
+// and a second worker reclaims the cell, finishes the grid, and folds tables
+// byte-identical to the sequential run of the same recording.
+func TestGridWorkerReclaimsCrashedPeer(t *testing.T) {
+	names := []string{"Diabetes"}
+	cfg := tinyConfig()
+	cfg.Workers = 1
+	plan := ComparisonPlan(names, nil)
+	refAvg, refMed, fmDir, _ := recordTinyGrid(t, names, cfg, plan)
+
+	// First worker: cancelled after two completed cells.
+	dir := t.TempDir()
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var mu sync.Mutex
+	completed := 0
+	stores, err := fmgate.OpenReplayStoreSet(fmDir, cfg.Fingerprint())
+	if err != nil {
+		t.Fatal(err)
+	}
+	w1 := &Runner{Config: cfg, Dir: dir, Stores: stores, Worker: "w1", LeaseTTL: workerTTL,
+		Logf: func(format string, args ...any) {
+			if strings.Contains(format, "completed") {
+				mu.Lock()
+				if completed++; completed == 2 {
+					cancel()
+				}
+				mu.Unlock()
+			}
+		}}
+	if _, err := w1.Run(ctx, plan); err == nil {
+		t.Fatal("interrupted worker reported success")
+	}
+	stores.Close()
+
+	// Crash simulation: a lease on one unfinished cell whose owner is gone
+	// (no heartbeats — mtime pinned in the past, beyond any TTL).
+	var unfinished Cell
+	for _, c := range plan {
+		if _, err := ReadArtifact(dir, c, cfg.Fingerprint()); errors.Is(err, os.ErrNotExist) {
+			unfinished = c
+			break
+		}
+	}
+	if unfinished == (Cell{}) {
+		t.Fatal("interrupted run left no unfinished cell")
+	}
+	leasePath := filepath.Join(LeasesDir(dir), unfinished.Key()+".lease")
+	if err := os.MkdirAll(LeasesDir(dir), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(leasePath, []byte(`{"worker":"crashed","pid":99999,"acquired_at":"2026-01-01T00:00:00Z"}`+"\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	old := time.Now().Add(-time.Hour)
+	if err := os.Chtimes(leasePath, old, old); err != nil {
+		t.Fatal(err)
+	}
+
+	// Second worker: reclaims the stale lease, finishes everything.
+	res, err := runWorker(context.Background(), t, "w2", dir, fmDir, cfg, plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := res.Counts()
+	if c[StatusCompleted]+c[StatusResumed] != len(plan) {
+		t.Fatalf("reclaiming worker did not finish the grid: %v", c)
+	}
+	if c[StatusCompleted] == 0 {
+		t.Fatal("reclaiming worker executed nothing (stale lease not reclaimed?)")
+	}
+	avg, median := comparisonTables(t, res, names, cfg)
+	if avg.String() != refAvg || median.String() != refMed {
+		t.Fatalf("post-reclaim tables differ from sequential run:\n%s\nvs\n%s", avg, refAvg)
+	}
+}
+
+// TestGridWorkerRetriesPriorSessionFailure pins the failure-propagation
+// scope: a failure record left by an *earlier* session is retried by a
+// worker (exactly as single-process -resume retries it), not treated as a
+// live peer's verdict — only failures recorded during the current run
+// short-circuit cells across workers.
+func TestGridWorkerRetriesPriorSessionFailure(t *testing.T) {
+	names := []string{"Diabetes"}
+	cfg := tinyConfig()
+	cfg.Workers = 1
+	plan := ComparisonPlan(names, nil)
+	refAvg, refMed, fmDir, _ := recordTinyGrid(t, names, cfg, plan)
+
+	// A previous session's manifest: one cell marked failed (transiently).
+	dir := t.TempDir()
+	m := newManifest("prior", cfg.Fingerprint(), cfg.Seed)
+	failedKey := Cell{Dataset: "Diabetes", Method: experiments.MethodFeaturetools}.Key()
+	m.Cells[failedKey] = CellRecord{Status: string(StatusFailed), Err: "transient", Worker: "dead", FinishedAt: "2026-01-01T00:00:00Z"}
+	if err := m.save(dir); err != nil {
+		t.Fatal(err)
+	}
+
+	res, err := runWorker(context.Background(), t, "w1", dir, fmDir, cfg, plan)
+	if err != nil {
+		t.Fatalf("worker did not retry the prior failure: %v", err)
+	}
+	if c := res.Counts(); c[StatusCompleted] != len(plan) {
+		t.Fatalf("counts = %v, want %d completed", c, len(plan))
+	}
+	avg, median := comparisonTables(t, res, names, cfg)
+	if avg.String() != refAvg || median.String() != refMed {
+		t.Fatalf("retried tables differ from sequential run:\n%s\nvs\n%s", avg, refAvg)
+	}
+	// The retry overwrote the stale failure record.
+	m2, err := LoadManifest(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec := m2.Cells[failedKey]; rec.Status != string(StatusCompleted) || rec.Worker != "w1" {
+		t.Fatalf("manifest record after retry = %+v", rec)
+	}
+}
+
+// TestGridForeignLiveLeaseMarkers pins the interrupted-elsewhere reporting: a
+// cell held under a live foreign lease when this worker stops is surfaced as
+// in-progress-elsewhere ('?' in the tables, RunError.Elsewhere in the error)
+// rather than lumped into skipped.
+func TestGridForeignLiveLeaseMarkers(t *testing.T) {
+	names := []string{"Diabetes"}
+	cfg := tinyConfig()
+	cfg.Workers = 1
+	plan := ComparisonPlan(names, []string{experiments.MethodInitial, experiments.MethodFeaturetools})
+	_, _, fmDir, _ := recordTinyGrid(t, names, cfg, plan)
+
+	// A live peer holds the Featuretools cell (heartbeating in background).
+	dir := t.TempDir()
+	held := Cell{Dataset: "Diabetes", Method: experiments.MethodFeaturetools}
+	peer, err := lease.New(LeasesDir(dir), lease.Options{Worker: "peer", TTL: workerTTL})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer peer.Close()
+	claim, ok, err := peer.Claim(held.Key())
+	if err != nil || !ok {
+		t.Fatalf("peer claim: ok=%v err=%v", ok, err)
+	}
+	defer claim.Release()
+
+	// The worker drains what it can, then is cancelled while waiting on the
+	// peer (KeepGoing, as the satellite scenario specifies).
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	stores, err := fmgate.OpenReplayStoreSet(fmDir, cfg.Fingerprint())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer stores.Close()
+	w := &Runner{Config: cfg, Dir: dir, Stores: stores, Worker: "w1", LeaseTTL: workerTTL, KeepGoing: true,
+		Logf: func(format string, args ...any) {
+			if strings.Contains(format, "waiting on") {
+				cancel()
+			}
+		}}
+	res, err := w.Run(ctx, plan)
+	if err == nil {
+		t.Fatal("worker with a peer-held cell reported success")
+	}
+	var runErr *experiments.RunError
+	if !errors.As(err, &runErr) {
+		t.Fatalf("want *experiments.RunError, got %T: %v", err, err)
+	}
+	if len(runErr.Elsewhere) != 1 || !strings.Contains(runErr.Elsewhere[0], held.String()) ||
+		!strings.Contains(runErr.Elsewhere[0], "peer") {
+		t.Fatalf("Elsewhere = %v, want [%s (held by peer)]", runErr.Elsewhere, held)
+	}
+	if !strings.Contains(err.Error(), "in progress on other workers") {
+		t.Fatalf("error does not call out foreign cells: %v", err)
+	}
+	o := res.outcome(held)
+	if o == nil || o.Status != StatusLeased || o.Holder != "peer" {
+		t.Fatalf("held cell outcome = %+v", o)
+	}
+
+	// The fold marks the peer-held cell '?' (in progress), not '!' (failed).
+	avg, _ := comparisonTables(t, res, names, cfg)
+	if avg.Missing[experiments.MethodFeaturetools]["Diabetes"] != "elsewhere" {
+		t.Fatalf("missing marks = %v", avg.Missing)
+	}
+	if !strings.Contains(avg.String(), "?") {
+		t.Fatalf("table does not render the in-progress marker:\n%s", avg)
+	}
+}

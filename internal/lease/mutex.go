@@ -1,0 +1,116 @@
+package lease
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"sync"
+	"time"
+)
+
+// Mutex is a cross-process advisory lock built on the same exclusive-create
+// primitive as cell leases, for short critical sections over shared run-
+// directory files (the manifest read-merge-write cycle). Unlike a cell
+// lease it is not heartbeated — holders are expected to release within
+// milliseconds — so the TTL doubles as crash recovery: a lock file older
+// than TTL is reaped by the next contender with the same rename-to-
+// tombstone construction FileClaimer uses (per-contender tombstone names,
+// post-rename freshness re-check), so two reapers can never both conclude
+// they freed the lock.
+type Mutex struct {
+	path string
+	ttl  time.Duration
+
+	mu    sync.Mutex
+	token string // holder record of our current acquisition; "" when unheld
+}
+
+// mutexPollInterval paces Lock's acquisition retries. Critical sections are
+// sub-millisecond file rewrites, so a short fixed backoff beats anything
+// adaptive.
+const mutexPollInterval = 2 * time.Millisecond
+
+// NewMutex names a lock file. ttl ≤ 0 defaults to 10s — generous next to
+// the millisecond critical sections, tight enough that a crashed holder
+// stalls peers only briefly.
+func NewMutex(path string, ttl time.Duration) *Mutex {
+	if ttl <= 0 {
+		ttl = 10 * time.Second
+	}
+	return &Mutex{path: path, ttl: ttl}
+}
+
+// Lock blocks until the lock file is exclusively created. A lock older than
+// TTL is presumed abandoned by a crashed holder and reaped. The lock file
+// holds a unique per-acquisition token, so Unlock can tell our lock from a
+// successor's after a reap.
+func (m *Mutex) Lock() error {
+	token := fmt.Sprintf("%d-%d\n", os.Getpid(), time.Now().UnixNano())
+	for {
+		f, err := os.OpenFile(m.path, os.O_CREATE|os.O_EXCL|os.O_WRONLY, 0o644)
+		if err == nil {
+			_, werr := f.WriteString(token)
+			if cerr := f.Close(); werr == nil {
+				werr = cerr
+			}
+			if werr != nil {
+				os.Remove(m.path)
+				return fmt.Errorf("lease: locking %s: %w", m.path, werr)
+			}
+			m.mu.Lock()
+			m.token = token
+			m.mu.Unlock()
+			return nil
+		}
+		if !os.IsExist(err) {
+			return fmt.Errorf("lease: locking %s: %w", m.path, err)
+		}
+		if st, serr := os.Stat(m.path); serr == nil && time.Since(st.ModTime()) > m.ttl {
+			m.reap()
+			continue
+		}
+		time.Sleep(mutexPollInterval)
+	}
+}
+
+// reap takes a stale lock out of the way: rename to a per-contender
+// tombstone (atomic — concurrent reapers cannot double-free), then re-check
+// the renamed file's mtime in case the lock we moved was not the stale one
+// we observed but a successor acquired in the window; a fresh lock is
+// restored, a genuinely stale one removed. Best-effort throughout: every
+// failure mode just sends the caller around the acquisition loop again.
+func (m *Mutex) reap() {
+	tomb := fmt.Sprintf("%s.reap-%d", m.path, os.Getpid())
+	if err := os.Rename(m.path, tomb); err != nil {
+		return // a peer reaped (or the holder released) first
+	}
+	if st, err := os.Stat(tomb); err == nil && time.Since(st.ModTime()) <= m.ttl {
+		os.Rename(tomb, m.path) // fresh after all: put the owner's lock back
+		return
+	}
+	os.Remove(tomb)
+}
+
+// Unlock releases the lock. If our lock was reaped while we held it (we
+// stalled past TTL) — and possibly re-acquired by a peer — the on-disk
+// token no longer matches ours and the file is left alone: removing it
+// would free the lock out from under its new owner.
+func (m *Mutex) Unlock() error {
+	m.mu.Lock()
+	token := m.token
+	m.token = ""
+	m.mu.Unlock()
+	raw, err := os.ReadFile(m.path)
+	switch {
+	case errors.Is(err, os.ErrNotExist):
+		return nil // reaped while we held it
+	case err != nil:
+		return fmt.Errorf("lease: unlocking %s: %w", m.path, err)
+	case string(raw) != token:
+		return nil // reaped and re-acquired by a peer
+	}
+	if err := os.Remove(m.path); err != nil && !os.IsNotExist(err) {
+		return fmt.Errorf("lease: unlocking %s: %w", m.path, err)
+	}
+	return nil
+}

@@ -6,12 +6,22 @@
 // and a per-benchmark median summary is computed for quick comparisons.
 //
 // Usage: go test -bench . -benchmem ./... | go run ./tools/benchjson
+//
+// With -append FILE the new report is appended to the trajectory already in
+// FILE and the combined JSON array is written to stdout, so the committed
+// BENCH_*.json files accumulate one entry per sweep instead of forgetting
+// their history (a single data point is a measurement; two or more are a
+// trajectory). FILE may hold either a legacy single-report object — wrapped
+// into a one-entry array first — or an array from a previous -append.
 package main
 
 import (
 	"bufio"
 	"encoding/json"
+	"errors"
+	"flag"
 	"fmt"
+	"io/fs"
 	"os"
 	"sort"
 	"strconv"
@@ -116,7 +126,30 @@ func summarize(vals []float64) Summary {
 	}
 }
 
+// loadTrajectory reads a prior trajectory file: a JSON array of reports, or
+// a legacy single report (the pre-append format), or nothing (missing file).
+func loadTrajectory(path string) ([]json.RawMessage, error) {
+	raw, err := os.ReadFile(path)
+	if errors.Is(err, fs.ErrNotExist) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	var arr []json.RawMessage
+	if err := json.Unmarshal(raw, &arr); err == nil {
+		return arr, nil
+	}
+	var single json.RawMessage
+	if err := json.Unmarshal(raw, &single); err != nil {
+		return nil, fmt.Errorf("%s is neither a report array nor a single report: %w", path, err)
+	}
+	return []json.RawMessage{single}, nil
+}
+
 func main() {
+	appendPath := flag.String("append", "", "trajectory file to append this report to; the combined array goes to stdout")
+	flag.Parse()
 	rep := Report{Benchmarks: []Benchmark{}, Summary: map[string]Summary{}}
 	pkg := ""
 	sc := bufio.NewScanner(os.Stdin)
@@ -159,7 +192,21 @@ func main() {
 	}
 	enc := json.NewEncoder(os.Stdout)
 	enc.SetIndent("", "  ")
-	if err := enc.Encode(rep); err != nil {
+	var doc any = rep
+	if *appendPath != "" {
+		prior, err := loadTrajectory(*appendPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson: append:", err)
+			os.Exit(1)
+		}
+		entry, err := json.Marshal(rep)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson: encode:", err)
+			os.Exit(1)
+		}
+		doc = append(prior, entry)
+	}
+	if err := enc.Encode(doc); err != nil {
 		fmt.Fprintln(os.Stderr, "benchjson: write:", err)
 		os.Exit(1)
 	}

@@ -1,0 +1,72 @@
+#!/bin/sh
+# grid_workers.sh — end-to-end check of the distributed grid engine across
+# real processes (make grid-workers; wired into CI).
+#
+# Phase 1 records the quick Diabetes comparison grid sequentially and keeps
+# its stdout as the golden tables. Phase 2 points three -worker processes at
+# one fresh run directory replaying that recording and requires every
+# worker's folded tables to be byte-identical to the golden output. Phase 3
+# repeats that with a crash: the first worker is killed mid-run (kill -9, so
+# its lease is never released) and the surviving workers must reclaim its
+# cells after the lease TTL and still converge on identical tables.
+set -eu
+
+GO="${GO:-go}"
+TMP="$(mktemp -d)"
+trap 'rm -rf "$TMP"' EXIT INT TERM
+
+BIN="$TMP/experiments"
+"$GO" build -o "$BIN" ./cmd/experiments
+
+# The comparison selection only: table 4/5 folds are deterministic per-cell;
+# the efficiency table would embed wall-clock timings and can never diff
+# clean.
+ARGS="-table 4 -quick -datasets Diabetes"
+
+echo "grid-workers: recording sequential golden run" >&2
+"$BIN" $ARGS -run-dir "$TMP/seq" -fm-record "$TMP/fm" >"$TMP/golden.txt" 2>"$TMP/seq.log"
+
+echo "grid-workers: 3 workers draining one replayed run dir" >&2
+pids=""
+for i in 1 2 3; do
+    "$BIN" $ARGS -worker "w$i" -run-dir "$TMP/dist" -fm-replay "$TMP/fm" -lease-ttl 5s \
+        >"$TMP/w$i.txt" 2>"$TMP/w$i.log" &
+    pids="$pids $!"
+done
+for p in $pids; do
+    wait "$p" || { echo "grid-workers: a worker failed; logs:" >&2; cat "$TMP"/w*.log >&2; exit 1; }
+done
+for i in 1 2 3; do
+    diff "$TMP/golden.txt" "$TMP/w$i.txt" >&2 || {
+        echo "grid-workers: worker w$i tables differ from sequential run" >&2; exit 1; }
+done
+if [ -n "$(ls "$TMP/dist/leases" 2>/dev/null)" ]; then
+    echo "grid-workers: leases left behind after a clean drain:" >&2
+    ls "$TMP/dist/leases" >&2
+    exit 1
+fi
+echo "grid-workers: 3-worker tables byte-identical to sequential" >&2
+
+echo "grid-workers: crash-reclaim — killing one worker mid-run" >&2
+"$BIN" $ARGS -worker w1 -run-dir "$TMP/crash" -fm-replay "$TMP/fm" -lease-ttl 3s \
+    >"$TMP/c1.txt" 2>"$TMP/c1.log" &
+victim=$!
+sleep 1
+kill -9 "$victim" 2>/dev/null || true
+wait "$victim" 2>/dev/null || true
+pids=""
+for i in 2 3; do
+    "$BIN" $ARGS -worker "w$i" -run-dir "$TMP/crash" -fm-replay "$TMP/fm" -lease-ttl 3s \
+        >"$TMP/c$i.txt" 2>"$TMP/c$i.log" &
+    pids="$pids $!"
+done
+for p in $pids; do
+    wait "$p" || { echo "grid-workers: a surviving worker failed; logs:" >&2; cat "$TMP"/c[23].log >&2; exit 1; }
+done
+for i in 2 3; do
+    diff "$TMP/golden.txt" "$TMP/c$i.txt" >&2 || {
+        echo "grid-workers: post-crash worker w$i tables differ from sequential run" >&2; exit 1; }
+done
+echo "grid-workers: crash-reclaim tables byte-identical to sequential" >&2
+
+echo "grid-workers: OK" >&2
