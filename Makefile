@@ -3,7 +3,7 @@ PKGS := ./...
 # Kernel-level microbenchmarks (tree/forest/linear fits, ColMatrix, group-by).
 KERNEL_BENCH := BenchmarkTreeFit|BenchmarkForestFit|BenchmarkExtraTreesFit|BenchmarkHistogramSplit|BenchmarkLogisticFit|BenchmarkMatrixTakeRows|BenchmarkColMatrix|BenchmarkRowMajorMatrix|BenchmarkDropNANoNulls|BenchmarkSeriesStd|BenchmarkGroupKeys
 
-.PHONY: test race check bench bench-kernel bench-grid bench-json bench-cpu fmt fmt-check vet grid-workers
+.PHONY: test race check bench bench-kernel bench-grid bench-json bench-cpu fmt fmt-check vet grid-workers chaos
 
 test:
 	$(GO) build $(PKGS)
@@ -31,12 +31,12 @@ bench-kernel:
 	$(GO) test ./internal/ml ./internal/dataframe -bench '$(KERNEL_BENCH)' -benchmem -run xxx -count 3
 
 # Grid-engine overhead benches: artifact/manifest (de)serialization, a full
-# 40-cell resume pass, and record-shard setup. Keeps the run engine's fixed
-# costs visible in the perf trajectory (they must stay negligible next to
-# cell compute).
-GRID_BENCH := BenchmarkArtifactWrite|BenchmarkArtifactRead|BenchmarkManifestSave|BenchmarkGridResume|BenchmarkStoreSetShard|BenchmarkLeaseClaim
+# 40-cell resume pass, record-shard setup, and the FM backend pool's per-call
+# transport overhead. Keeps the run engine's fixed costs visible in the perf
+# trajectory (they must stay negligible next to cell compute).
+GRID_BENCH := BenchmarkArtifactWrite|BenchmarkArtifactRead|BenchmarkManifestSave|BenchmarkGridResume|BenchmarkStoreSetShard|BenchmarkLeaseClaim|BenchmarkPoolComplete
 bench-grid:
-	$(GO) test ./internal/grid -bench '$(GRID_BENCH)' -benchmem -run xxx -count 3
+	$(GO) test ./internal/grid ./internal/fmgate -bench '$(GRID_BENCH)' -benchmem -run xxx -count 3
 
 # Machine-readable perf trajectory: the kernel and grid bench sweeps piped
 # through tools/benchjson into BENCH_kernel.json / BENCH_grid.json. Each
@@ -47,7 +47,7 @@ bench-grid:
 # the append source readable while the new array is being produced.
 bench-json:
 	$(GO) test ./internal/ml ./internal/dataframe -bench '$(KERNEL_BENCH)' -benchmem -run xxx -count 3 | tee /dev/stderr | $(GO) run ./tools/benchjson -append BENCH_kernel.json > BENCH_kernel.json.tmp && mv BENCH_kernel.json.tmp BENCH_kernel.json
-	$(GO) test ./internal/grid -bench '$(GRID_BENCH)' -benchmem -run xxx -count 3 | tee /dev/stderr | $(GO) run ./tools/benchjson -append BENCH_grid.json > BENCH_grid.json.tmp && mv BENCH_grid.json.tmp BENCH_grid.json
+	$(GO) test ./internal/grid ./internal/fmgate -bench '$(GRID_BENCH)' -benchmem -run xxx -count 3 | tee /dev/stderr | $(GO) run ./tools/benchjson -append BENCH_grid.json > BENCH_grid.json.tmp && mv BENCH_grid.json.tmp BENCH_grid.json
 
 # CPU profile of forest training; inspect with `go tool pprof cpu.out`.
 bench-cpu:
@@ -61,6 +61,15 @@ bench-cpu:
 # survivors. CI runs this on every push alongside the bench job.
 grid-workers:
 	sh tools/grid_workers.sh
+
+# Chaos-grade resilience check: record the quick grid sequentially as a
+# golden, then replay it through a 3-backend fmgate.Pool with 10% transient
+# faults, rate-limit errors, latency jitter and one scripted outage — the
+# tables must stay byte-identical to the golden and the FM report must show
+# the breaker opening/probing/closing and hedges firing. CI runs this on
+# every push alongside the grid-workers job.
+chaos:
+	sh tools/chaos.sh
 
 fmt:
 	gofmt -l -w .

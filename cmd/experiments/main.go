@@ -132,6 +132,12 @@ func main() {
 	fmRecord := flag.String("fm-record", "", "record per-cell FM shards (JSONL + manifest) into this directory; the whole selected grid is recorded in one run")
 	fmReplay := flag.String("fm-replay", "", "replay FM completions at zero simulated cost: a directory of per-cell shards (from -fm-record; config-hash checked, any cell subset) or a legacy monolithic recording file")
 	fmConcurrency := flag.Int("fm-concurrency", 0, "bound on each gateway's concurrent in-flight FM calls (0 = default 8)")
+	fmBackends := flag.Int("fm-backends", 0, "route FM traffic through a resilient pool of N replica backends (circuit breakers, least-loaded selection; 0 = no pool)")
+	fmHedge := flag.Duration("fm-hedge", 0, "hedge FM calls: fire a duplicate on a second backend after this delay, first success wins (0 = off; needs -fm-backends >= 2)")
+	fmDeadline := flag.Duration("fm-deadline", 0, "per-FM-call deadline budget; a stuck backend fails the call transiently instead of holding the cell (0 = none)")
+	fmBreaker := flag.String("fm-breaker", "", "per-backend circuit breaker as THRESHOLD[:COOLDOWN], e.g. '3' or '3:50ms' (consecutive transport failures to open; delay before the half-open probe)")
+	fmRetries := flag.Int("fm-retries", 0, "gateway retry budget for transient FM errors (0 = fail fast, or 4 when -fm-faults is set)")
+	fmFaults := flag.String("fm-faults", "", "per-backend injected fault model, e.g. 'rate=0.1,ratelimit=0.03,hang=0.01,malformed=0.02,jitter=4ms,retryafter=10ms,outage=b2:5-25' (needs -fm-backends)")
 	runDir := flag.String("run-dir", "", "persist per-cell artifacts and a run manifest into this directory (the grid engine's resumable run directory)")
 	resume := flag.String("resume", "", "resume an interrupted run directory: completed cells load from artifacts and are skipped")
 	keepGoing := flag.Bool("keep-going", false, "run every grid cell even after one fails (default: fail fast, skipping unstarted cells)")
@@ -170,6 +176,40 @@ func main() {
 		cfg.FMCacheSize = 1 << 14
 	}
 	cfg.FMConcurrency = *fmConcurrency
+
+	if *fmBackends > 0 {
+		spec := &fmgate.PoolSpec{
+			Backends: *fmBackends,
+			Hedge:    *fmHedge,
+			Deadline: *fmDeadline,
+			Retries:  *fmRetries,
+			Seed:     cfg.Seed,
+		}
+		if *fmBreaker != "" {
+			br, err := fmgate.ParseBreaker(*fmBreaker)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "experiments:", err)
+				os.Exit(2)
+			}
+			spec.Breaker = br
+		}
+		if *fmFaults != "" {
+			fs, err := fmgate.ParseFaultSpec(*fmFaults)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "experiments:", err)
+				os.Exit(2)
+			}
+			if *fmRecord != "" && fs.Malformed > 0 {
+				fmt.Fprintln(os.Stderr, "experiments: -fm-faults malformed>0 with -fm-record would record corrupted completions; record clean traffic and inject faults on replay")
+				os.Exit(2)
+			}
+			spec.Faults = fs
+		}
+		cfg.FMPool = spec
+	} else if *fmHedge != 0 || *fmDeadline != 0 || *fmBreaker != "" || *fmFaults != "" || *fmRetries != 0 {
+		fmt.Fprintln(os.Stderr, "experiments: -fm-hedge/-fm-deadline/-fm-breaker/-fm-faults/-fm-retries need -fm-backends >= 1")
+		os.Exit(2)
+	}
 
 	selected := datasets.Names()
 	if *names != "" {

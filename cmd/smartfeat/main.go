@@ -69,6 +69,7 @@ type cliOptions struct {
 	fmRecord, fmReplay         string
 	fmCell                     string
 	fmConcurrency              int
+	pool                       *fmgate.PoolSpec
 }
 
 // cellKey resolves the shard key for sharded record/replay: the explicit
@@ -101,7 +102,44 @@ func main() {
 	flag.StringVar(&o.fmReplay, "fm-replay", "", "replay FM completions from a recording (zero simulated cost); a directory replays one shard of a cmd/experiments grid recording")
 	flag.StringVar(&o.fmCell, "fm-cell", "", "shard key inside a sharded recording directory (default <dataset>__SMARTFEAT)")
 	flag.IntVar(&o.fmConcurrency, "fm-concurrency", 8, "bound on concurrent in-flight FM calls (row-level fan-out)")
+	fmBackends := flag.Int("fm-backends", 0, "route FM traffic through a resilient pool of N replica backends (0 = no pool)")
+	fmHedge := flag.Duration("fm-hedge", 0, "hedge FM calls: duplicate on a second backend after this delay, first success wins (0 = off)")
+	fmDeadline := flag.Duration("fm-deadline", 0, "per-FM-call deadline budget (0 = none)")
+	fmBreaker := flag.String("fm-breaker", "", "per-backend circuit breaker as THRESHOLD[:COOLDOWN], e.g. '3:50ms'")
+	fmRetries := flag.Int("fm-retries", 0, "gateway retry budget for transient FM errors (0 = fail fast, or 4 when -fm-faults is set)")
+	fmFaults := flag.String("fm-faults", "", "per-backend injected fault model, e.g. 'rate=0.1,jitter=4ms,outage=b2:5-25' (keys: rate, ratelimit, hang, malformed, jitter, retryafter, outage)")
 	flag.Parse()
+
+	if *fmBackends > 0 {
+		spec := &fmgate.PoolSpec{
+			Backends: *fmBackends,
+			Hedge:    *fmHedge,
+			Deadline: *fmDeadline,
+			Retries:  *fmRetries,
+			Seed:     o.seed,
+		}
+		var err error
+		if *fmBreaker != "" {
+			if spec.Breaker, err = fmgate.ParseBreaker(*fmBreaker); err != nil {
+				fmt.Fprintln(os.Stderr, "smartfeat:", err)
+				os.Exit(2)
+			}
+		}
+		if *fmFaults != "" {
+			if spec.Faults, err = fmgate.ParseFaultSpec(*fmFaults); err != nil {
+				fmt.Fprintln(os.Stderr, "smartfeat:", err)
+				os.Exit(2)
+			}
+			if o.fmRecord != "" && spec.Faults.Malformed > 0 {
+				fmt.Fprintln(os.Stderr, "smartfeat: -fm-faults malformed>0 with -fm-record would record corrupted completions; record clean traffic and inject faults on replay")
+				os.Exit(2)
+			}
+		}
+		o.pool = spec
+	} else if *fmHedge != 0 || *fmDeadline != 0 || *fmBreaker != "" || *fmFaults != "" || *fmRetries != 0 {
+		fmt.Fprintln(os.Stderr, "smartfeat: -fm-hedge/-fm-deadline/-fm-breaker/-fm-faults/-fm-retries need -fm-backends >= 1")
+		os.Exit(2)
+	}
 
 	// Ctrl-C / SIGTERM cancels in-flight FM calls; the run loop below then
 	// reports partial usage accounting instead of dying mid-write.
@@ -176,9 +214,19 @@ func buildRouter(o cliOptions) (*fmgate.Router, io.Closer, error) {
 	if err != nil {
 		return nil, nil, err
 	}
+	// Each role gets its own pool (breakers and fault sequences are per
+	// role); a nil o.pool builds plain gateways.
+	selector, err := fmgate.PoolGateway(fm.NewGPT4Sim(o.seed, o.errorRate), gwOpts, o.pool)
+	if err != nil {
+		return nil, nil, err
+	}
+	generator, err := fmgate.PoolGateway(fm.NewGPT35Sim(o.seed+1, o.errorRate), gwOpts, o.pool)
+	if err != nil {
+		return nil, nil, err
+	}
 	router := fmgate.NewRouter().
-		Route(fmgate.RoleSelector, fmgate.New(fm.NewGPT4Sim(o.seed, o.errorRate), gwOpts)).
-		Route(fmgate.RoleGenerator, fmgate.New(fm.NewGPT35Sim(o.seed+1, o.errorRate), gwOpts))
+		Route(fmgate.RoleSelector, selector).
+		Route(fmgate.RoleGenerator, generator)
 	return router, closer, nil
 }
 

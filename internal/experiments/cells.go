@@ -10,6 +10,7 @@ import (
 	"smartfeat/internal/core"
 	"smartfeat/internal/dataframe"
 	"smartfeat/internal/datasets"
+	"smartfeat/internal/fmgate"
 )
 
 // ComparisonMethods lists the comparison-grid cell methods in table row
@@ -72,6 +73,9 @@ func (e *RunError) Error() string {
 	switch {
 	case len(e.Failed) > 0:
 		fmt.Fprintf(&b, "%d cell(s) failed", len(e.Failed))
+		if n := e.Degraded(); n > 0 {
+			fmt.Fprintf(&b, " (%d degraded: FM backend pool fully circuit-open)", n)
+		}
 		for _, f := range e.Failed {
 			fmt.Fprintf(&b, "; %s", f)
 		}
@@ -90,6 +94,20 @@ func (e *RunError) Error() string {
 		fmt.Fprintf(&b, "; skipped %d unstarted cell(s): %s", len(e.Skipped), strings.Join(e.Skipped, ", "))
 	}
 	return b.String()
+}
+
+// Degraded counts failed cells that died on a fully circuit-open FM backend
+// pool — infrastructure degradation, not a property of the dataset × method
+// cell. A -keep-going run reports them distinctly so the operator knows the
+// failures share one cause.
+func (e *RunError) Degraded() int {
+	n := 0
+	for _, f := range e.Failed {
+		if fmgate.IsAllBackendsOpen(f.Err) {
+			n++
+		}
+	}
+	return n
 }
 
 // Unwrap exposes the cancellation cause or the first failure, so
@@ -111,13 +129,20 @@ func (e *RunError) Unwrap() error {
 // (sequential, worker pool, resumed across processes) produces bit-identical
 // results. The returned error covers cell infrastructure only (unknown
 // dataset/method); method-level failures stay in MethodResult.Err, which is
-// a legitimate result (the "-" cells of Tables 4/5).
+// a legitimate result (the "-" cells of Tables 4/5). One exception is
+// promoted: a fully circuit-open FM backend pool is transport degradation,
+// not a verdict on the method, so it fails the cell loudly (breaker state in
+// the error) instead of being persisted as a bogus "-" artifact.
 func RunCell(ctx context.Context, dataset, method string, cfg Config) (MethodResult, error) {
 	d, err := datasets.Load(dataset, cfg.Seed)
 	if err != nil {
 		return MethodResult{Method: method}, err
 	}
-	return runMethodOn(ctx, d, d.Frame.DropNA(), method, cfg)
+	res, err := runMethodOn(ctx, d, d.Frame.DropNA(), method, cfg)
+	if err == nil && fmgate.IsAllBackendsOpen(res.Err) {
+		return res, res.Err
+	}
+	return res, err
 }
 
 // datasetCache amortizes dataset loads across the cells of one in-process

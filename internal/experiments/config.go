@@ -62,6 +62,13 @@ type Config struct {
 	// every upstream completion to the shard).
 	FMStore       *fmgate.Store
 	FMStoreReplay bool
+	// FMPool routes every gateway's upstream traffic through a resilient
+	// backend pool (hedging, circuit breakers, deadline budgets, injected
+	// faults) when non-nil with Backends > 0. Transport-only: a pool never
+	// changes what a model answers, so — like Workers and FMConcurrency —
+	// it is excluded from Fingerprint and a chaos replay of a recorded run
+	// still matches the recording's config hash.
+	FMPool *fmgate.PoolSpec
 	// Workers bounds the evaluation harness's parallelism. The bound is
 	// per fan-out level, not global: RunComparison fans datasets, each
 	// EvalDataset fans its five method cells, and each EvaluateFrame fans

@@ -3,6 +3,7 @@ package experiments
 import (
 	"context"
 	"errors"
+	"fmt"
 
 	"smartfeat/internal/baselines/autofeat"
 	"smartfeat/internal/baselines/caafe"
@@ -81,7 +82,7 @@ func newGateway(model fm.Model, cfg Config) (*fmgate.Gateway, error) {
 		opts.Store = store
 		opts.Replay = true
 	}
-	return fmgate.New(model, opts), nil
+	return fmgate.PoolGateway(model, opts, cfg.FMPool)
 }
 
 // newScopedGateway builds a per-session gateway that participates only in
@@ -90,14 +91,25 @@ func newGateway(model fm.Model, cfg Config) (*fmgate.Gateway, error) {
 // traffic only, so routing CAAFE sessions through them would turn every
 // CAAFE prompt into a replay miss where the pre-grid harness ran the live
 // simulator.
-func newScopedGateway(model fm.Model, scope string, cfg Config) *fmgate.Gateway {
-	return fmgate.New(model, fmgate.Options{
+func newScopedGateway(model fm.Model, scope string, cfg Config) (*fmgate.Gateway, error) {
+	return fmgate.PoolGateway(model, fmgate.Options{
 		CacheSize:   cfg.FMCacheSize,
 		Concurrency: cfg.FMConcurrency,
 		Scope:       scope,
 		Store:       cfg.FMStore,
 		Replay:      cfg.FMStore != nil && cfg.FMStoreReplay,
-	})
+	}, cfg.FMPool)
+}
+
+// poolDegradedErr surfaces the first fully-circuit-open backend-pool failure
+// any of the router's gateways saw during a run, nil when healthy.
+func poolDegradedErr(router *fmgate.Router) error {
+	for _, role := range router.Roles() {
+		if derr := router.Gate(role).PoolDegraded(); derr != nil {
+			return fmt.Errorf("experiments: %s role: %w", role, derr)
+		}
+	}
+	return nil
 }
 
 // RunSmartfeat applies SMARTFEAT and evaluates the result. Cancelling the
@@ -112,6 +124,13 @@ func RunSmartfeat(ctx context.Context, d *datasets.Dataset, clean *dataframe.Fra
 	}
 	res, err := core.RunContext(ctx, clean, opts)
 	out.FMMetrics = router.Metrics()
+	if err == nil {
+		// The pipeline's error-tolerance can ride out fail-fast FM errors,
+		// so a run over a fully circuit-open backend pool may "complete" on
+		// quietly degraded content. Surface the degradation as the method
+		// error (with breaker state) instead of trusting the result.
+		err = poolDegradedErr(router)
+	}
 	if err != nil {
 		out.Err = err
 		return out
@@ -200,6 +219,7 @@ func RunCAAFE(ctx context.Context, d *datasets.Dataset, clean *dataframe.Frame, 
 	type session struct {
 		res      *caafe.Result
 		runErr   error
+		degraded error
 		aucs     map[string]float64
 		failures map[string]string
 		evalErr  error
@@ -213,19 +233,30 @@ func RunCAAFE(ctx context.Context, d *datasets.Dataset, clean *dataframe.Frame, 
 		// identical prompts on identical frames, so without a scope their
 		// record/replay queues would interleave nondeterministically under
 		// the shared per-cell shard.
-		gw := newScopedGateway(fm.NewGPT4Sim(cfg.Seed+7, cfg.FMErrorRate), "caafe/"+ds, cfg)
+		gw, gwErr := newScopedGateway(fm.NewGPT4Sim(cfg.Seed+7, cfg.FMErrorRate), "caafe/"+ds, cfg)
+		if gwErr != nil {
+			cells[i] = session{runErr: gwErr}
+			return
+		}
 		res, err := caafe.Run(ctx, fact, d.Target, d.Descriptions, gw, ds, caafeCfg)
 		if err != nil {
-			cells[i] = session{runErr: err, metrics: gw.Metrics()}
+			cells[i] = session{runErr: err, degraded: gw.PoolDegraded(), metrics: gw.Metrics()}
 			return
 		}
 		aucs, failures, evalErr := EvaluateFrame(ctx, res.Frame, d.Target, []string{ds}, cfg)
-		cells[i] = session{res: res, aucs: aucs, failures: failures, evalErr: evalErr, metrics: gw.Metrics()}
+		cells[i] = session{res: res, degraded: gw.PoolDegraded(), aucs: aucs, failures: failures, evalErr: evalErr, metrics: gw.Metrics()}
 	})
 
 	for i, ds := range cfg.Models {
 		c := cells[i]
 		out.FMMetrics.Add(c.metrics)
+		if c.degraded != nil {
+			// Same rule as RunSmartfeat: a session that ran into a fully
+			// circuit-open pool produced suspect content — fail the method
+			// loudly rather than fold a degraded session into the average.
+			out.Err = fmt.Errorf("experiments: caafe/%s session: %w", ds, c.degraded)
+			continue
+		}
 		if c.runErr != nil {
 			if errors.Is(c.runErr, context.Canceled) || errors.Is(c.runErr, context.DeadlineExceeded) {
 				// An interrupted session is not a model failure: surface the

@@ -1,0 +1,172 @@
+package fmgate
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// BreakerState is a circuit breaker's position.
+type BreakerState string
+
+// The classic three-state breaker.
+const (
+	BreakerClosed   BreakerState = "closed"
+	BreakerOpen     BreakerState = "open"
+	BreakerHalfOpen BreakerState = "half-open"
+)
+
+// BreakerConfig tunes one backend's circuit breaker. The zero value gets
+// sensible defaults.
+type BreakerConfig struct {
+	// Threshold is how many consecutive transport failures open the breaker
+	// (default 5).
+	Threshold int
+	// Cooldown is how long an open breaker waits before admitting a single
+	// half-open probe (default 250ms).
+	Cooldown time.Duration
+}
+
+func (c BreakerConfig) withDefaults() BreakerConfig {
+	if c.Threshold <= 0 {
+		c.Threshold = 5
+	}
+	if c.Cooldown <= 0 {
+		c.Cooldown = 250 * time.Millisecond
+	}
+	return c
+}
+
+// BreakerSnapshot is a point-in-time view of one breaker, embedded in
+// backend metrics and in AllBackendsOpenError.
+type BreakerSnapshot struct {
+	State       BreakerState
+	Consecutive int   // consecutive transport failures seen
+	Opens       int64 // closed→open and probe-failure re-open transitions
+	Probes      int64 // half-open probes admitted
+	Closes      int64 // open/half-open→closed transitions
+	Since       time.Time
+}
+
+// String renders "open 1.2s ago after 5 consecutive failures" style state.
+func (s BreakerSnapshot) String() string {
+	if s.State == BreakerClosed {
+		return string(BreakerClosed)
+	}
+	return fmt.Sprintf("%s %s after %d consecutive failures",
+		s.State, time.Since(s.Since).Round(time.Millisecond), s.Consecutive)
+}
+
+// breaker is a per-backend circuit breaker: closed → open after Threshold
+// consecutive transport failures; after Cooldown one half-open probe is
+// admitted — its success closes the breaker, its failure re-opens it (and
+// restarts the cooldown clock). Only transport verdicts feed it: a backend
+// whose wire works but whose model returns an application error is healthy.
+type breaker struct {
+	cfg BreakerConfig
+
+	mu          sync.Mutex
+	state       BreakerState
+	consecutive int
+	openedAt    time.Time
+	probing     bool
+	opens       int64
+	probes      int64
+	closes      int64
+}
+
+func newBreaker(cfg BreakerConfig) *breaker {
+	return &breaker{cfg: cfg.withDefaults(), state: BreakerClosed}
+}
+
+// closed reports whether calls flow freely.
+func (b *breaker) closed() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state == BreakerClosed
+}
+
+// admitProbe grants the single half-open probe once the cooldown has
+// elapsed. Callers that win it must report back via success, failure or
+// abandon, or the slot stays taken forever.
+func (b *breaker) admitProbe(now time.Time) bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.state == BreakerClosed || b.probing {
+		return false
+	}
+	if now.Sub(b.openedAt) < b.cfg.Cooldown {
+		return false
+	}
+	b.state = BreakerHalfOpen
+	b.probing = true
+	b.probes++
+	return true
+}
+
+// success records a transport success; a probe's success closes the breaker.
+func (b *breaker) success(probe bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if probe {
+		b.probing = false
+	}
+	if b.state != BreakerClosed {
+		b.closes++
+	}
+	b.state = BreakerClosed
+	b.consecutive = 0
+}
+
+// failure records a transport failure; Threshold consecutive ones open the
+// breaker, and a failed probe re-opens it with a fresh cooldown.
+func (b *breaker) failure(now time.Time, probe bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.consecutive++
+	if probe {
+		b.probing = false
+		b.state = BreakerOpen
+		b.openedAt = now
+		b.opens++
+		return
+	}
+	if b.state != BreakerClosed {
+		return // a straggler failing after someone else already opened it
+	}
+	if b.consecutive >= b.cfg.Threshold {
+		b.state = BreakerOpen
+		b.openedAt = now
+		b.opens++
+	}
+}
+
+// abandon releases a probe slot without a verdict — the probe's call was
+// cancelled for reasons unrelated to backend health (its hedge rival won, or
+// the whole run was cancelled). The breaker returns to open with its
+// original cooldown clock, so the next pick can probe again immediately.
+func (b *breaker) abandon(probe bool) {
+	if !probe {
+		return
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.probing = false
+	if b.state == BreakerHalfOpen {
+		b.state = BreakerOpen
+	}
+}
+
+// snapshot returns the current state and transition counters.
+func (b *breaker) snapshot() BreakerSnapshot {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return BreakerSnapshot{
+		State:       b.state,
+		Consecutive: b.consecutive,
+		Opens:       b.opens,
+		Probes:      b.probes,
+		Closes:      b.closes,
+		Since:       b.openedAt,
+	}
+}

@@ -167,16 +167,24 @@ func (g *Gateway) Usage() fm.Usage { return g.model.Usage() }
 // ResetUsage implements fm.Model.
 func (g *Gateway) ResetUsage() { g.model.ResetUsage() }
 
+// contentKey is the shared content address of a prompt for a named model
+// under an optional scope — the cache key and the record/replay store key,
+// used identically by Gateway and StoreModel so a recording made through one
+// replays through the other.
+func contentKey(scope, name, prompt string) string {
+	s := name + "\x00" + prompt
+	if scope != "" {
+		s = scope + "\x00" + s
+	}
+	h := sha256.Sum256([]byte(s))
+	return hex.EncodeToString(h[:16])
+}
+
 // Key returns the content address of a prompt for this gateway's model: the
 // cache key and the record/replay store key. A non-empty Options.Scope is
 // mixed in, so scoped gateways sharing one store never collide.
 func (g *Gateway) Key(prompt string) string {
-	s := g.model.Name() + "\x00" + prompt
-	if g.opts.Scope != "" {
-		s = g.opts.Scope + "\x00" + s
-	}
-	h := sha256.Sum256([]byte(s))
-	return hex.EncodeToString(h[:16])
+	return contentKey(g.opts.Scope, g.model.Name(), prompt)
 }
 
 // Complete implements fm.Model.
@@ -283,14 +291,32 @@ func (g *Gateway) callUpstream(ctx context.Context, key, prompt string) (string,
 	for attempt := 0; ; attempt++ {
 		if attempt > 0 {
 			g.bump(func(m *Metrics) { m.Retries++ })
-			t := time.NewTimer(backoff)
+			delay := backoff
+			if hint, ok := RetryAfterHint(err); ok {
+				// A rate-limited upstream told us when to come back: honor
+				// the hint instead of blind exponential doubling (and keep
+				// the doubling schedule untouched for later plain retries).
+				delay = hint
+			} else {
+				backoff *= 2
+			}
+			if dl, ok := ctx.Deadline(); ok {
+				// Deadline budget cap: sleeping into a deadline we cannot
+				// make wastes the budget and would mask the real failure
+				// behind a context error — surface the upstream error with
+				// the budget arithmetic instead.
+				if remain := time.Until(dl); remain <= delay {
+					return "", fmt.Errorf("fmgate: abandoning retries, %s of deadline budget left but next retry due in %s: %w",
+						remain.Round(time.Millisecond), delay, err)
+				}
+			}
+			t := time.NewTimer(delay)
 			select {
 			case <-ctx.Done():
 				t.Stop()
 				return "", ctx.Err()
 			case <-t.C:
 			}
-			backoff *= 2
 		}
 		g.bump(func(m *Metrics) { m.UpstreamCalls++ })
 		if g.opts.Faults != nil {
@@ -332,6 +358,25 @@ func (g *Gateway) cachePut(key, text string) {
 	g.mu.Lock()
 	defer g.mu.Unlock()
 	g.cache.put(key, text)
+}
+
+// PoolDegraded reports the first fully-circuit-open failure of this
+// gateway's backend pool, nil when healthy (or when the upstream model is
+// not a Pool).
+func (g *Gateway) PoolDegraded() error {
+	if p, ok := g.model.(*Pool); ok {
+		return p.Degraded()
+	}
+	return nil
+}
+
+// PoolMetrics returns the backend-pool counters when this gateway's
+// upstream model is a Pool (ok=false otherwise).
+func (g *Gateway) PoolMetrics() (PoolMetrics, bool) {
+	if p, ok := g.model.(*Pool); ok {
+		return p.Metrics(), true
+	}
+	return PoolMetrics{}, false
 }
 
 // Metrics returns a snapshot of the traffic counters.
@@ -396,8 +441,12 @@ func firstLine(prompt string) string {
 	return prompt
 }
 
-// errTransient marks injected/upstream errors as retryable.
-type errTransient struct{ err error }
+// errTransient marks injected/upstream errors as retryable, optionally
+// carrying a Retry-After-style back-off hint.
+type errTransient struct {
+	err   error
+	after time.Duration
+}
 
 func (e errTransient) Error() string { return e.err.Error() }
 func (e errTransient) Unwrap() error { return e.err }
@@ -410,8 +459,27 @@ func Transient(err error) error {
 	return errTransient{err: err}
 }
 
+// RateLimited wraps an error as transient with a Retry-After hint: the retry
+// loop backs off by the server-suggested amount instead of its exponential
+// schedule.
+func RateLimited(err error, retryAfter time.Duration) error {
+	if err == nil {
+		return nil
+	}
+	return errTransient{err: err, after: retryAfter}
+}
+
 // IsTransient reports whether err is marked retryable.
 func IsTransient(err error) bool {
 	var t errTransient
 	return errors.As(err, &t)
+}
+
+// RetryAfterHint extracts a rate-limit back-off hint from err.
+func RetryAfterHint(err error) (time.Duration, bool) {
+	var t errTransient
+	if errors.As(err, &t) && t.after > 0 {
+		return t.after, true
+	}
+	return 0, false
 }

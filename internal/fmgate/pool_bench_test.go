@@ -1,0 +1,35 @@
+package fmgate
+
+import (
+	"context"
+	"fmt"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// BenchmarkPoolComplete measures the pool's per-call transport overhead —
+// selection, breaker bookkeeping, resolve-once plumbing — over an instant
+// model, concurrent as in the row-level fan-out. This is the price every FM
+// call pays for resilience when nothing goes wrong.
+func BenchmarkPoolComplete(b *testing.B) {
+	model := &countingModel{}
+	p, err := NewPool(model, []Backend{
+		{Name: "b1"}, {Name: "b2"}, {Name: "b3"},
+	}, PoolOptions{HedgeAfter: time.Second}) // armed but never fires
+	if err != nil {
+		b.Fatal(err)
+	}
+	g := New(p, Options{Concurrency: 16, Cacheable: allCacheable})
+	ctx := context.Background()
+	var seq atomic.Int64
+	b.ReportAllocs()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			prompt := fmt.Sprintf("prompt-%d", seq.Add(1))
+			if _, err := g.Complete(ctx, prompt); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

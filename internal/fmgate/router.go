@@ -75,6 +75,12 @@ func (r *Router) Report() string {
 		g := r.gates[role]
 		fmt.Fprintf(&b, "%-9s %s: %s\n", role, g.Name(), g.Usage())
 		fmt.Fprintf(&b, "%-9s gateway: %s\n", role, g.Metrics())
+		if pm, ok := g.PoolMetrics(); ok {
+			fmt.Fprintf(&b, "%-9s pool: %s\n", role, pm)
+			for _, bm := range pm.Backends {
+				fmt.Fprintf(&b, "%-9s   backend %s\n", role, bm)
+			}
+		}
 	}
 	return strings.TrimRight(b.String(), "\n")
 }

@@ -1,0 +1,57 @@
+package fmgate
+
+import (
+	"context"
+	"fmt"
+
+	"smartfeat/internal/fm"
+)
+
+// StoreModel serves a recording as an fm.Model: the content source a Pool
+// races its backend transports over in replay mode. The gateway's own replay
+// short-circuit answers *before* the pool's transport layer runs, so chaos
+// replay instead hands the store to the pool's backends as their shared
+// model — completions stay byte-identical to the recorded run while faults,
+// outages, hedges and breakers are fully exercised on the way there.
+//
+// It shares the gateway's content addressing and the store's queue
+// semantics: cacheable prompts stick at the last recorded outcome, sampling
+// prompts miss loudly once their queue is exhausted, and recorded upstream
+// errors are reproduced faithfully.
+type StoreModel struct {
+	store *Store
+	name  string
+	scope string
+}
+
+// NewStoreModel wraps a replay store as a model named name (the recorded
+// model's name — content addresses must match the recording) under an
+// optional key scope.
+func NewStoreModel(store *Store, name, scope string) *StoreModel {
+	return &StoreModel{store: store, name: name, scope: scope}
+}
+
+// Name implements fm.Model.
+func (m *StoreModel) Name() string { return m.name }
+
+// Usage implements fm.Model: replayed completions cost nothing.
+func (m *StoreModel) Usage() fm.Usage { return fm.Usage{} }
+
+// ResetUsage implements fm.Model.
+func (m *StoreModel) ResetUsage() {}
+
+// Complete implements fm.Model by popping the next recorded outcome.
+func (m *StoreModel) Complete(ctx context.Context, prompt string) (string, error) {
+	if err := ctx.Err(); err != nil {
+		return "", err
+	}
+	key := contentKey(m.scope, m.name, prompt)
+	text, rerr, ok := m.store.replay(key, fm.CacheableTask(prompt))
+	if !ok {
+		return "", fmt.Errorf("fmgate: replay miss for prompt %s (%s)", key, firstLine(prompt))
+	}
+	if rerr != nil {
+		return "", rerr
+	}
+	return text, nil
+}

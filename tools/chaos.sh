@@ -1,0 +1,70 @@
+#!/bin/sh
+# chaos.sh — chaos-grade resilience check of the FM backend pool
+# (make chaos; wired into CI).
+#
+# Phase 1 records the quick Diabetes comparison grid sequentially and keeps
+# its stdout as the golden tables. Phase 2 replays that recording through a
+# 3-backend fmgate.Pool under a hostile fault model — 10% transient faults,
+# rate-limit errors with retry-after hints, latency jitter, and one scripted
+# outage window on backend b2 — and requires the folded tables to be
+# byte-identical to the golden output: hedging, failover, breaker trips and
+# retries may only ever change *which transport* serves a completion, never
+# its content. Phase 3 drives the cmd/smartfeat CLI the same way and greps
+# its FM report for proof the machinery actually engaged (breaker opened and
+# probed, hedges fired, faults were injected) rather than the run passing
+# because nothing went wrong.
+set -eu
+
+GO="${GO:-go}"
+TMP="$(mktemp -d)"
+trap 'rm -rf "$TMP"' EXIT INT TERM
+
+EXP="$TMP/experiments"
+SF="$TMP/smartfeat"
+"$GO" build -o "$EXP" ./cmd/experiments
+"$GO" build -o "$SF" ./cmd/smartfeat
+
+# The comparison selection only: table 4/5 folds are deterministic per-cell;
+# the efficiency table would embed wall-clock timings and can never diff
+# clean. No malformed-output faults here — those corrupt completion *content*
+# and are exercised by the unit tests; this check pins that transport-level
+# chaos alone cannot change results.
+ARGS="-table 4 -quick -datasets Diabetes"
+FAULTS="rate=0.1,ratelimit=0.03,jitter=4ms,retryafter=10ms,outage=b2:5-25"
+
+echo "chaos: recording sequential golden run" >&2
+"$EXP" $ARGS -run-dir "$TMP/seq" -fm-record "$TMP/fm" >"$TMP/golden.txt" 2>"$TMP/seq.log"
+
+echo "chaos: replaying grid through a 3-backend pool under faults" >&2
+"$EXP" $ARGS -run-dir "$TMP/chaos" -fm-replay "$TMP/fm" \
+    -fm-backends 3 -fm-hedge 2ms -fm-deadline 2s -fm-breaker 3:50ms \
+    -fm-retries 8 -fm-faults "$FAULTS" \
+    >"$TMP/chaos.txt" 2>"$TMP/chaos.log" || {
+    echo "chaos: pooled grid run failed; log:" >&2; cat "$TMP/chaos.log" >&2; exit 1; }
+diff "$TMP/golden.txt" "$TMP/chaos.txt" >&2 || {
+    echo "chaos: pooled tables differ from sequential run" >&2; exit 1; }
+echo "chaos: pooled grid tables byte-identical to sequential" >&2
+
+echo "chaos: smartfeat CLI end-to-end under faults" >&2
+"$SF" -dataset Tennis -budget 8 -fm-record "$TMP/sf_fm" -out "$TMP/sf_golden.csv" \
+    2>"$TMP/sf_seq.log"
+"$SF" -dataset Tennis -budget 8 -fm-replay "$TMP/sf_fm" -out "$TMP/sf_chaos.csv" \
+    -fm-backends 3 -fm-hedge 1ms -fm-deadline 2s -fm-breaker 3:10ms \
+    -fm-retries 8 -fm-faults "rate=0.08,ratelimit=0.03,jitter=3ms,retryafter=5ms,outage=b2:3-10" \
+    2>"$TMP/sf_chaos.log" || {
+    echo "chaos: pooled smartfeat run failed; log:" >&2; cat "$TMP/sf_chaos.log" >&2; exit 1; }
+diff "$TMP/sf_golden.csv" "$TMP/sf_chaos.csv" >&2 || {
+    echo "chaos: pooled smartfeat CSV differs from sequential run" >&2; exit 1; }
+
+# The run must have been genuinely chaotic: the report has to show the
+# breaker opening (the b2 outage guarantees consecutive transport failures),
+# hedges firing (outage errors trigger immediate hedging), and a nonzero
+# injected-fault count.
+for want in 'pool:' 'breaker_opens=[1-9]' 'hedges=[1-9]' 'faults_injected=[1-9]'; do
+    grep -Eq "$want" "$TMP/sf_chaos.log" || {
+        echo "chaos: FM report missing /$want/; report was:" >&2
+        cat "$TMP/sf_chaos.log" >&2; exit 1; }
+done
+echo "chaos: smartfeat CSV byte-identical; breaker + hedge counters present" >&2
+
+echo "chaos: OK" >&2
