@@ -3,7 +3,7 @@ PKGS := ./...
 # Kernel-level microbenchmarks (tree/forest/linear fits, ColMatrix, group-by).
 KERNEL_BENCH := BenchmarkTreeFit|BenchmarkForestFit|BenchmarkExtraTreesFit|BenchmarkHistogramSplit|BenchmarkLogisticFit|BenchmarkMatrixTakeRows|BenchmarkColMatrix|BenchmarkRowMajorMatrix|BenchmarkDropNANoNulls|BenchmarkSeriesStd|BenchmarkGroupKeys
 
-.PHONY: test race check bench bench-kernel bench-grid bench-json bench-cpu fmt fmt-check vet grid-workers chaos
+.PHONY: test race check bench bench-kernel bench-grid bench-json bench-cpu fmt fmt-check vet grid-workers chaos obs-check
 
 test:
 	$(GO) build $(PKGS)
@@ -31,12 +31,14 @@ bench-kernel:
 	$(GO) test ./internal/ml ./internal/dataframe -bench '$(KERNEL_BENCH)' -benchmem -run xxx -count 3
 
 # Grid-engine overhead benches: artifact/manifest (de)serialization, a full
-# 40-cell resume pass, record-shard setup, and the FM backend pool's per-call
-# transport overhead. Keeps the run engine's fixed costs visible in the perf
-# trajectory (they must stay negligible next to cell compute).
-GRID_BENCH := BenchmarkArtifactWrite|BenchmarkArtifactRead|BenchmarkManifestSave|BenchmarkGridResume|BenchmarkStoreSetShard|BenchmarkLeaseClaim|BenchmarkPoolComplete
+# 40-cell resume pass, record-shard setup, the FM backend pool's per-call
+# transport overhead, and the telemetry layer's hot paths (a disabled span
+# must stay at 0 allocs; counter increments are one atomic add). Keeps the
+# run engine's fixed costs visible in the perf trajectory (they must stay
+# negligible next to cell compute).
+GRID_BENCH := BenchmarkArtifactWrite|BenchmarkArtifactRead|BenchmarkManifestSave|BenchmarkGridResume|BenchmarkStoreSetShard|BenchmarkLeaseClaim|BenchmarkPoolComplete|BenchmarkSpanOverhead|BenchmarkRegistryInc
 bench-grid:
-	$(GO) test ./internal/grid ./internal/fmgate -bench '$(GRID_BENCH)' -benchmem -run xxx -count 3
+	$(GO) test ./internal/grid ./internal/fmgate ./internal/obs -bench '$(GRID_BENCH)' -benchmem -run xxx -count 3
 
 # Machine-readable perf trajectory: the kernel and grid bench sweeps piped
 # through tools/benchjson into BENCH_kernel.json / BENCH_grid.json. Each
@@ -47,7 +49,7 @@ bench-grid:
 # the append source readable while the new array is being produced.
 bench-json:
 	$(GO) test ./internal/ml ./internal/dataframe -bench '$(KERNEL_BENCH)' -benchmem -run xxx -count 3 | tee /dev/stderr | $(GO) run ./tools/benchjson -append BENCH_kernel.json > BENCH_kernel.json.tmp && mv BENCH_kernel.json.tmp BENCH_kernel.json
-	$(GO) test ./internal/grid ./internal/fmgate -bench '$(GRID_BENCH)' -benchmem -run xxx -count 3 | tee /dev/stderr | $(GO) run ./tools/benchjson -append BENCH_grid.json > BENCH_grid.json.tmp && mv BENCH_grid.json.tmp BENCH_grid.json
+	$(GO) test ./internal/grid ./internal/fmgate ./internal/obs -bench '$(GRID_BENCH)' -benchmem -run xxx -count 3 | tee /dev/stderr | $(GO) run ./tools/benchjson -append BENCH_grid.json > BENCH_grid.json.tmp && mv BENCH_grid.json.tmp BENCH_grid.json
 
 # CPU profile of forest training; inspect with `go tool pprof cpu.out`.
 bench-cpu:
@@ -70,6 +72,14 @@ grid-workers:
 # every push alongside the grid-workers job.
 chaos:
 	sh tools/chaos.sh
+
+# Observability end-to-end check: replay the quick grid with -trace and a
+# live -metrics-addr server — tables must stay byte-identical to an
+# unobserved run, /metrics must expose the fmgate/pool/breaker/grid/lease
+# series, and trace.jsonl must validate and convert through tools/traceview
+# with one span per grid cell. CI runs this on every push.
+obs-check:
+	sh tools/obs_check.sh
 
 fmt:
 	gofmt -l -w .

@@ -63,6 +63,22 @@
 //	experiments -table 4 -quick -run-dir runs/t4 -fm-replay rec/ -worker w1 &
 //	experiments -table 4 -quick -run-dir runs/t4 -fm-replay rec/ -worker w2 &
 //
+// # Observability
+//
+//	-metrics-addr ADDR  serve /metrics (Prometheus text; ?format=json) and
+//	                    /debug/pprof for the duration of the run
+//	-metrics-linger D   keep the metrics server up D after a successful run
+//	                    (CI scrapes a finished run before it exits)
+//	-trace              record a span trace — one span per grid cell, FM
+//	                    call, CAAFE iteration and model fit — to trace.jsonl
+//	                    in the run directory (./trace.jsonl without one);
+//	                    convert with tools/traceview for Perfetto
+//
+// Either switch also prints a run-end profile (phase timings, FM latency
+// percentiles, cost) to stderr; with a run directory it is written to
+// profile.json. Tables on stdout are byte-identical with or without
+// observability. See PERF.md, "Observability".
+//
 // # Run-directory GC
 //
 //	experiments -gc runs/ -gc-keep 3
@@ -80,6 +96,7 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"strconv"
 	"strings"
 	"syscall"
@@ -89,6 +106,7 @@ import (
 	"smartfeat/internal/experiments"
 	"smartfeat/internal/fmgate"
 	"smartfeat/internal/grid"
+	"smartfeat/internal/obs"
 )
 
 // selections carries the parsed table/figure switches.
@@ -145,6 +163,9 @@ func main() {
 	leaseTTL := flag.Duration("lease-ttl", 0, "staleness threshold for peer leases in -worker mode (0 = 30s): a worker silent this long is presumed crashed and its cells are reclaimed")
 	gcDir := flag.String("gc", "", "compact this directory of run dirs (keep the newest -gc-keep runs per config hash, sweep orphaned leases) and exit")
 	gcKeep := flag.Int("gc-keep", 3, "runs to keep per config hash under -gc")
+	metricsAddr := flag.String("metrics-addr", "", "serve the process metrics registry ('/metrics', Prometheus text or ?format=json) and /debug/pprof on this address for the duration of the run (e.g. 'localhost:9090'; ':0' picks a free port)")
+	metricsLinger := flag.Duration("metrics-linger", 0, "keep the -metrics-addr server up this long after a successful run (lets CI scrape a finished run)")
+	traceFlag := flag.Bool("trace", false, "record a span trace — grid cells, FM calls, CAAFE iterations, model fits — to trace.jsonl in the run directory (or ./trace.jsonl without one); convert with tools/traceview. Tables are byte-identical with or without tracing")
 	flag.Parse()
 
 	if *gcDir != "" {
@@ -235,15 +256,63 @@ func main() {
 
 	gridMode := *runDir != "" || *resume != "" || *fmRecord != "" || *keepGoing ||
 		*worker != "" || methods != nil || isDir(*fmReplay)
+
+	// Observability: both switches feed the same process-wide registry; the
+	// tables on stdout are byte-identical with or without them.
+	obsOn := *metricsAddr != "" || *traceFlag
+	if *metricsAddr != "" {
+		srv, err := obs.ListenAndServe(*metricsAddr, obs.Default)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "obs: serving /metrics and /debug/pprof on http://%s\n", srv.Addr)
+		defer func() {
+			if *metricsLinger > 0 {
+				fmt.Fprintf(os.Stderr, "obs: metrics server lingering %s (scrape http://%s/metrics)\n", *metricsLinger, srv.Addr)
+				time.Sleep(*metricsLinger)
+			}
+			srv.Close()
+		}()
+	}
+	if *traceFlag {
+		path := "trace.jsonl"
+		if dir := firstNonEmpty(*resume, *runDir); gridMode && dir != "" {
+			// The runner would create the directory anyway; creating it here
+			// just lets the trace live beside the manifest from the start.
+			if err := os.MkdirAll(dir, 0o755); err != nil {
+				fmt.Fprintln(os.Stderr, "experiments:", err)
+				os.Exit(1)
+			}
+			path = filepath.Join(dir, "trace.jsonl")
+		}
+		tr, err := obs.Create(path, "experiments")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(1)
+		}
+		defer tr.Close()
+		ctx = obs.WithTracer(ctx, tr)
+		fmt.Fprintf(os.Stderr, "obs: tracing spans to %s\n", path)
+	}
+	prof := obs.NewProfile(nil)
+
 	var err error
 	if gridMode {
 		err = runGrid(ctx, sel, selected, methods, cfg, gridOptions{
 			runDir: *runDir, resume: *resume, fmRecord: *fmRecord, fmReplay: *fmReplay,
 			keepGoing: *keepGoing, quick: *quick, worker: *worker, leaseTTL: *leaseTTL,
+			prof: prof,
 		})
 	} else {
 		cfg.FMReplayPath = *fmReplay
+		done := prof.Phase("run")
 		err = run(ctx, sel, selected, cfg)
+		done()
+	}
+	if obsOn {
+		prof.Fill()
+		fmt.Fprintln(os.Stderr, prof.Table())
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "experiments:", err)
@@ -252,6 +321,14 @@ func main() {
 		}
 		os.Exit(1)
 	}
+}
+
+// firstNonEmpty returns the first non-empty string.
+func firstNonEmpty(a, b string) string {
+	if a != "" {
+		return a
+	}
+	return b
 }
 
 // run is the in-memory path: no artifacts, no sharded stores.
@@ -323,6 +400,9 @@ type gridOptions struct {
 	quick              bool
 	worker             string
 	leaseTTL           time.Duration
+	// prof accumulates phase timings and registry totals for the run-end
+	// profile (printed by main when observability is on).
+	prof *obs.Profile
 }
 
 // runGrid is the cell-addressed path: build the plan for the selection, run
@@ -383,6 +463,7 @@ func runGrid(ctx context.Context, sel selections, names, methods []string, cfg e
 		runner.Config = cfg
 	}
 
+	endPlan := o.prof.Phase("plan")
 	var plan []grid.Cell
 	if sel.comparison() {
 		cellMethods := methods
@@ -405,8 +486,11 @@ func runGrid(ctx context.Context, sel selections, names, methods []string, cfg e
 	if sel.descriptions || sel.all {
 		plan = append(plan, grid.DescriptionsPlan("Tennis")...)
 	}
+	endPlan()
 
+	endExec := o.prof.Phase("execute")
 	result, runErr := runner.Run(ctx, plan)
+	endExec()
 	if runErr != nil {
 		// Infrastructure failures before any cell was scheduled (config-hash
 		// mismatch, pre-existing manifest, bad plan) return a plain error —
@@ -421,6 +505,7 @@ func runGrid(ctx context.Context, sel selections, names, methods []string, cfg e
 	// Fold and print whatever the run completed, even on error: a fail-fast
 	// or interrupted grid still renders its finished cells (with distinct
 	// failed/skipped markers), and the error below says what is missing.
+	endFold := o.prof.Phase("fold")
 	if sel.table == 3 || sel.all {
 		fmt.Println(experiments.Table3String(cfg))
 	}
@@ -466,6 +551,23 @@ func runGrid(ctx context.Context, sel selections, names, methods []string, cfg e
 	if sel.descriptions || sel.all {
 		if abl, ok := result.Descriptions("Tennis"); ok {
 			fmt.Println(abl)
+		}
+	}
+	endFold()
+
+	// Per-cell cost attribution rolls up into the run profile; the artifacts
+	// are the exact ledger, so the profile needs no separate accounting.
+	var cost float64
+	for i := range result.Outcomes {
+		if a := result.Outcomes[i].Artifact; a != nil && a.Method != nil {
+			cost += a.Method.FMUsage.SimCostUSD
+		}
+	}
+	o.prof.SetCost(cost)
+	if runner.Dir != "" {
+		o.prof.Fill()
+		if err := o.prof.WriteFile(filepath.Join(runner.Dir, "profile.json")); err != nil {
+			fmt.Fprintln(os.Stderr, "experiments: writing run profile:", err)
 		}
 	}
 

@@ -28,6 +28,14 @@
 //	-fm-cell KEY        shard key inside a sharded recording directory
 //	                    (default <dataset>__SMARTFEAT)
 //
+// Observability (see PERF.md, "Observability"):
+//
+//	-metrics-addr ADDR  serve /metrics (Prometheus text; ?format=json) and
+//	                    /debug/pprof for the duration of the run
+//	-metrics-linger D   keep the metrics server up D after a successful run
+//	-trace PATH         record a span trace (fm.call, fm.attempt, ml.fit)
+//	                    to PATH; convert with tools/traceview
+//
 // A report of every candidate feature (operator, status, inputs), the
 // foundation-model usage accounting and the gateway traffic counters is
 // printed to stderr. Ctrl-C cancels in-flight FM calls and prints the usage
@@ -46,6 +54,7 @@ import (
 	"os/signal"
 	"sort"
 	"syscall"
+	"time"
 
 	"smartfeat/internal/core"
 	"smartfeat/internal/dataframe"
@@ -53,6 +62,7 @@ import (
 	"smartfeat/internal/experiments"
 	"smartfeat/internal/fm"
 	"smartfeat/internal/fmgate"
+	"smartfeat/internal/obs"
 )
 
 // cliOptions carries the parsed flags.
@@ -108,6 +118,9 @@ func main() {
 	fmBreaker := flag.String("fm-breaker", "", "per-backend circuit breaker as THRESHOLD[:COOLDOWN], e.g. '3:50ms'")
 	fmRetries := flag.Int("fm-retries", 0, "gateway retry budget for transient FM errors (0 = fail fast, or 4 when -fm-faults is set)")
 	fmFaults := flag.String("fm-faults", "", "per-backend injected fault model, e.g. 'rate=0.1,jitter=4ms,outage=b2:5-25' (keys: rate, ratelimit, hang, malformed, jitter, retryafter, outage)")
+	metricsAddr := flag.String("metrics-addr", "", "serve the process metrics registry ('/metrics', Prometheus text or ?format=json) and /debug/pprof on this address for the duration of the run (':0' picks a free port)")
+	metricsLinger := flag.Duration("metrics-linger", 0, "keep the -metrics-addr server up this long after a successful run (lets CI scrape a finished run)")
+	tracePath := flag.String("trace", "", "record a span trace (FM calls, model fits) to this JSONL file; convert with tools/traceview. Output is byte-identical with or without tracing")
 	flag.Parse()
 
 	if *fmBackends > 0 {
@@ -145,6 +158,32 @@ func main() {
 	// reports partial usage accounting instead of dying mid-write.
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+
+	if *metricsAddr != "" {
+		srv, err := obs.ListenAndServe(*metricsAddr, obs.Default)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "smartfeat:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "obs: serving /metrics and /debug/pprof on http://%s\n", srv.Addr)
+		defer func() {
+			if *metricsLinger > 0 {
+				fmt.Fprintf(os.Stderr, "obs: metrics server lingering %s (scrape http://%s/metrics)\n", *metricsLinger, srv.Addr)
+				time.Sleep(*metricsLinger)
+			}
+			srv.Close()
+		}()
+	}
+	if *tracePath != "" {
+		tr, err := obs.Create(*tracePath, "smartfeat")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "smartfeat:", err)
+			os.Exit(1)
+		}
+		defer tr.Close()
+		ctx = obs.WithTracer(ctx, tr)
+		fmt.Fprintf(os.Stderr, "obs: tracing spans to %s\n", *tracePath)
+	}
 
 	if err := run(ctx, o); err != nil {
 		fmt.Fprintln(os.Stderr, "smartfeat:", err)

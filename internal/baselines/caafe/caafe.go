@@ -34,6 +34,7 @@ import (
 	"smartfeat/internal/fm"
 	"smartfeat/internal/metrics"
 	"smartfeat/internal/ml"
+	"smartfeat/internal/obs"
 )
 
 // ErrTimeout reports that validating with the downstream model would exceed
@@ -134,47 +135,68 @@ func Run(ctx context.Context, input *dataframe.Frame, target string, description
 			return nil, err
 		}
 		attempts++
-		// CAAFE's codegen produces both pairwise combinations and
-		// multi-column composite expressions; roughly a third of its
-		// suggestions are composites.
-		var name string
-		var vals []float64
-		if iter%3 == 2 {
-			name, vals, err = sampleComposite(ctx, f, target, descriptions, model)
-		} else {
-			name, vals, err = samplePairwise(ctx, f, target, descriptions, model)
-		}
-		if err != nil || name == "" {
-			continue // a failed generation consumes the iteration
-		}
-		if tried[name] || f.Has(name) {
-			// CAAFE's prompt lists prior features, so the FM rarely repeats
-			// itself; a repeat costs a retry, not an iteration.
-			iter--
-			continue
-		}
-		tried[name] = true
-		res.Generated++
-		baseAUC, err := meanValidationAUC(f, current, labels, target, downstream, rows, cfg.Seed+int64(iter))
-		if err != nil {
-			continue
-		}
-		if err := f.AddNumeric(name, vals); err != nil {
-			continue
-		}
-		withAUC, err := meanValidationAUC(f, append(append([]string(nil), current...), name), labels, target, downstream, rows, cfg.Seed+int64(iter))
-		if err != nil || withAUC < baseAUC+cfg.MinImprovement {
-			f.Drop(name)
-			continue
-		}
-		current = append(current, name)
-		res.Retained++
-		res.NewColumns = append(res.NewColumns, name)
-		for _, v := range vals {
-			if math.IsInf(v, 0) {
-				res.HasNonFinite = true
-				break
+		// Each attempt is one caafe.iter span (generation + validation); the
+		// closure gives the span a single End point across the many early
+		// exits, with the outcome recorded as an attribute.
+		repeat := func() bool {
+			_, span := obs.StartSpan(ctx, "caafe.iter",
+				obs.Int("iter", iter), obs.String("downstream", downstream))
+			outcome := "retained"
+			defer func() {
+				span.SetAttr("outcome", outcome)
+				span.End()
+			}()
+			// CAAFE's codegen produces both pairwise combinations and
+			// multi-column composite expressions; roughly a third of its
+			// suggestions are composites.
+			var name string
+			var vals []float64
+			var serr error
+			if iter%3 == 2 {
+				name, vals, serr = sampleComposite(ctx, f, target, descriptions, model)
+			} else {
+				name, vals, serr = samplePairwise(ctx, f, target, descriptions, model)
 			}
+			if serr != nil || name == "" {
+				outcome = "generation-failed"
+				return false // a failed generation consumes the iteration
+			}
+			if tried[name] || f.Has(name) {
+				// CAAFE's prompt lists prior features, so the FM rarely
+				// repeats itself; a repeat costs a retry, not an iteration.
+				outcome = "repeat"
+				return true
+			}
+			tried[name] = true
+			res.Generated++
+			baseAUC, verr := meanValidationAUC(f, current, labels, target, downstream, rows, cfg.Seed+int64(iter))
+			if verr != nil {
+				outcome = "validation-failed"
+				return false
+			}
+			if aerr := f.AddNumeric(name, vals); aerr != nil {
+				outcome = "validation-failed"
+				return false
+			}
+			withAUC, verr := meanValidationAUC(f, append(append([]string(nil), current...), name), labels, target, downstream, rows, cfg.Seed+int64(iter))
+			if verr != nil || withAUC < baseAUC+cfg.MinImprovement {
+				f.Drop(name)
+				outcome = "rejected"
+				return false
+			}
+			current = append(current, name)
+			res.Retained++
+			res.NewColumns = append(res.NewColumns, name)
+			for _, v := range vals {
+				if math.IsInf(v, 0) {
+					res.HasNonFinite = true
+					break
+				}
+			}
+			return false
+		}()
+		if repeat {
+			iter--
 		}
 	}
 	res.Usage = model.Usage()

@@ -11,6 +11,7 @@ import (
 	"smartfeat/internal/fmgate"
 	"smartfeat/internal/metrics"
 	"smartfeat/internal/ml"
+	"smartfeat/internal/obs"
 )
 
 // MethodResult holds one method's outcome on one dataset.
@@ -163,6 +164,10 @@ func EvaluateFrame(ctx context.Context, f *dataframe.Frame, target string, model
 			return
 		}
 		name := models[k]
+		// One ml.fit span per downstream model: train + score. The ML kernel
+		// itself stays dependency-free; instrumentation lives at this seam.
+		_, span := obs.StartSpan(ctx, "ml.fit", obs.String("model", name))
+		defer span.End()
 		clf, err := buildModel(name, cfg.Seed+int64(len(name)), cfg)
 		if err != nil {
 			results[k] = outcome{failure: err.Error()}

@@ -33,11 +33,11 @@ func smartfeatOptions(d *datasets.Dataset, cfg Config, operators core.OperatorSe
 	// The selector/generator gateways stay unscoped: their keys match the
 	// smartfeat CLI's recordings, so a grid cell's shard and a CLI recording
 	// of the same seed/budget are interchangeable.
-	selector, err := newGateway(fm.NewGPT4Sim(cfg.Seed, cfg.FMErrorRate), cfg)
+	selector, err := newGateway(fm.NewGPT4Sim(cfg.Seed, cfg.FMErrorRate), "selector", cfg)
 	if err != nil {
 		return core.Options{}, nil, err
 	}
-	generator, err := newGateway(fm.NewGPT35Sim(cfg.Seed+1, cfg.FMErrorRate), cfg)
+	generator, err := newGateway(fm.NewGPT35Sim(cfg.Seed+1, cfg.FMErrorRate), "generator", cfg)
 	if err != nil {
 		return core.Options{}, nil, err
 	}
@@ -62,10 +62,11 @@ func smartfeatOptions(d *datasets.Dataset, cfg Config, operators core.OperatorSe
 // monolithic replay recording. With a per-cell shard both roles share one
 // Store instance — keys embed the model name, so their queues stay disjoint
 // while record appends land in one shard file per cell.
-func newGateway(model fm.Model, cfg Config) (*fmgate.Gateway, error) {
+func newGateway(model fm.Model, role string, cfg Config) (*fmgate.Gateway, error) {
 	opts := fmgate.Options{
 		CacheSize:   cfg.FMCacheSize,
 		Concurrency: cfg.FMConcurrency,
+		Role:        role,
 	}
 	switch {
 	case cfg.FMStore != nil:
@@ -98,6 +99,7 @@ func newScopedGateway(model fm.Model, scope string, cfg Config) (*fmgate.Gateway
 		Scope:       scope,
 		Store:       cfg.FMStore,
 		Replay:      cfg.FMStore != nil && cfg.FMStoreReplay,
+		Role:        "caafe",
 	}, cfg.FMPool)
 }
 

@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"sync"
 	"time"
+
+	"smartfeat/internal/obs"
 )
 
 // BreakerState is a circuit breaker's position.
@@ -70,9 +72,12 @@ type breaker struct {
 	consecutive int
 	openedAt    time.Time
 	probing     bool
-	opens       int64
-	probes      int64
-	closes      int64
+
+	// Transition counters are registry-backed instruments (NewPool registers
+	// them under the backend's label); mutated only under mu.
+	opens  obs.Counter
+	probes obs.Counter
+	closes obs.Counter
 }
 
 func newBreaker(cfg BreakerConfig) *breaker {
@@ -100,7 +105,7 @@ func (b *breaker) admitProbe(now time.Time) bool {
 	}
 	b.state = BreakerHalfOpen
 	b.probing = true
-	b.probes++
+	b.probes.Inc()
 	return true
 }
 
@@ -112,7 +117,7 @@ func (b *breaker) success(probe bool) {
 		b.probing = false
 	}
 	if b.state != BreakerClosed {
-		b.closes++
+		b.closes.Inc()
 	}
 	b.state = BreakerClosed
 	b.consecutive = 0
@@ -128,7 +133,7 @@ func (b *breaker) failure(now time.Time, probe bool) {
 		b.probing = false
 		b.state = BreakerOpen
 		b.openedAt = now
-		b.opens++
+		b.opens.Inc()
 		return
 	}
 	if b.state != BreakerClosed {
@@ -137,7 +142,7 @@ func (b *breaker) failure(now time.Time, probe bool) {
 	if b.consecutive >= b.cfg.Threshold {
 		b.state = BreakerOpen
 		b.openedAt = now
-		b.opens++
+		b.opens.Inc()
 	}
 }
 
@@ -164,9 +169,9 @@ func (b *breaker) snapshot() BreakerSnapshot {
 	return BreakerSnapshot{
 		State:       b.state,
 		Consecutive: b.consecutive,
-		Opens:       b.opens,
-		Probes:      b.probes,
-		Closes:      b.closes,
+		Opens:       b.opens.Value(),
+		Probes:      b.probes.Value(),
+		Closes:      b.closes.Value(),
 		Since:       b.openedAt,
 	}
 }

@@ -32,6 +32,7 @@ import (
 	"time"
 
 	"smartfeat/internal/fm"
+	"smartfeat/internal/obs"
 )
 
 // Options configures a Gateway. The zero value is a usable pass-through:
@@ -70,6 +71,10 @@ type Options struct {
 	// Faults injects transient errors and latency jitter between the
 	// gateway and the model (optional; for resilience testing).
 	Faults *FaultInjector
+	// Role labels this gateway's series in the process-wide obs registry
+	// (fm_requests_total{role=...} and friends) — typically "selector",
+	// "generator" or "caafe". Empty registers under role="".
+	Role string
 }
 
 // Metrics is a point-in-time snapshot of gateway traffic counters.
@@ -126,11 +131,28 @@ type Gateway struct {
 	opts  Options
 	sem   chan struct{}
 
-	mu      sync.Mutex
-	cache   *lruCache
-	flight  map[string]*call
-	metrics Metrics
-	subs    []chan Metrics
+	mu     sync.Mutex
+	cache  *lruCache
+	flight map[string]*call
+	subs   []chan Metrics
+
+	// Registry-backed traffic instruments: each gateway owns its own
+	// counters (so per-instance Metrics snapshots stay exact) and registers
+	// them as contributors to the process-wide obs series for its role.
+	ins gwInstruments
+}
+
+// gwInstruments are the registry-backed counters behind Metrics, plus the
+// request latency histogram surfaced as fm_request_seconds{role}.
+type gwInstruments struct {
+	requests       obs.Counter
+	upstreamCalls  obs.Counter
+	cacheHits      obs.Counter
+	inflightShares obs.Counter
+	replayed       obs.Counter
+	retries        obs.Counter
+	errors         obs.Counter
+	latency        *obs.Histogram
 }
 
 // New builds a gateway over the model.
@@ -153,6 +175,16 @@ func New(model fm.Model, opts Options) *Gateway {
 	if opts.CacheSize > 0 {
 		g.cache = newLRUCache(opts.CacheSize)
 	}
+	g.ins.latency = obs.NewHistogram(obs.TimeBuckets...)
+	reg, role := obs.Default, opts.Role
+	reg.RegisterCounter("fm_requests_total", "Completions asked of an fmgate gateway.", &g.ins.requests, "role", role)
+	reg.RegisterCounter("fm_upstream_calls_total", "Completions that reached the wrapped model.", &g.ins.upstreamCalls, "role", role)
+	reg.RegisterCounter("fm_cache_hits_total", "Completions served from the in-memory LRU cache.", &g.ins.cacheHits, "role", role)
+	reg.RegisterCounter("fm_inflight_shares_total", "Completions that joined an identical in-flight call.", &g.ins.inflightShares, "role", role)
+	reg.RegisterCounter("fm_replayed_total", "Completions served from the record/replay store.", &g.ins.replayed, "role", role)
+	reg.RegisterCounter("fm_retries_total", "Upstream attempts beyond the first.", &g.ins.retries, "role", role)
+	reg.RegisterCounter("fm_errors_total", "Requests that returned an error.", &g.ins.errors, "role", role)
+	reg.RegisterHistogram("fm_request_seconds", "End-to-end gateway request latency.", g.ins.latency, "role", role)
 	return g
 }
 
@@ -207,13 +239,22 @@ func (g *Gateway) Submit(ctx context.Context, prompt string) <-chan fm.Result {
 
 // complete is the shared request path: replay, cache, singleflight, bounded
 // upstream call with retries. cached reports the completion did not reach
-// the upstream model.
+// the upstream model. Every request is one fm.call span (when a tracer is
+// installed) and one fm_request_seconds observation.
 func (g *Gateway) complete(ctx context.Context, prompt string) (text string, cached bool, err error) {
-	g.bump(func(m *Metrics) { m.Requests++ })
+	start := time.Now()
+	ctx, span := obs.StartSpan(ctx, "fm.call")
+	outcome := "upstream"
+	g.ins.requests.Inc()
 	defer func() {
 		if err != nil {
-			g.bump(func(m *Metrics) { m.Errors++ })
+			g.ins.errors.Inc()
+			outcome = "error"
 		}
+		g.ins.latency.ObserveDuration(time.Since(start))
+		g.publish()
+		span.SetAttr("outcome", outcome)
+		span.End()
 	}()
 	if err = ctx.Err(); err != nil {
 		return "", false, err
@@ -226,7 +267,8 @@ func (g *Gateway) complete(ctx context.Context, prompt string) (text string, cac
 		if !ok {
 			return "", false, fmt.Errorf("fmgate: replay miss for prompt %s (%s)", key, firstLine(prompt))
 		}
-		g.bump(func(m *Metrics) { m.Replayed++ })
+		g.ins.replayed.Inc()
+		outcome = "replay"
 		if rerr != nil {
 			// A recorded upstream failure: reproduce it so the caller's
 			// error-threshold logic sees the same sequence the recording
@@ -238,7 +280,8 @@ func (g *Gateway) complete(ctx context.Context, prompt string) (text string, cac
 
 	if shareable && g.cache != nil {
 		if text, ok := g.cacheGet(key); ok {
-			g.bump(func(m *Metrics) { m.CacheHits++ })
+			g.ins.cacheHits.Inc()
+			outcome = "cache"
 			return text, true, nil
 		}
 	}
@@ -253,7 +296,8 @@ func (g *Gateway) complete(ctx context.Context, prompt string) (text string, cac
 	g.mu.Lock()
 	if c, ok := g.flight[key]; ok {
 		g.mu.Unlock()
-		g.bump(func(m *Metrics) { m.InflightShares++ })
+		g.ins.inflightShares.Inc()
+		outcome = "shared"
 		select {
 		case <-c.done:
 			return c.text, true, c.err
@@ -290,7 +334,8 @@ func (g *Gateway) callUpstream(ctx context.Context, key, prompt string) (string,
 	var err error
 	for attempt := 0; ; attempt++ {
 		if attempt > 0 {
-			g.bump(func(m *Metrics) { m.Retries++ })
+			g.ins.retries.Inc()
+			g.publish()
 			delay := backoff
 			if hint, ok := RetryAfterHint(err); ok {
 				// A rate-limited upstream told us when to come back: honor
@@ -318,7 +363,8 @@ func (g *Gateway) callUpstream(ctx context.Context, key, prompt string) (string,
 			case <-t.C:
 			}
 		}
-		g.bump(func(m *Metrics) { m.UpstreamCalls++ })
+		g.ins.upstreamCalls.Inc()
+		g.publish()
 		if g.opts.Faults != nil {
 			text, err = g.opts.Faults.Call(ctx, g.model, prompt)
 		} else {
@@ -379,11 +425,18 @@ func (g *Gateway) PoolMetrics() (PoolMetrics, bool) {
 	return PoolMetrics{}, false
 }
 
-// Metrics returns a snapshot of the traffic counters.
+// Metrics returns a snapshot of the traffic counters — a rendering of this
+// gateway's registry-backed instruments.
 func (g *Gateway) Metrics() Metrics {
-	g.mu.Lock()
-	defer g.mu.Unlock()
-	return g.metrics
+	return Metrics{
+		Requests:       g.ins.requests.Value(),
+		UpstreamCalls:  g.ins.upstreamCalls.Value(),
+		CacheHits:      g.ins.cacheHits.Value(),
+		InflightShares: g.ins.inflightShares.Value(),
+		Replayed:       g.ins.replayed.Value(),
+		Retries:        g.ins.retries.Value(),
+		Errors:         g.ins.errors.Value(),
+	}
 }
 
 // Subscribe streams a metrics snapshot after every completed request. The
@@ -412,14 +465,16 @@ func (g *Gateway) Subscribe(buffer int) (<-chan Metrics, func()) {
 	return ch, cancel
 }
 
-// bump applies a counter update and publishes the new snapshot to
-// subscribers.
-func (g *Gateway) bump(f func(*Metrics)) {
+// publish streams the current snapshot to subscribers (called after counter
+// changes; a no-op without subscribers).
+func (g *Gateway) publish() {
 	g.mu.Lock()
-	f(&g.metrics)
-	snap := g.metrics
-	subs := g.subs
-	for _, ch := range subs {
+	if len(g.subs) == 0 {
+		g.mu.Unlock()
+		return
+	}
+	snap := g.Metrics()
+	for _, ch := range g.subs {
 		select {
 		case ch <- snap:
 		default: // lagging consumer: drop, never block completions

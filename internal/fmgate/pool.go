@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"smartfeat/internal/fm"
+	"smartfeat/internal/obs"
 )
 
 // Backend configures one member of a Pool.
@@ -35,18 +36,19 @@ type Backend struct {
 	Breaker BreakerConfig
 }
 
-// backend is a Backend plus its runtime state.
+// backend is a Backend plus its runtime state. Counters are registry-backed
+// instruments, registered per backend (label backend=<name>) by NewPool.
 type backend struct {
 	Backend
 	br  *breaker
 	sem chan struct{} // nil when MaxInflight <= 0
 
-	inflight  atomic.Int64
-	picks     atomic.Int64
-	wins      atomic.Int64
-	failures  atomic.Int64
-	hedgeWins atomic.Int64
-	rateWaits atomic.Int64
+	inflight  obs.Gauge
+	picks     obs.Counter
+	wins      obs.Counter
+	failures  obs.Counter
+	hedgeWins obs.Counter
+	rateWaits obs.Counter
 
 	mu     sync.Mutex // guards the token bucket
 	tokens float64
@@ -65,7 +67,7 @@ func (b *backend) acquire(ctx context.Context) error {
 	b.inflight.Add(1)
 	if b.Rate > 0 {
 		if wait := b.takeToken(); wait > 0 {
-			b.rateWaits.Add(1)
+			b.rateWaits.Inc()
 			t := time.NewTimer(wait)
 			select {
 			case <-ctx.Done():
@@ -149,11 +151,11 @@ type Pool struct {
 	backends []*backend
 	opts     PoolOptions
 
-	calls            atomic.Int64
-	hedges           atomic.Int64
-	hedgeWins        atomic.Int64
-	deadlineExceeded atomic.Int64
-	allOpen          atomic.Int64
+	calls            obs.Counter
+	hedges           obs.Counter
+	hedgeWins        obs.Counter
+	deadlineExceeded obs.Counter
+	allOpen          obs.Counter
 	degraded         atomic.Pointer[AllBackendsOpenError]
 }
 
@@ -181,6 +183,23 @@ func NewPool(model fm.Model, backends []Backend, opts PoolOptions) (*Pool, error
 			b.sem = make(chan struct{}, cfg.MaxInflight)
 		}
 		p.backends = append(p.backends, b)
+	}
+	reg := obs.Default
+	reg.RegisterCounter("fmpool_calls_total", "Logical completions asked of a backend pool.", &p.calls)
+	reg.RegisterCounter("fmpool_hedges_total", "Hedged duplicate attempts fired.", &p.hedges)
+	reg.RegisterCounter("fmpool_hedge_wins_total", "Logical calls won by the hedged attempt.", &p.hedgeWins)
+	reg.RegisterCounter("fmpool_deadline_exceeded_total", "Calls that blew their per-call deadline budget.", &p.deadlineExceeded)
+	reg.RegisterCounter("fmpool_all_open_total", "Calls rejected because every breaker was open.", &p.allOpen)
+	for _, b := range p.backends {
+		reg.RegisterGauge("fmpool_backend_inflight", "Calls currently in flight on a backend.", &b.inflight, "backend", b.Name)
+		reg.RegisterCounter("fmpool_backend_picks_total", "Times a backend was selected.", &b.picks, "backend", b.Name)
+		reg.RegisterCounter("fmpool_backend_wins_total", "Attempts whose transport cleared on a backend.", &b.wins, "backend", b.Name)
+		reg.RegisterCounter("fmpool_backend_failures_total", "Transport failures charged to a backend.", &b.failures, "backend", b.Name)
+		reg.RegisterCounter("fmpool_backend_hedge_wins_total", "Logical calls a backend won as the hedge.", &b.hedgeWins, "backend", b.Name)
+		reg.RegisterCounter("fmpool_backend_rate_waits_total", "Token-bucket waits on a backend.", &b.rateWaits, "backend", b.Name)
+		reg.RegisterCounter("fmpool_breaker_opens_total", "Circuit-breaker open transitions.", &b.br.opens, "backend", b.Name)
+		reg.RegisterCounter("fmpool_breaker_probes_total", "Half-open probes admitted.", &b.br.probes, "backend", b.Name)
+		reg.RegisterCounter("fmpool_breaker_closes_total", "Circuit-breaker close transitions.", &b.br.closes, "backend", b.Name)
 	}
 	return p, nil
 }
@@ -251,7 +270,7 @@ type attemptResult struct {
 // Complete implements fm.Model: pick a backend, optionally hedge, race the
 // transports, fail loudly when every breaker is open.
 func (p *Pool) Complete(parent context.Context, prompt string) (string, error) {
-	p.calls.Add(1)
+	p.calls.Inc()
 	ctx := parent
 	if p.opts.Deadline > 0 {
 		var cancel context.CancelFunc
@@ -261,7 +280,7 @@ func (p *Pool) Complete(parent context.Context, prompt string) (string, error) {
 
 	primary, probe, ok := p.pick(nil)
 	if !ok {
-		p.allOpen.Add(1)
+		p.allOpen.Inc()
 		e := p.allOpenError()
 		p.degraded.CompareAndSwap(nil, e)
 		return "", e
@@ -277,7 +296,7 @@ func (p *Pool) Complete(parent context.Context, prompt string) (string, error) {
 			cancel2()
 		}
 	}()
-	go p.attempt(actx1, parent, primary, probe, call, out)
+	go p.attempt(actx1, parent, primary, probe, false, call, out)
 	pending := 1
 
 	var hedgeC <-chan time.Time
@@ -295,10 +314,10 @@ func (p *Pool) Complete(parent context.Context, prompt string) (string, error) {
 			return // nowhere to hedge to
 		}
 		hedged = b
-		p.hedges.Add(1)
+		p.hedges.Inc()
 		var actx2 context.Context
 		actx2, cancel2 = context.WithCancel(ctx)
-		go p.attempt(actx2, parent, b, prb, call, out)
+		go p.attempt(actx2, parent, b, prb, true, call, out)
 		pending++
 	}
 	for {
@@ -308,8 +327,8 @@ func (p *Pool) Complete(parent context.Context, prompt string) (string, error) {
 			if r.terminal {
 				call.won.Store(true)
 				if r.err == nil && r.backend == hedged {
-					p.hedgeWins.Add(1)
-					hedged.hedgeWins.Add(1)
+					p.hedgeWins.Inc()
+					hedged.hedgeWins.Inc()
 				}
 				return r.text, r.err
 			}
@@ -334,7 +353,7 @@ func (p *Pool) Complete(parent context.Context, prompt string) (string, error) {
 			if parent.Err() != nil {
 				return "", parent.Err()
 			}
-			p.deadlineExceeded.Add(1)
+			p.deadlineExceeded.Inc()
 			return "", Transient(fmt.Errorf("fmgate: call exceeded its %s deadline budget on backend %s", p.opts.Deadline, primary.Name))
 		}
 	}
@@ -352,7 +371,7 @@ func (p *Pool) pick(exclude *backend) (*backend, bool, bool) {
 			continue
 		}
 		if c.br.admitProbe(now) {
-			c.picks.Add(1)
+			c.picks.Inc()
 			return c, true, true
 		}
 	}
@@ -362,7 +381,7 @@ func (p *Pool) pick(exclude *backend) (*backend, bool, bool) {
 		if c == exclude || !c.br.closed() {
 			continue
 		}
-		score := float64(c.inflight.Load()+1) / c.weight()
+		score := float64(c.inflight.Value()+1) / c.weight()
 		if best == nil || score < bestScore {
 			best, bestScore = c, score
 		}
@@ -370,14 +389,25 @@ func (p *Pool) pick(exclude *backend) (*backend, bool, bool) {
 	if best == nil {
 		return nil, false, false
 	}
-	best.picks.Add(1)
+	best.picks.Inc()
 	return best, false, true
 }
 
-// attempt runs one backend attempt and reports its outcome.
-func (p *Pool) attempt(ctx, parent context.Context, b *backend, probe bool, call *poolCall, out chan<- attemptResult) {
+// attempt runs one backend attempt and reports its outcome. Each attempt is
+// one fm.attempt span (when tracing): backend name, probe/hedge flags, and
+// whether the transport cleared.
+func (p *Pool) attempt(ctx, parent context.Context, b *backend, probe, hedge bool, call *poolCall, out chan<- attemptResult) {
+	ctx, span := obs.StartSpan(ctx, "fm.attempt", obs.String("backend", b.Name), obs.Bool("probe", probe), obs.Bool("hedge", hedge))
 	r := p.runAttempt(ctx, parent, b, probe, call)
 	r.backend = b
+	if span != nil {
+		if r.terminal {
+			span.SetAttr("outcome", "terminal")
+		} else {
+			span.SetAttr("outcome", "transport-error")
+		}
+		span.End()
+	}
 	out <- r // buffered for every possible attempt; never blocks
 }
 
@@ -406,7 +436,7 @@ func (p *Pool) runAttempt(ctx, parent context.Context, b *backend, probe bool, c
 	// Transport cleared: the model's answer — success or an application
 	// error — is a healthy-backend outcome, not a breaker signal.
 	b.br.success(probe)
-	b.wins.Add(1)
+	b.wins.Inc()
 	if err == nil {
 		text = f.Corrupt(text)
 	}
@@ -424,7 +454,7 @@ func (p *Pool) verdict(b *backend, probe bool, parent context.Context, call *poo
 		b.br.abandon(probe)
 		return
 	}
-	b.failures.Add(1)
+	b.failures.Inc()
 	b.br.failure(time.Now(), probe)
 }
 
@@ -544,23 +574,23 @@ func (m PoolMetrics) String() string {
 // Metrics snapshots the pool and per-backend counters.
 func (p *Pool) Metrics() PoolMetrics {
 	m := PoolMetrics{
-		Calls:            p.calls.Load(),
-		Hedges:           p.hedges.Load(),
-		HedgeWins:        p.hedgeWins.Load(),
-		DeadlineExceeded: p.deadlineExceeded.Load(),
-		AllOpen:          p.allOpen.Load(),
+		Calls:            p.calls.Value(),
+		Hedges:           p.hedges.Value(),
+		HedgeWins:        p.hedgeWins.Value(),
+		DeadlineExceeded: p.deadlineExceeded.Value(),
+		AllOpen:          p.allOpen.Value(),
 	}
 	for _, b := range p.backends {
 		snap := b.br.snapshot()
 		bm := BackendMetrics{
 			Name:      b.Name,
 			State:     snap.State,
-			Picks:     b.picks.Load(),
-			Wins:      b.wins.Load(),
-			Failures:  b.failures.Load(),
-			HedgeWins: b.hedgeWins.Load(),
-			RateWaits: b.rateWaits.Load(),
-			Inflight:  b.inflight.Load(),
+			Picks:     b.picks.Value(),
+			Wins:      b.wins.Value(),
+			Failures:  b.failures.Value(),
+			HedgeWins: b.hedgeWins.Value(),
+			RateWaits: b.rateWaits.Value(),
+			Inflight:  b.inflight.Value(),
 			Opens:     snap.Opens,
 			Probes:    snap.Probes,
 			Closes:    snap.Closes,

@@ -66,7 +66,9 @@ func (r *Router) Metrics() Metrics {
 	return total
 }
 
-// Report renders a per-role usage/metrics summary (stable role order).
+// Report renders a per-role usage/metrics summary — a stable rendering of
+// the gateways' registry-backed instruments: roles sorted lexically,
+// backends sorted by name, so consecutive reports diff cleanly.
 func (r *Router) Report() string {
 	roles := append([]Role(nil), r.order...)
 	sort.Slice(roles, func(i, j int) bool { return roles[i] < roles[j] })
@@ -77,7 +79,9 @@ func (r *Router) Report() string {
 		fmt.Fprintf(&b, "%-9s gateway: %s\n", role, g.Metrics())
 		if pm, ok := g.PoolMetrics(); ok {
 			fmt.Fprintf(&b, "%-9s pool: %s\n", role, pm)
-			for _, bm := range pm.Backends {
+			backends := append([]BackendMetrics(nil), pm.Backends...)
+			sort.Slice(backends, func(i, j int) bool { return backends[i].Name < backends[j].Name })
+			for _, bm := range backends {
 				fmt.Fprintf(&b, "%-9s   backend %s\n", role, bm)
 			}
 		}

@@ -29,6 +29,12 @@ type CellRecord struct {
 	// empty for single-process runs). Peers use failure records to skip
 	// re-executing a cell that already failed elsewhere.
 	Worker string `json:"worker,omitempty"`
+	// Spans summarizes the cell's trace when the run was traced: span name →
+	// count of spans completed under the cell (fm.call, fm.attempt,
+	// caafe.iter, ml.fit, plus outcome counters the spans bubble up). Only
+	// counts — never timestamps — so traced and untraced manifests differ
+	// solely by this deterministic field.
+	Spans map[string]int64 `json:"spans,omitempty"`
 }
 
 // Manifest describes a run directory: which configuration produced it and

@@ -15,6 +15,7 @@ import (
 	"smartfeat/internal/experiments"
 	"smartfeat/internal/fmgate"
 	"smartfeat/internal/lease"
+	"smartfeat/internal/obs"
 )
 
 // Status classifies a cell's scheduling outcome.
@@ -168,6 +169,35 @@ func (r *RunResult) Err() error {
 	return re
 }
 
+// runnerObs are one Run's contributors to the process-wide registry:
+// executed-cell wall-clock and final statuses.
+type runnerObs struct {
+	cellSeconds *obs.Histogram
+	byStatus    map[Status]*obs.Counter
+}
+
+func newRunnerObs() *runnerObs {
+	ro := &runnerObs{
+		cellSeconds: obs.NewHistogram(obs.TimeBuckets...),
+		byStatus:    make(map[Status]*obs.Counter),
+	}
+	reg := obs.Default
+	reg.RegisterHistogram("grid_cell_seconds", "Wall-clock seconds of executed grid cells.", ro.cellSeconds)
+	for _, s := range []Status{StatusCompleted, StatusResumed, StatusFailed, StatusSkipped, StatusInterrupted, StatusLeased} {
+		c := new(obs.Counter)
+		reg.RegisterCounter("grid_cells_total", "Grid cells resolved, by final status.", c, "status", string(s))
+		ro.byStatus[s] = c
+	}
+	return ro
+}
+
+// cell records one cell's final status.
+func (ro *runnerObs) cell(s Status) {
+	if c, ok := ro.byStatus[s]; ok {
+		c.Inc()
+	}
+}
+
 // runState carries the per-Run machinery shared by the scheduling passes.
 type runState struct {
 	res        *RunResult
@@ -175,6 +205,7 @@ type runState struct {
 	claimer    lease.Claimer
 	workers    int
 	failFast   atomic.Bool
+	obs        *runnerObs
 
 	// priorFailed snapshots the manifest's failure records as of Run start
 	// (Worker mode). Only failures *newer* than the snapshot propagate
@@ -214,7 +245,7 @@ func (r *Runner) Run(ctx context.Context, plan []Cell) (*RunResult, error) {
 		return res, fmt.Errorf("grid: worker mode needs a run directory (the leases and artifacts are the coordination medium)")
 	}
 
-	st := &runState{res: res, configHash: r.Config.Fingerprint()}
+	st := &runState{res: res, configHash: r.Config.Fingerprint(), obs: newRunnerObs()}
 	if r.Dir != "" {
 		if err := os.MkdirAll(r.Dir, 0o755); err != nil {
 			return res, fmt.Errorf("grid: creating run dir: %w", err)
@@ -331,6 +362,12 @@ func (r *Runner) Run(ctx context.Context, plan []Cell) (*RunResult, error) {
 		}
 	}
 
+	// One increment per cell, on its final status (per-pass counting would
+	// double-count cells that wait out a peer's lease and resolve later).
+	for i := range res.Outcomes {
+		st.obs.cell(res.Outcomes[i].Status)
+	}
+
 	err := res.Err()
 	if err != nil {
 		// A cancelled run may have only skipped cells (none caught mid-
@@ -390,7 +427,7 @@ func (r *Runner) pass(ctx context.Context, st *runState, todo []int, distributed
 			if r.loadPeerArtifact(st, o) {
 				return
 			}
-			if rec, ok := foreign[key]; ok && rec.Status == string(StatusFailed) && rec != st.priorFailed[key] {
+			if rec, ok := foreign[key]; ok && rec.Status == string(StatusFailed) && !sameRecord(rec, st.priorFailed[key]) {
 				o.Status, o.Holder = StatusFailed, ""
 				o.Err = fmt.Errorf("grid: cell failed on worker %q: %s", rec.Worker, rec.Err)
 				st.failFast.Store(true)
@@ -424,6 +461,14 @@ func (r *Runner) pass(ctx context.Context, st *runState, todo []int, distributed
 	})
 }
 
+// sameRecord reports whether two manifest records describe the same event
+// (CellRecord itself is not comparable since it carries the span-summary
+// map; the identifying fields are enough to tell a prior-session failure
+// from a fresh one).
+func sameRecord(a, b CellRecord) bool {
+	return a.Status == b.Status && a.Err == b.Err && a.FinishedAt == b.FinishedAt && a.Worker == b.Worker
+}
+
 // loadPeerArtifact resolves a cell from an artifact another worker (or an
 // earlier run) committed. Unreadable artifacts fail the cell: silently
 // re-executing would mask corruption.
@@ -445,9 +490,16 @@ func (r *Runner) loadPeerArtifact(st *runState, o *Outcome) bool {
 }
 
 // executeClaimed runs one claimed cell and commits its outcome (artifact +
-// manifest record).
+// manifest record). Each execution is one "cell" span; the span's bubbled-up
+// counts (FM calls, CAAFE iterations, model fits under it) become the cell's
+// manifest span summary when tracing is on.
 func (r *Runner) executeClaimed(ctx context.Context, st *runState, o *Outcome) {
-	art, err := r.executeCell(ctx, o.Cell, st.configHash)
+	start := time.Now()
+	cctx, span := obs.StartSpan(ctx, "cell",
+		obs.String("dataset", o.Cell.Dataset), obs.String("method", o.Cell.Method))
+	art, err := r.executeCell(cctx, o.Cell, st.configHash)
+	st.obs.cellSeconds.ObserveDuration(time.Since(start))
+	spans := span.Counts()
 	switch {
 	case err != nil && isCancellation(err):
 		o.Status, o.Err = StatusInterrupted, err
@@ -456,7 +508,7 @@ func (r *Runner) executeClaimed(ctx context.Context, st *runState, o *Outcome) {
 		o.Status, o.Err = StatusFailed, err
 		st.failFast.Store(true)
 		r.logf("cell %-40s FAILED: %v", o.Cell, err)
-		if rerr := r.recordCell(st, o.Cell.Key(), CellRecord{Status: string(StatusFailed), Err: err.Error()}); rerr != nil {
+		if rerr := r.recordCell(st, o.Cell.Key(), CellRecord{Status: string(StatusFailed), Err: err.Error(), Spans: spans}); rerr != nil {
 			o.Err = errors.Join(o.Err, rerr)
 		}
 	default:
@@ -468,19 +520,23 @@ func (r *Runner) executeClaimed(ctx context.Context, st *runState, o *Outcome) {
 				o.Status, o.Err = StatusFailed, werr
 				st.failFast.Store(true)
 				r.logf("cell %-40s FAILED: %v", o.Cell, werr)
-				if rerr := r.recordCell(st, o.Cell.Key(), CellRecord{Status: string(StatusFailed), Err: werr.Error()}); rerr != nil {
+				if rerr := r.recordCell(st, o.Cell.Key(), CellRecord{Status: string(StatusFailed), Err: werr.Error(), Spans: spans}); rerr != nil {
 					o.Err = errors.Join(o.Err, rerr)
 				}
+				span.SetAttr("status", string(o.Status))
+				span.End()
 				return
 			}
 		}
 		o.Status, o.Artifact = StatusCompleted, art
 		r.logf("cell %-40s completed", o.Cell)
-		if rerr := r.recordCell(st, o.Cell.Key(), CellRecord{Status: string(StatusCompleted)}); rerr != nil {
+		if rerr := r.recordCell(st, o.Cell.Key(), CellRecord{Status: string(StatusCompleted), Spans: spans}); rerr != nil {
 			o.Status, o.Err = StatusFailed, rerr
 			st.failFast.Store(true)
 		}
 	}
+	span.SetAttr("status", string(o.Status))
+	span.End()
 }
 
 // recordCell commits one cell's status line to the run manifest. The

@@ -8,6 +8,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"smartfeat/internal/obs"
 )
 
 // Options tunes a file claimer. The zero value is production-ready; tests
@@ -45,6 +47,7 @@ func (o Options) withDefaults() Options {
 type FileClaimer struct {
 	dir  string
 	opts Options
+	ins  claimerObs
 
 	mu     sync.Mutex
 	held   map[string]*fileClaim
@@ -65,8 +68,25 @@ func New(dir string, opts Options) (*FileClaimer, error) {
 		stop: make(chan struct{}),
 		done: make(chan struct{}),
 	}
+	reg := obs.Default
+	reg.RegisterCounter("lease_claims_total", "Cell claims won by exclusive lease creation.", &c.ins.won, "outcome", "won")
+	reg.RegisterCounter("lease_claims_total", "Cell claims declined because a live peer holds the lease.", &c.ins.held, "outcome", "held")
+	reg.RegisterCounter("lease_reclaims_total", "Stale leases reaped from presumed-dead peers.", &c.ins.reaps)
+	reg.RegisterCounter("lease_heartbeats_total", "Lease mtime refreshes written.", &c.ins.heartbeats)
+	reg.RegisterCounter("lease_lost_total", "Held claims lost to a peer reap (missed heartbeats).", &c.ins.lost)
+	reg.RegisterCounter("lease_releases_total", "Claims released cleanly.", &c.ins.releases)
 	go c.heartbeatLoop()
 	return c, nil
+}
+
+// claimerObs are a claimer's registry-backed coordination counters.
+type claimerObs struct {
+	won        obs.Counter
+	held       obs.Counter
+	reaps      obs.Counter
+	heartbeats obs.Counter
+	lost       obs.Counter
+	releases   obs.Counter
 }
 
 // Options returns the normalized settings the claimer runs under (the
@@ -114,6 +134,7 @@ func (c *FileClaimer) Claim(key string) (Claim, bool, error) {
 		case err != nil:
 			return nil, false, fmt.Errorf("lease: inspecting %q: %w", key, err)
 		case time.Since(st.ModTime()) <= c.opts.TTL:
+			c.ins.held.Inc()
 			return nil, false, nil // live peer holds the cell
 		}
 		if err := c.reap(key, path); err != nil {
@@ -123,6 +144,7 @@ func (c *FileClaimer) Claim(key string) (Claim, bool, error) {
 		// fresh after all): loop back to the exclusive create.
 	}
 	// Persistent contention: treat as held — the caller retries later anyway.
+	c.ins.held.Inc()
 	return nil, false, nil
 }
 
@@ -152,6 +174,7 @@ func (c *FileClaimer) acquired(key, path string, f *os.File) (Claim, bool, error
 		return nil, false, fmt.Errorf("lease: claimer is closed")
 	}
 	c.held[key] = cl
+	c.ins.won.Inc()
 	return cl, true, nil
 }
 
@@ -179,6 +202,7 @@ func (c *FileClaimer) reap(key, path string) error {
 	if err := os.Remove(tomb); err != nil && !os.IsNotExist(err) {
 		return fmt.Errorf("lease: clearing reaped %q: %w", key, err)
 	}
+	c.ins.reaps.Inc()
 	return nil
 }
 
@@ -244,9 +268,12 @@ func (c *FileClaimer) refresh() {
 	for _, cl := range claims {
 		if err := os.Chtimes(cl.path, now, now); err != nil && os.IsNotExist(err) {
 			cl.lost.Store(true)
+			c.ins.lost.Inc()
 			c.mu.Lock()
 			delete(c.held, cl.key)
 			c.mu.Unlock()
+		} else if err == nil {
+			c.ins.heartbeats.Inc()
 		}
 	}
 }
@@ -279,11 +306,13 @@ func (cl *fileClaim) Release() error {
 	}
 	if cur, ok := readInfo(cl.path); !ok || cur != cl.info {
 		cl.lost.Store(true)
+		cl.c.ins.lost.Inc()
 		return nil
 	}
 	if err := os.Remove(cl.path); err != nil && !os.IsNotExist(err) {
 		return fmt.Errorf("lease: releasing %q: %w", cl.key, err)
 	}
+	cl.c.ins.releases.Inc()
 	return nil
 }
 

@@ -1,0 +1,167 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"os"
+	"strings"
+	"time"
+)
+
+// Profile is a run-end summary assembled from the registry plus phase
+// timings the caller records: per-phase wall-clock, FM call volume and
+// latency percentiles, simulated cost, cache effectiveness, and the
+// resilience counters (hedges, breaker transitions). It renders as an
+// aligned text table and serializes to profile.json in the run directory.
+type Profile struct {
+	reg    *Registry
+	Phases []PhaseTiming `json:"phases,omitempty"`
+
+	FMRequests      int64   `json:"fm_requests"`
+	FMUpstreamCalls int64   `json:"fm_upstream_calls"`
+	FMCacheHits     int64   `json:"fm_cache_hits"`
+	FMInflight      int64   `json:"fm_inflight_shares"`
+	FMReplayed      int64   `json:"fm_replayed"`
+	FMRetries       int64   `json:"fm_retries"`
+	FMErrors        int64   `json:"fm_errors"`
+	FMP50Seconds    float64 `json:"fm_p50_seconds"`
+	FMP90Seconds    float64 `json:"fm_p90_seconds"`
+	FMP99Seconds    float64 `json:"fm_p99_seconds"`
+	SimCostUSD      float64 `json:"sim_cost_usd"`
+
+	PoolCalls    int64 `json:"pool_calls,omitempty"`
+	Hedges       int64 `json:"pool_hedges,omitempty"`
+	HedgeWins    int64 `json:"pool_hedge_wins,omitempty"`
+	BreakerOpens int64 `json:"breaker_opens,omitempty"`
+
+	GridCells       int64   `json:"grid_cells,omitempty"`
+	GridCellP50     float64 `json:"grid_cell_p50_seconds,omitempty"`
+	GridCellP99     float64 `json:"grid_cell_p99_seconds,omitempty"`
+	LeaseClaims     int64   `json:"lease_claims,omitempty"`
+	LeaseReclaims   int64   `json:"lease_reclaims,omitempty"`
+	LeaseHeartbeats int64   `json:"lease_heartbeats,omitempty"`
+}
+
+// PhaseTiming is one named phase's wall-clock share.
+type PhaseTiming struct {
+	Name    string  `json:"name"`
+	Seconds float64 `json:"seconds"`
+}
+
+// NewProfile starts a profile reading from reg (Default when nil).
+func NewProfile(reg *Registry) *Profile {
+	if reg == nil {
+		reg = Default
+	}
+	return &Profile{reg: reg}
+}
+
+// Phase starts timing a named phase; call the returned func when it ends.
+// Phases append in call order.
+func (p *Profile) Phase(name string) func() {
+	start := time.Now()
+	return func() {
+		p.Phases = append(p.Phases, PhaseTiming{Name: name, Seconds: time.Since(start).Seconds()})
+	}
+}
+
+// SetCost records the simulated FM spend (summed from usage artifacts; the
+// registry itself carries only integer instruments).
+func (p *Profile) SetCost(usd float64) { p.SimCostUSD = usd }
+
+// Fill pulls the registry's current totals into the profile. Call once,
+// after the run finishes and before Table/WriteFile.
+func (p *Profile) Fill() {
+	r := p.reg
+	p.FMRequests = int64(r.Total("fm_requests_total"))
+	p.FMUpstreamCalls = int64(r.Total("fm_upstream_calls_total"))
+	p.FMCacheHits = int64(r.Total("fm_cache_hits_total"))
+	p.FMInflight = int64(r.Total("fm_inflight_shares_total"))
+	p.FMReplayed = int64(r.Total("fm_replayed_total"))
+	p.FMRetries = int64(r.Total("fm_retries_total"))
+	p.FMErrors = int64(r.Total("fm_errors_total"))
+	p.FMP50Seconds = r.Quantile("fm_request_seconds", 0.50)
+	p.FMP90Seconds = r.Quantile("fm_request_seconds", 0.90)
+	p.FMP99Seconds = r.Quantile("fm_request_seconds", 0.99)
+	p.PoolCalls = int64(r.Total("fmpool_calls_total"))
+	p.Hedges = int64(r.Total("fmpool_hedges_total"))
+	p.HedgeWins = int64(r.Total("fmpool_hedge_wins_total"))
+	p.BreakerOpens = int64(r.Total("fmpool_breaker_opens_total"))
+	p.GridCells = int64(r.Total("grid_cells_total"))
+	p.GridCellP50 = r.Quantile("grid_cell_seconds", 0.50)
+	p.GridCellP99 = r.Quantile("grid_cell_seconds", 0.99)
+	p.LeaseClaims = int64(r.Total("lease_claims_total", "outcome", "won"))
+	p.LeaseReclaims = int64(r.Total("lease_reclaims_total"))
+	p.LeaseHeartbeats = int64(r.Total("lease_heartbeats_total"))
+}
+
+func fmtSecs(v float64) string {
+	if math.IsNaN(v) {
+		return "-"
+	}
+	return fmt.Sprintf("%.3fs", v)
+}
+
+// Table renders the profile as an aligned two-column text table.
+func (p *Profile) Table() string {
+	var rows [][2]string
+	for _, ph := range p.Phases {
+		rows = append(rows, [2]string{"phase " + ph.Name, fmt.Sprintf("%.2fs", ph.Seconds)})
+	}
+	hitRate := "-"
+	if p.FMRequests > 0 {
+		hitRate = fmt.Sprintf("%.1f%%", 100*float64(p.FMCacheHits)/float64(p.FMRequests))
+	}
+	rows = append(rows,
+		[2]string{"fm requests", fmt.Sprintf("%d (upstream %d, cache %d, shared %d, replayed %d)",
+			p.FMRequests, p.FMUpstreamCalls, p.FMCacheHits, p.FMInflight, p.FMReplayed)},
+		[2]string{"fm cache hit rate", hitRate},
+		[2]string{"fm latency p50/p90/p99", fmt.Sprintf("%s / %s / %s",
+			fmtSecs(p.FMP50Seconds), fmtSecs(p.FMP90Seconds), fmtSecs(p.FMP99Seconds))},
+		[2]string{"fm retries / errors", fmt.Sprintf("%d / %d", p.FMRetries, p.FMErrors)},
+		[2]string{"fm sim cost", fmt.Sprintf("$%.4f", p.SimCostUSD)},
+	)
+	if p.PoolCalls > 0 {
+		rows = append(rows, [2]string{"pool calls / hedges / hedge wins / breaker opens",
+			fmt.Sprintf("%d / %d / %d / %d", p.PoolCalls, p.Hedges, p.HedgeWins, p.BreakerOpens)})
+	}
+	if p.GridCells > 0 {
+		rows = append(rows,
+			[2]string{"grid cells", fmt.Sprintf("%d", p.GridCells)},
+			[2]string{"grid cell p50/p99", fmt.Sprintf("%s / %s", fmtSecs(p.GridCellP50), fmtSecs(p.GridCellP99))},
+		)
+	}
+	if p.LeaseClaims > 0 || p.LeaseReclaims > 0 {
+		rows = append(rows, [2]string{"lease claims / reclaims / heartbeats",
+			fmt.Sprintf("%d / %d / %d", p.LeaseClaims, p.LeaseReclaims, p.LeaseHeartbeats)})
+	}
+	width := 0
+	for _, r := range rows {
+		if len(r[0]) > width {
+			width = len(r[0])
+		}
+	}
+	var b strings.Builder
+	b.WriteString("== run profile ==\n")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "  %-*s  %s\n", width, r[0], r[1])
+	}
+	return b.String()
+}
+
+// WriteFile writes the profile as indented JSON to path.
+func (p *Profile) WriteFile(path string) error {
+	// NaN percentiles (empty histograms) are not valid JSON; zero them.
+	q := *p
+	for _, f := range []*float64{&q.FMP50Seconds, &q.FMP90Seconds, &q.FMP99Seconds, &q.GridCellP50, &q.GridCellP99} {
+		if math.IsNaN(*f) {
+			*f = 0
+		}
+	}
+	data, err := json.MarshalIndent(&q, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

@@ -1,0 +1,109 @@
+#!/bin/sh
+# obs_check.sh — end-to-end check of the observability layer
+# (make obs-check; wired into CI).
+#
+# Phase 1 records the quick Diabetes comparison grid sequentially and keeps
+# its stdout as the golden tables. Phase 2 replays that recording with the
+# full telemetry stack engaged — span tracing (-trace), a live /metrics +
+# /debug/pprof server (-metrics-addr), worker mode (for the lease series)
+# and a faulty 3-backend pool (for the breaker series) — and requires:
+#
+#   * the folded tables to be byte-identical to the golden output
+#     (observability may never perturb results);
+#   * /metrics to expose the fmgate, pool, breaker, grid and lease series
+#     (Prometheus text and JSON renderings both);
+#   * trace.jsonl to validate and convert cleanly through tools/traceview,
+#     with exactly one "cell" span per grid cell and at least one FM-call
+#     span per traced run.
+set -eu
+
+GO="${GO:-go}"
+TMP="$(mktemp -d)"
+trap 'rm -rf "$TMP"' EXIT INT TERM
+
+EXP="$TMP/experiments"
+TV="$TMP/traceview"
+"$GO" build -o "$EXP" ./cmd/experiments
+"$GO" build -o "$TV" ./tools/traceview
+
+# Comparison selection only: table 4/5 folds are deterministic per cell (the
+# efficiency table embeds wall-clock timings and can never diff clean).
+ARGS="-table 4 -quick -datasets Diabetes"
+FAULTS="rate=0.1,ratelimit=0.03,jitter=4ms,retryafter=10ms,outage=b2:5-25"
+
+echo "obs-check: recording sequential golden run" >&2
+"$EXP" $ARGS -run-dir "$TMP/seq" -fm-record "$TMP/fm" >"$TMP/golden.txt" 2>"$TMP/seq.log"
+
+echo "obs-check: replaying with -trace, -metrics-addr, -worker and a faulty pool" >&2
+"$EXP" $ARGS -run-dir "$TMP/obs" -fm-replay "$TMP/fm" -worker w1 \
+    -fm-backends 3 -fm-hedge 2ms -fm-deadline 2s -fm-breaker 3:50ms \
+    -fm-retries 8 -fm-faults "$FAULTS" \
+    -trace -metrics-addr 127.0.0.1:0 -metrics-linger 30s \
+    >"$TMP/obs.txt" 2>"$TMP/obs.log" &
+OBS_PID=$!
+
+# The server lingers after the run so this script can scrape it; wait for
+# the run-end profile table, then pull the address off the stderr notice.
+tries=0
+until grep -q "== run profile ==" "$TMP/obs.log" 2>/dev/null; do
+    if ! kill -0 "$OBS_PID" 2>/dev/null; then
+        echo "obs-check: observed run died; log:" >&2; cat "$TMP/obs.log" >&2; exit 1
+    fi
+    tries=$((tries + 1))
+    if [ "$tries" -gt 600 ]; then
+        echo "obs-check: timed out waiting for the observed run; log:" >&2
+        cat "$TMP/obs.log" >&2; exit 1
+    fi
+    sleep 0.2
+done
+ADDR="$(sed -n 's|^obs: serving /metrics and /debug/pprof on http://||p' "$TMP/obs.log" | head -n 1)"
+[ -n "$ADDR" ] || { echo "obs-check: no metrics address in log" >&2; cat "$TMP/obs.log" >&2; exit 1; }
+
+curl -fsS "http://$ADDR/metrics" >"$TMP/metrics.txt" || {
+    echo "obs-check: scraping /metrics failed" >&2; exit 1; }
+curl -fsS "http://$ADDR/metrics?format=json" >"$TMP/metrics.json" || {
+    echo "obs-check: scraping /metrics?format=json failed" >&2; exit 1; }
+curl -fsS "http://$ADDR/debug/pprof/cmdline" >/dev/null || {
+    echo "obs-check: /debug/pprof not served" >&2; exit 1; }
+# SIGKILL: the process is only sleeping out its -metrics-linger window at
+# this point (tables printed, trace flushed and closed), and the graceful
+# SIGTERM path would wait out the full linger.
+kill -9 "$OBS_PID" 2>/dev/null || true
+wait "$OBS_PID" 2>/dev/null || true
+
+diff "$TMP/golden.txt" "$TMP/obs.txt" >&2 || {
+    echo "obs-check: observed tables differ from golden run" >&2; exit 1; }
+echo "obs-check: observed tables byte-identical to golden" >&2
+
+# Every subsystem must publish into the shared registry: the gateways
+# (fm_*), the backend pool and its breakers (fmpool_*), the grid runner
+# (grid_*) and the worker-mode lease claimer (lease_*).
+for series in fm_requests_total fm_replayed_total fm_request_seconds \
+    fmpool_calls_total fmpool_backend_picks_total fmpool_breaker_opens_total \
+    grid_cells_total grid_cell_seconds lease_claims_total; do
+    grep -q "^$series" "$TMP/metrics.txt" || {
+        echo "obs-check: /metrics missing series $series; scrape was:" >&2
+        cat "$TMP/metrics.txt" >&2; exit 1; }
+    grep -q "\"$series\"" "$TMP/metrics.json" || {
+        echo "obs-check: JSON snapshot missing series $series" >&2; exit 1; }
+done
+echo "obs-check: fmgate/pool/breaker/grid/lease series all present" >&2
+
+TRACE="$TMP/obs/trace.jsonl"
+[ -s "$TRACE" ] || { echo "obs-check: $TRACE missing or empty" >&2; exit 1; }
+"$TV" "$TRACE" >"$TMP/trace.json" || {
+    echo "obs-check: traceview rejected the trace" >&2; exit 1; }
+grep -q '"traceEvents"' "$TMP/trace.json" || {
+    echo "obs-check: traceview output has no traceEvents" >&2; exit 1; }
+
+# One cell span per planned cell (the summary line knows the plan size) and
+# at least one FM-call span — the trace must actually cover the run.
+PLANNED="$(sed -n 's/^grid: \([0-9][0-9]*\) cells:.*/\1/p' "$TMP/obs.log" | head -n 1)"
+CELLS="$(grep -c '"name":"cell"' "$TRACE" || true)"
+FMCALLS="$(grep -c '"name":"fm.call"' "$TRACE" || true)"
+[ -n "$PLANNED" ] && [ "$CELLS" = "$PLANNED" ] || {
+    echo "obs-check: want $PLANNED cell spans, trace has $CELLS" >&2; exit 1; }
+[ "$FMCALLS" -gt 0 ] || { echo "obs-check: no fm.call spans in trace" >&2; exit 1; }
+echo "obs-check: trace valid ($CELLS cell spans, $FMCALLS fm.call spans)" >&2
+
+echo "obs-check: OK" >&2

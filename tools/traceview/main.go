@@ -1,0 +1,190 @@
+// Command traceview converts an obs trace (trace.jsonl, produced by the
+// -trace flag of cmd/experiments and cmd/smartfeat) into Chrome trace-event
+// JSON, loadable in Perfetto (https://ui.perfetto.dev) or chrome://tracing.
+//
+// Usage:
+//
+//	traceview runs/t4/trace.jsonl > trace.json
+//	traceview < trace.jsonl > trace.json
+//
+// Each span becomes one complete ("X") event. Spans are grouped into tracks
+// by their root ancestor (the top-level span of each grid cell or FM call
+// chain), so a grid run renders as one lane per concurrently executing
+// cell. Attributes and bubbled counts land in the event's args.
+//
+// The converter is also the trace validator: any malformed line — bad JSON,
+// a missing header, a non-positive id, a duplicate id, a negative timestamp
+// or duration — fails the conversion with a line-numbered error and exit
+// status 1. CI runs it over every traced grid for exactly this reason.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+)
+
+// header is the first line of trace.jsonl.
+type header struct {
+	Trace   string `json:"trace"`
+	Program string `json:"program"`
+	Started string `json:"started"`
+}
+
+// span is one recorded span line.
+type span struct {
+	ID     int64             `json:"id"`
+	Parent int64             `json:"parent"`
+	Name   string            `json:"name"`
+	TsUS   int64             `json:"ts_us"`
+	DurUS  int64             `json:"dur_us"`
+	Attrs  map[string]string `json:"attrs"`
+	Counts map[string]int64  `json:"counts"`
+}
+
+// event is one Chrome trace-event object.
+type event struct {
+	Name string         `json:"name"`
+	Ph   string         `json:"ph"`
+	Ts   int64          `json:"ts"`
+	Dur  int64          `json:"dur"`
+	Pid  int            `json:"pid"`
+	Tid  int64          `json:"tid"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// output is the Chrome trace "JSON object format".
+type output struct {
+	TraceEvents []event        `json:"traceEvents"`
+	OtherData   map[string]any `json:"otherData,omitempty"`
+}
+
+func main() {
+	in := io.Reader(os.Stdin)
+	name := "<stdin>"
+	if len(os.Args) > 1 {
+		if os.Args[1] == "-h" || os.Args[1] == "--help" {
+			fmt.Fprintln(os.Stderr, "usage: traceview [trace.jsonl] > trace.json")
+			os.Exit(2)
+		}
+		f, err := os.Open(os.Args[1])
+		if err != nil {
+			fatal("%v", err)
+		}
+		defer f.Close()
+		in, name = f, os.Args[1]
+	}
+	out, err := convert(in, name)
+	if err != nil {
+		fatal("%v", err)
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", " ")
+	if err := enc.Encode(out); err != nil {
+		fatal("%v", err)
+	}
+}
+
+func fatal(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "traceview: "+format+"\n", args...)
+	os.Exit(1)
+}
+
+// convert reads and validates a trace stream, producing the Chrome events.
+func convert(in io.Reader, name string) (*output, error) {
+	sc := bufio.NewScanner(in)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<24)
+
+	if !sc.Scan() {
+		if err := sc.Err(); err != nil {
+			return nil, fmt.Errorf("%s: %v", name, err)
+		}
+		return nil, fmt.Errorf("%s: empty trace (missing header line)", name)
+	}
+	var hdr header
+	if err := json.Unmarshal(sc.Bytes(), &hdr); err != nil {
+		return nil, fmt.Errorf("%s:1: malformed header: %v", name, err)
+	}
+	if hdr.Trace != "v1" {
+		return nil, fmt.Errorf("%s:1: unsupported trace version %q (want \"v1\")", name, hdr.Trace)
+	}
+
+	var spans []span
+	parent := make(map[int64]int64)
+	for lineNo := 2; sc.Scan(); lineNo++ {
+		if len(sc.Bytes()) == 0 {
+			continue
+		}
+		var s span
+		if err := json.Unmarshal(sc.Bytes(), &s); err != nil {
+			return nil, fmt.Errorf("%s:%d: malformed span: %v", name, lineNo, err)
+		}
+		switch {
+		case s.ID <= 0:
+			return nil, fmt.Errorf("%s:%d: span id %d (ids are positive)", name, lineNo, s.ID)
+		case s.Parent < 0:
+			return nil, fmt.Errorf("%s:%d: span %d has negative parent %d", name, lineNo, s.ID, s.Parent)
+		case s.Name == "":
+			return nil, fmt.Errorf("%s:%d: span %d has no name", name, lineNo, s.ID)
+		case s.TsUS < 0 || s.DurUS < 0:
+			return nil, fmt.Errorf("%s:%d: span %d has negative time (ts=%d dur=%d)", name, lineNo, s.ID, s.TsUS, s.DurUS)
+		}
+		if _, dup := parent[s.ID]; dup {
+			return nil, fmt.Errorf("%s:%d: duplicate span id %d", name, lineNo, s.ID)
+		}
+		parent[s.ID] = s.Parent
+		spans = append(spans, s)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("%s: %v", name, err)
+	}
+
+	// Track = root ancestor. Spans are flushed on End, so children precede
+	// their parents in the file; with the full map loaded, walk each chain
+	// to the top. An interrupted run can leave a chain dangling at a parent
+	// that never ended — the walk stops at the last recorded ancestor.
+	root := func(id int64) int64 {
+		for {
+			p, ok := parent[id]
+			if !ok || p == 0 {
+				return id
+			}
+			id = p
+		}
+	}
+
+	events := make([]event, 0, len(spans))
+	for _, s := range spans {
+		args := make(map[string]any, len(s.Attrs)+len(s.Counts)+1)
+		for k, v := range s.Attrs {
+			args[k] = v
+		}
+		for k, v := range s.Counts {
+			args["count:"+k] = v
+		}
+		if s.Parent != 0 {
+			args["parent_span"] = s.Parent
+		}
+		events = append(events, event{
+			Name: s.Name, Ph: "X", Ts: s.TsUS, Dur: s.DurUS,
+			Pid: 1, Tid: root(s.ID), Args: args,
+		})
+	}
+	sort.SliceStable(events, func(i, j int) bool {
+		if events[i].Tid != events[j].Tid {
+			return events[i].Tid < events[j].Tid
+		}
+		return events[i].Ts < events[j].Ts
+	})
+	return &output{
+		TraceEvents: events,
+		OtherData: map[string]any{
+			"program": hdr.Program,
+			"started": hdr.Started,
+			"spans":   len(spans),
+		},
+	}, nil
+}
