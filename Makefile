@@ -3,7 +3,7 @@ PKGS := ./...
 # Kernel-level microbenchmarks (tree/forest/linear fits, ColMatrix, group-by).
 KERNEL_BENCH := BenchmarkTreeFit|BenchmarkForestFit|BenchmarkExtraTreesFit|BenchmarkHistogramSplit|BenchmarkLogisticFit|BenchmarkMatrixTakeRows|BenchmarkColMatrix|BenchmarkRowMajorMatrix|BenchmarkDropNANoNulls|BenchmarkSeriesStd|BenchmarkGroupKeys
 
-.PHONY: test race check bench bench-kernel bench-grid bench-json bench-cpu fmt fmt-check vet grid-workers chaos obs-check
+.PHONY: test race check bench bench-kernel bench-grid bench-json bench-cpu fmt fmt-check vet grid-workers chaos obs-check cache-check
 
 test:
 	$(GO) build $(PKGS)
@@ -36,7 +36,7 @@ bench-kernel:
 # must stay at 0 allocs; counter increments are one atomic add). Keeps the
 # run engine's fixed costs visible in the perf trajectory (they must stay
 # negligible next to cell compute).
-GRID_BENCH := BenchmarkArtifactWrite|BenchmarkArtifactRead|BenchmarkManifestSave|BenchmarkGridResume|BenchmarkStoreSetShard|BenchmarkLeaseClaim|BenchmarkPoolComplete|BenchmarkSpanOverhead|BenchmarkRegistryInc
+GRID_BENCH := BenchmarkArtifactWrite|BenchmarkArtifactRead|BenchmarkManifestSave|BenchmarkGridResume|BenchmarkStoreSetShard|BenchmarkLeaseClaim|BenchmarkPoolComplete|BenchmarkSpanOverhead|BenchmarkRegistryInc|BenchmarkCacheHit
 bench-grid:
 	$(GO) test ./internal/grid ./internal/fmgate ./internal/obs -bench '$(GRID_BENCH)' -benchmem -run xxx -count 3
 
@@ -80,6 +80,14 @@ chaos:
 # with one span per grid cell. CI runs this on every push.
 obs-check:
 	sh tools/obs_check.sh
+
+# Tiered completion-cache gate: record the quick grid once, then re-run it
+# cold with only -fm-cache-dir pointed at the recording — the disk tier must
+# serve ≥ 90% of the recorded completions, the run must make zero upstream
+# calls at $0 simulated spend, and the tables must stay byte-identical to
+# the sequential golden. CI runs this on every push.
+cache-check:
+	sh tools/cache_check.sh
 
 fmt:
 	gofmt -l -w .

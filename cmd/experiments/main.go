@@ -79,14 +79,30 @@
 // profile.json. Tables on stdout are byte-identical with or without
 // observability. See PERF.md, "Observability".
 //
+// # Completion cache
+//
+//	-fm-cache-dir DIR   read-through disk tier over DIR's record shards: a
+//	                    completion any run already recorded there (config-hash
+//	                    checked) is served at $0 instead of calling upstream;
+//	                    workers sharing DIR serve each other's completions.
+//	                    A fully covered run is byte-identical to its
+//	                    recording. Rejected with -fm-replay (redundant)
+//	-fm-cache-size N    in-process LRU capacity (entries; affects the config
+//	                    fingerprint). Without it the LRU holds only
+//	                    disk-promoted entries, so attaching a cache dir never
+//	                    changes results
+//
 // # Run-directory GC
 //
-//	experiments -gc runs/ -gc-keep 3
+//	experiments -gc runs/ -gc-keep 3 -gc-cache-mb 256
 //
 // applies the retention policy to a directory of run dirs: per config
 // hash the newest -gc-keep runs are kept, older ones deleted, and
 // orphaned lease files (completed cell, stale heartbeat, reap tombstones)
-// are swept from the kept runs.
+// are swept from the kept runs. Shard directories (FM recordings used as
+// completion caches) get the cache sweep instead: with -gc-cache-mb their
+// stale live-* cache shards are evicted oldest-first until under the byte
+// cap, and orphaned cache-index.json snapshots are removed.
 package main
 
 import (
@@ -106,6 +122,7 @@ import (
 	"smartfeat/internal/experiments"
 	"smartfeat/internal/fmgate"
 	"smartfeat/internal/grid"
+	"smartfeat/internal/lease"
 	"smartfeat/internal/obs"
 )
 
@@ -147,6 +164,8 @@ func main() {
 	methodsFlag := flag.String("methods", "", "comma-separated comparison-method subset for the grid engine (e.g. 'SMARTFEAT,CAAFE'; 'Initial AUC' is always included)")
 	workers := flag.Int("workers", 0, "evaluation parallelism: (dataset × method) cells and per-model training (0 = GOMAXPROCS, 1 = sequential; results are identical at any setting)")
 	fmCache := flag.Bool("fm-cache", false, "cache deterministic FM completions inside each cell (content-addressed LRU)")
+	fmCacheSize := flag.Int("fm-cache-size", 0, "in-process LRU capacity in completions (implies -fm-cache; like -fm-cache this changes the config fingerprint — cached runs are self-consistent but not bit-identical to uncached ones)")
+	fmCacheDir := flag.String("fm-cache-dir", "", "cross-process completion-cache directory: a content-addressed read-through index over FM shard files (e.g. an -fm-record directory), serving completions a peer worker already paid for at $0; config-hash checked, disk hits carry replay semantics so a fully-covered run stays byte-identical")
 	fmRecord := flag.String("fm-record", "", "record per-cell FM shards (JSONL + manifest) into this directory; the whole selected grid is recorded in one run")
 	fmReplay := flag.String("fm-replay", "", "replay FM completions at zero simulated cost: a directory of per-cell shards (from -fm-record; config-hash checked, any cell subset) or a legacy monolithic recording file")
 	fmConcurrency := flag.Int("fm-concurrency", 0, "bound on each gateway's concurrent in-flight FM calls (0 = default 8)")
@@ -163,24 +182,28 @@ func main() {
 	leaseTTL := flag.Duration("lease-ttl", 0, "staleness threshold for peer leases in -worker mode (0 = 30s): a worker silent this long is presumed crashed and its cells are reclaimed")
 	gcDir := flag.String("gc", "", "compact this directory of run dirs (keep the newest -gc-keep runs per config hash, sweep orphaned leases) and exit")
 	gcKeep := flag.Int("gc-keep", 3, "runs to keep per config hash under -gc")
+	gcCacheMB := flag.Int("gc-cache-mb", 0, "under -gc, cap each FM shard directory's total *.jsonl size: stale live-* cache shards (older than -lease-ttl) are evicted oldest-first until under the cap (0 = no cap; cell shards are never touched)")
 	metricsAddr := flag.String("metrics-addr", "", "serve the process metrics registry ('/metrics', Prometheus text or ?format=json) and /debug/pprof on this address for the duration of the run (e.g. 'localhost:9090'; ':0' picks a free port)")
 	metricsLinger := flag.Duration("metrics-linger", 0, "keep the -metrics-addr server up this long after a successful run (lets CI scrape a finished run)")
 	traceFlag := flag.Bool("trace", false, "record a span trace — grid cells, FM calls, CAAFE iterations, model fits — to trace.jsonl in the run directory (or ./trace.jsonl without one); convert with tools/traceview. Tables are byte-identical with or without tracing")
 	flag.Parse()
 
 	if *gcDir != "" {
-		rep, err := grid.Compact(*gcDir, *gcKeep, *leaseTTL)
+		rep, err := grid.Compact(*gcDir, grid.CompactOptions{KeepN: *gcKeep, TTL: *leaseTTL, CacheMB: *gcCacheMB})
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "experiments:", err)
 			os.Exit(1)
 		}
-		fmt.Printf("gc: kept %d run(s), removed %d run(s), swept %d orphaned lease file(s)\n",
-			len(rep.Kept), len(rep.RemovedRuns), len(rep.RemovedLeases))
+		fmt.Printf("gc: kept %d run(s), removed %d run(s), swept %d orphaned lease file(s), evicted %d cache file(s) (%d bytes)\n",
+			len(rep.Kept), len(rep.RemovedRuns), len(rep.RemovedLeases), len(rep.RemovedCacheFiles), rep.CacheBytesFreed)
 		for _, d := range rep.RemovedRuns {
 			fmt.Println("gc: removed run", d)
 		}
 		for _, l := range rep.RemovedLeases {
 			fmt.Println("gc: swept lease", l)
+		}
+		for _, c := range rep.RemovedCacheFiles {
+			fmt.Println("gc: evicted cache file", c)
 		}
 		return
 	}
@@ -195,6 +218,9 @@ func main() {
 	cfg.Workers = *workers
 	if *fmCache {
 		cfg.FMCacheSize = 1 << 14
+	}
+	if *fmCacheSize > 0 {
+		cfg.FMCacheSize = *fmCacheSize
 	}
 	cfg.FMConcurrency = *fmConcurrency
 
@@ -230,6 +256,28 @@ func main() {
 	} else if *fmHedge != 0 || *fmDeadline != 0 || *fmBreaker != "" || *fmFaults != "" || *fmRetries != 0 {
 		fmt.Fprintln(os.Stderr, "experiments: -fm-hedge/-fm-deadline/-fm-breaker/-fm-faults/-fm-retries need -fm-backends >= 1")
 		os.Exit(2)
+	}
+
+	// The disk cache tier opens after every fingerprint-bearing flag has
+	// landed in cfg: the directory's manifest is validated against (or
+	// stamped with) this run's exact config hash.
+	if *fmCacheDir != "" {
+		if *fmReplay != "" {
+			fmt.Fprintln(os.Stderr, "experiments: -fm-cache-dir with -fm-replay is redundant — replay already serves every completion at $0; drop one")
+			os.Exit(2)
+		}
+		dc, err := fmgate.OpenDiskCache(*fmCacheDir, fmgate.DiskCacheOptions{
+			ConfigHash: cfg.Fingerprint(),
+			Worker:     *worker,
+			Live:       *fmRecord == "",
+			Locker:     lease.NewMutex(filepath.Join(*fmCacheDir, "manifest.json.lock"), *leaseTTL),
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(1)
+		}
+		defer dc.Close()
+		cfg.FMDiskCache = dc
 	}
 
 	selected := datasets.Names()

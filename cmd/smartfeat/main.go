@@ -52,6 +52,7 @@ import (
 	"io"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"sort"
 	"syscall"
 	"time"
@@ -62,6 +63,7 @@ import (
 	"smartfeat/internal/experiments"
 	"smartfeat/internal/fm"
 	"smartfeat/internal/fmgate"
+	"smartfeat/internal/lease"
 	"smartfeat/internal/obs"
 )
 
@@ -76,6 +78,8 @@ type cliOptions struct {
 	evaluate                   bool
 	workers                    int
 	fmCache                    bool
+	fmCacheSize                int
+	fmCacheDir                 string
 	fmRecord, fmReplay         string
 	fmCell                     string
 	fmConcurrency              int
@@ -108,6 +112,8 @@ func main() {
 	flag.BoolVar(&o.evaluate, "evaluate", false, "train the downstream models on the initial and augmented frames and report AUCs to stderr")
 	flag.IntVar(&o.workers, "workers", 0, "model-training parallelism for -evaluate (0 = GOMAXPROCS)")
 	flag.BoolVar(&o.fmCache, "fm-cache", false, "cache deterministic FM completions (content-addressed LRU)")
+	flag.IntVar(&o.fmCacheSize, "fm-cache-size", 0, "in-process LRU capacity in completions (implies -fm-cache)")
+	flag.StringVar(&o.fmCacheDir, "fm-cache-dir", "", "cross-process completion-cache directory: a content-addressed read-through index over FM shard files (e.g. an -fm-record directory or another run's cache dir), serving already-paid-for completions at $0 before calling upstream")
 	flag.StringVar(&o.fmRecord, "fm-record", "", "record upstream FM completions to this JSONL file (or, with -fm-cell, into a shard of a recording directory)")
 	flag.StringVar(&o.fmReplay, "fm-replay", "", "replay FM completions from a recording (zero simulated cost); a directory replays one shard of a cmd/experiments grid recording")
 	flag.StringVar(&o.fmCell, "fm-cell", "", "shard key inside a sharded recording directory (default <dataset>__SMARTFEAT)")
@@ -203,6 +209,9 @@ func buildRouter(o cliOptions) (*fmgate.Router, io.Closer, error) {
 	if o.fmCache {
 		gwOpts.CacheSize = 1 << 14
 	}
+	if o.fmCacheSize > 0 {
+		gwOpts.CacheSize = o.fmCacheSize
+	}
 	var closer io.Closer
 	var err error
 	switch {
@@ -253,6 +262,24 @@ func buildRouter(o cliOptions) (*fmgate.Router, io.Closer, error) {
 	if err != nil {
 		return nil, nil, err
 	}
+	if o.fmCacheDir != "" && !gwOpts.Replay {
+		// Disk tier of the completion cache: checked after the LRU, before
+		// upstream. The CLI cannot recompute the experiments config hash, so
+		// — as with shard replay above — the manifest is accepted as-is and
+		// compatibility rests on the operator matching the recorded flags.
+		dc, derr := fmgate.OpenDiskCache(o.fmCacheDir, fmgate.DiskCacheOptions{
+			Live:   gwOpts.Store == nil,
+			Locker: lease.NewMutex(filepath.Join(o.fmCacheDir, "manifest.json.lock"), 0),
+		})
+		if derr != nil {
+			if closer != nil {
+				closer.Close()
+			}
+			return nil, nil, derr
+		}
+		gwOpts.Disk = dc
+		closer = closers{closer, dc}
+	}
 	// Each role gets its own pool (breakers and fault sequences are per
 	// role); a nil o.pool builds plain gateways.
 	selector, err := fmgate.PoolGateway(fm.NewGPT4Sim(o.seed, o.errorRate), gwOpts, o.pool)
@@ -267,6 +294,22 @@ func buildRouter(o cliOptions) (*fmgate.Router, io.Closer, error) {
 		Route(fmgate.RoleSelector, selector).
 		Route(fmgate.RoleGenerator, generator)
 	return router, closer, nil
+}
+
+// closers closes a stack of store backings, keeping the first error.
+type closers []io.Closer
+
+func (cs closers) Close() error {
+	var first error
+	for _, c := range cs {
+		if c == nil {
+			continue
+		}
+		if err := c.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
 }
 
 // isDir reports whether path names an existing directory.

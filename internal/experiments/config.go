@@ -62,6 +62,17 @@ type Config struct {
 	// every upstream completion to the shard).
 	FMStore       *fmgate.Store
 	FMStoreReplay bool
+	// FMDiskCache is the cross-process tier of the completion cache: a
+	// content-addressed read-through index over a shard directory
+	// (fmgate.OpenDiskCache), installed on every non-replay gateway so a
+	// completion a peer worker already paid for is served from disk at $0.
+	// Disk hits carry the recording's replay semantics, so — like FMStore
+	// replay — they reproduce the paying run's outcomes exactly; the field
+	// is excluded from Fingerprint because a fully-covered cached run is
+	// byte-identical to the run that paid. (A *partially* covering cache
+	// directory is rejected up front only by config hash, not coverage, so
+	// point it at recordings of the same grid.) Ignored when replaying.
+	FMDiskCache *fmgate.DiskCache
 	// FMPool routes every gateway's upstream traffic through a resilient
 	// backend pool (hedging, circuit breakers, deadline budgets, injected
 	// faults) when non-nil with Backends > 0. Transport-only: a pool never

@@ -83,6 +83,13 @@ func newGateway(model fm.Model, role string, cfg Config) (*fmgate.Gateway, error
 		opts.Store = store
 		opts.Replay = true
 	}
+	if !opts.Replay {
+		// The cross-process disk tier applies only to paying gateways: a
+		// replaying gateway already has an exact, cheaper source. Decided
+		// here (not inside fmgate) because PoolGateway rewrites the
+		// store/replay wiring when a pool replays through StoreModel.
+		opts.Disk = cfg.FMDiskCache
+	}
 	return fmgate.PoolGateway(model, opts, cfg.FMPool)
 }
 
@@ -93,14 +100,18 @@ func newGateway(model fm.Model, role string, cfg Config) (*fmgate.Gateway, error
 // CAAFE prompt into a replay miss where the pre-grid harness ran the live
 // simulator.
 func newScopedGateway(model fm.Model, scope string, cfg Config) (*fmgate.Gateway, error) {
-	return fmgate.PoolGateway(model, fmgate.Options{
+	opts := fmgate.Options{
 		CacheSize:   cfg.FMCacheSize,
 		Concurrency: cfg.FMConcurrency,
 		Scope:       scope,
 		Store:       cfg.FMStore,
 		Replay:      cfg.FMStore != nil && cfg.FMStoreReplay,
 		Role:        "caafe",
-	}, cfg.FMPool)
+	}
+	if !opts.Replay {
+		opts.Disk = cfg.FMDiskCache
+	}
+	return fmgate.PoolGateway(model, opts, cfg.FMPool)
 }
 
 // poolDegradedErr surfaces the first fully-circuit-open backend-pool failure

@@ -1,11 +1,18 @@
 package fmgate
 
-import "container/list"
+import (
+	"container/list"
+	"sync"
+
+	"smartfeat/internal/obs"
+)
 
 // lruCache is a fixed-capacity map+list LRU for completions. Not safe for
-// concurrent use on its own; the Gateway guards it with its mutex.
+// concurrent use on its own; it is the core of one shardedCache shard, which
+// guards it with a per-shard mutex.
 type lruCache struct {
 	cap   int
+	bytes int64      // sum of len(key)+len(text) over resident entries
 	order *list.List // front = most recently used
 	items map[string]*list.Element
 }
@@ -28,18 +35,122 @@ func (c *lruCache) get(key string) (string, bool) {
 	return el.Value.(*lruEntry).text, true
 }
 
-func (c *lruCache) put(key, text string) {
+// put inserts or refreshes key and reports whether an entry was evicted plus
+// the resident-bytes delta (callers feed both into the fmcache instruments).
+func (c *lruCache) put(key, text string) (evicted bool, bytesDelta int64) {
 	if el, ok := c.items[key]; ok {
-		el.Value.(*lruEntry).text = text
+		e := el.Value.(*lruEntry)
+		bytesDelta = int64(len(text)) - int64(len(e.text))
+		e.text = text
 		c.order.MoveToFront(el)
-		return
+		c.bytes += bytesDelta
+		return false, bytesDelta
 	}
 	c.items[key] = c.order.PushFront(&lruEntry{key: key, text: text})
+	bytesDelta = int64(len(key) + len(text))
 	if c.order.Len() > c.cap {
 		oldest := c.order.Back()
 		c.order.Remove(oldest)
-		delete(c.items, oldest.Value.(*lruEntry).key)
+		e := oldest.Value.(*lruEntry)
+		delete(c.items, e.key)
+		bytesDelta -= int64(len(e.key) + len(e.text))
+		evicted = true
 	}
+	c.bytes += bytesDelta
+	return evicted, bytesDelta
 }
 
 func (c *lruCache) len() int { return c.order.Len() }
+
+// cacheShardCount is the fan-out of the sharded in-process tier. Completion
+// keys are uniformly-distributed content hashes, so a small power of two
+// spreads the row-level fan-out and concurrent grid cells across independent
+// mutexes instead of serializing every hit on one lock.
+const cacheShardCount = 16
+
+// shardedCache is the tier-1 in-process completion cache: an N-way sharded
+// LRU. Each shard is an independently-locked lruCache; total capacity is
+// split evenly (so eviction is approximate-global LRU, exact per shard).
+// Safe for concurrent use.
+type shardedCache struct {
+	shards    []cacheShard
+	evictions *obs.Counter // fmcache_evictions_total contributor (owned by the Gateway)
+	bytes     *obs.Gauge   // fmcache_bytes{tier="mem"} contributor (owned by the Gateway)
+}
+
+type cacheShard struct {
+	mu  sync.Mutex
+	lru *lruCache
+	_   [40]byte // pad to a cache line so shard locks don't false-share
+}
+
+// newShardedCache builds a sharded LRU of (at least) the given total
+// capacity. Capacities smaller than the shard count use one shard per entry
+// so tiny caches still evict at the requested size.
+func newShardedCache(capacity int, evictions *obs.Counter, bytes *obs.Gauge) *shardedCache {
+	if capacity <= 0 {
+		return nil
+	}
+	n := cacheShardCount
+	if capacity < n {
+		n = capacity
+	}
+	per := (capacity + n - 1) / n
+	s := &shardedCache{shards: make([]cacheShard, n), evictions: evictions, bytes: bytes}
+	for i := range s.shards {
+		s.shards[i].lru = newLRUCache(per)
+	}
+	return s
+}
+
+// shardFor picks a shard by FNV-1a over the key's first 4 bytes. Keys are
+// hex content hashes — every byte is already uniform — so a short prefix
+// spreads shards as well as the full key at a fraction of the hit-path cost.
+func (s *shardedCache) shardFor(key string) *cacheShard {
+	const (
+		offset32 = 2166136261
+		prime32  = 16777619
+	)
+	n := len(key)
+	if n > 4 {
+		n = 4
+	}
+	h := uint32(offset32)
+	for i := 0; i < n; i++ {
+		h ^= uint32(key[i])
+		h *= prime32
+	}
+	return &s.shards[h%uint32(len(s.shards))]
+}
+
+func (s *shardedCache) get(key string) (string, bool) {
+	sh := s.shardFor(key)
+	sh.mu.Lock()
+	text, ok := sh.lru.get(key)
+	sh.mu.Unlock()
+	return text, ok
+}
+
+func (s *shardedCache) put(key, text string) {
+	sh := s.shardFor(key)
+	sh.mu.Lock()
+	evicted, delta := sh.lru.put(key, text)
+	sh.mu.Unlock()
+	if evicted && s.evictions != nil {
+		s.evictions.Inc()
+	}
+	if delta != 0 && s.bytes != nil {
+		s.bytes.Add(delta)
+	}
+}
+
+func (s *shardedCache) len() int {
+	n := 0
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		n += sh.lru.len()
+		sh.mu.Unlock()
+	}
+	return n
+}

@@ -4,9 +4,11 @@
 // this package makes whatever traffic remains cheap, concurrent and
 // replayable:
 //
-//   - a content-addressed completion cache (in-memory LRU) so repeated
-//     deterministic prompts — row-level completions over duplicate rows,
-//     re-issued function generations — are served without a model call;
+//   - a content-addressed tiered completion cache — sharded in-process LRU,
+//     then a cross-process read-through index over record-store shard
+//     directories (DiskCache), then upstream — so repeated deterministic
+//     prompts are served without a model call and a completion one worker
+//     paid for is served to its peers at $0;
 //   - an on-disk record/replay store: a recorded run replays byte-identical
 //     completions with zero simulated cost and latency;
 //   - in-flight deduplication (singleflight) so concurrent identical prompts
@@ -62,6 +64,16 @@ type Options struct {
 	// an error: a replayed run must never silently fall through to paid
 	// traffic.
 	Replay bool
+	// Disk is the cross-process tier of the completion cache (optional): a
+	// content-addressed read-through index over a shard directory, checked
+	// after the in-process LRU and before upstream. A disk hit costs $0 and
+	// is promoted into the LRU. Ignored in Replay mode (the replay store is
+	// already an exact, cheaper source). When Disk is set and CacheSize is
+	// 0, the gateway still runs an in-process LRU in promote-only mode:
+	// only disk-tier hits (replay-grade outcomes) populate it, never fresh
+	// upstream completions, so enabling the tier cannot change results for
+	// configurations whose fingerprint says caching is off.
+	Disk *DiskCache
 	// MaxRetries is how many times a transient upstream error is retried
 	// (default 0 — fail fast; the fault-injection tests set it).
 	MaxRetries int
@@ -85,6 +97,8 @@ type Metrics struct {
 	UpstreamCalls int64
 	// CacheHits were served from the in-memory completion cache.
 	CacheHits int64
+	// DiskHits were served from the cross-process disk tier.
+	DiskHits int64
 	// InflightShares joined an identical in-flight upstream call.
 	InflightShares int64
 	// Replayed were served from the record/replay store.
@@ -97,18 +111,19 @@ type Metrics struct {
 
 // String renders a one-line summary.
 func (m Metrics) String() string {
-	return fmt.Sprintf("requests=%d upstream=%d cache_hits=%d inflight_shares=%d replayed=%d retries=%d errors=%d",
-		m.Requests, m.UpstreamCalls, m.CacheHits, m.InflightShares, m.Replayed, m.Retries, m.Errors)
+	return fmt.Sprintf("requests=%d upstream=%d cache_hits=%d disk_hits=%d inflight_shares=%d replayed=%d retries=%d errors=%d",
+		m.Requests, m.UpstreamCalls, m.CacheHits, m.DiskHits, m.InflightShares, m.Replayed, m.Retries, m.Errors)
 }
 
 // Saved reports how many completions were served without an upstream call.
-func (m Metrics) Saved() int64 { return m.CacheHits + m.InflightShares + m.Replayed }
+func (m Metrics) Saved() int64 { return m.CacheHits + m.DiskHits + m.InflightShares + m.Replayed }
 
 // Add merges another snapshot into m (aggregating across gateways).
 func (m *Metrics) Add(o Metrics) {
 	m.Requests += o.Requests
 	m.UpstreamCalls += o.UpstreamCalls
 	m.CacheHits += o.CacheHits
+	m.DiskHits += o.DiskHits
 	m.InflightShares += o.InflightShares
 	m.Replayed += o.Replayed
 	m.Retries += o.Retries
@@ -132,9 +147,15 @@ type Gateway struct {
 	sem   chan struct{}
 
 	mu     sync.Mutex
-	cache  *lruCache
 	flight map[string]*call
 	subs   []chan Metrics
+
+	// cache is the in-process tier: an N-way sharded LRU, internally locked
+	// (deliberately outside g.mu so hits never contend with singleflight
+	// bookkeeping). promoteOnly restricts population to disk-tier hits —
+	// see Options.Disk.
+	cache       *shardedCache
+	promoteOnly bool
 
 	// Registry-backed traffic instruments: each gateway owns its own
 	// counters (so per-instance Metrics snapshots stay exact) and registers
@@ -153,6 +174,15 @@ type gwInstruments struct {
 	retries        obs.Counter
 	errors         obs.Counter
 	latency        *obs.Histogram
+
+	// Tiered completion-cache instruments (fmcache_* series; unlabeled by
+	// role — the cache is content-addressed across roles, so per-tier totals
+	// are what matters).
+	fmcacheHitsMem   obs.Counter
+	fmcacheHitsDisk  obs.Counter
+	fmcacheMisses    obs.Counter
+	fmcacheEvictions obs.Counter
+	fmcacheMemBytes  obs.Gauge
 }
 
 // New builds a gateway over the model.
@@ -173,7 +203,10 @@ func New(model fm.Model, opts Options) *Gateway {
 		flight: make(map[string]*call),
 	}
 	if opts.CacheSize > 0 {
-		g.cache = newLRUCache(opts.CacheSize)
+		g.cache = newShardedCache(opts.CacheSize, &g.ins.fmcacheEvictions, &g.ins.fmcacheMemBytes)
+	} else if opts.Disk != nil && !opts.Replay {
+		g.cache = newShardedCache(defaultPromoteCacheSize, &g.ins.fmcacheEvictions, &g.ins.fmcacheMemBytes)
+		g.promoteOnly = true
 	}
 	g.ins.latency = obs.NewHistogram(obs.TimeBuckets...)
 	reg, role := obs.Default, opts.Role
@@ -185,8 +218,17 @@ func New(model fm.Model, opts Options) *Gateway {
 	reg.RegisterCounter("fm_retries_total", "Upstream attempts beyond the first.", &g.ins.retries, "role", role)
 	reg.RegisterCounter("fm_errors_total", "Requests that returned an error.", &g.ins.errors, "role", role)
 	reg.RegisterHistogram("fm_request_seconds", "End-to-end gateway request latency.", g.ins.latency, "role", role)
+	reg.RegisterCounter("fmcache_hits_total", "Tiered completion-cache hits by serving tier.", &g.ins.fmcacheHitsMem, "tier", "mem")
+	reg.RegisterCounter("fmcache_hits_total", "Tiered completion-cache hits by serving tier.", &g.ins.fmcacheHitsDisk, "tier", "disk")
+	reg.RegisterCounter("fmcache_misses_total", "Completions that missed every cache tier.", &g.ins.fmcacheMisses)
+	reg.RegisterCounter("fmcache_evictions_total", "In-process LRU evictions.", &g.ins.fmcacheEvictions)
+	reg.RegisterGauge("fmcache_bytes", "Resident completion-cache bytes by tier.", &g.ins.fmcacheMemBytes, "tier", "mem")
 	return g
 }
+
+// defaultPromoteCacheSize is the promote-only LRU capacity used when a disk
+// tier is configured without an explicit CacheSize.
+const defaultPromoteCacheSize = 1 << 14
 
 // Name implements fm.Model.
 func (g *Gateway) Name() string { return g.model.Name() }
@@ -245,6 +287,7 @@ func (g *Gateway) complete(ctx context.Context, prompt string) (text string, cac
 	start := time.Now()
 	ctx, span := obs.StartSpan(ctx, "fm.call")
 	outcome := "upstream"
+	tier := ""
 	g.ins.requests.Inc()
 	defer func() {
 		if err != nil {
@@ -254,6 +297,9 @@ func (g *Gateway) complete(ctx context.Context, prompt string) (text string, cac
 		g.ins.latency.ObserveDuration(time.Since(start))
 		g.publish()
 		span.SetAttr("outcome", outcome)
+		if tier != "" {
+			span.SetAttr("cache_tier", tier)
+		}
 		span.End()
 	}()
 	if err = ctx.Err(); err != nil {
@@ -279,11 +325,45 @@ func (g *Gateway) complete(ctx context.Context, prompt string) (text string, cac
 	}
 
 	if shareable && g.cache != nil {
-		if text, ok := g.cacheGet(key); ok {
+		if text, ok := g.cache.get(key); ok {
 			g.ins.cacheHits.Inc()
+			g.ins.fmcacheHitsMem.Inc()
 			outcome = "cache"
+			tier = "mem"
 			return text, true, nil
 		}
+	}
+
+	// Disk tier: a peer (or an earlier incarnation of this worker) already
+	// paid for this completion — serve it at $0 with replay semantics. Both
+	// cacheable and sampling prompts are eligible: a run fully covered by
+	// the shard directory must consume the exact recorded outcome sequence
+	// (including recorded upstream errors) to stay byte-identical with the
+	// run that paid, because the simulators' draw sequence is shared state.
+	if g.opts.Disk != nil {
+		if dtext, derr, ok := g.opts.Disk.Get(key, shareable); ok {
+			g.ins.fmcacheHitsDisk.Inc()
+			outcome = "cache"
+			tier = "disk"
+			if g.opts.Store != nil && ctx.Err() == nil {
+				// Record-through: the cell shard this run is recording must
+				// stay a complete, self-contained replay of its own traffic
+				// even when the outcome came from a peer's shard.
+				if serr := g.opts.Store.record(key, prompt, dtext, derr); serr != nil {
+					return "", false, fmt.Errorf("fmgate: recording disk-tier hit: %w", serr)
+				}
+			}
+			if derr != "" {
+				return "", true, fmt.Errorf("fmgate: cached upstream error: %s", derr)
+			}
+			if shareable && g.cache != nil {
+				g.cache.put(key, dtext) // tier promotion: next hit is lock-cheap
+			}
+			return dtext, true, nil
+		}
+	}
+	if g.opts.Disk != nil || (shareable && g.cache != nil) {
+		g.ins.fmcacheMisses.Inc()
 	}
 
 	if !shareable {
@@ -310,8 +390,8 @@ func (g *Gateway) complete(ctx context.Context, prompt string) (text string, cac
 	g.mu.Unlock()
 
 	c.text, c.err = g.callUpstream(ctx, key, prompt)
-	if c.err == nil && g.cache != nil {
-		g.cachePut(key, c.text)
+	if c.err == nil && g.cache != nil && !g.promoteOnly {
+		g.cache.put(key, c.text)
 	}
 	g.mu.Lock()
 	delete(g.flight, key)
@@ -384,6 +464,9 @@ func (g *Gateway) callUpstream(ctx context.Context, key, prompt string) (string,
 				return "", fmt.Errorf("fmgate: recording upstream error: %w", serr)
 			}
 		}
+		if g.opts.Disk != nil && ctx.Err() == nil {
+			g.opts.Disk.Learn(key, prompt, "", err.Error(), g.opts.Store != nil)
+		}
 		return "", err
 	}
 	if g.opts.Store != nil {
@@ -391,19 +474,14 @@ func (g *Gateway) callUpstream(ctx context.Context, key, prompt string) (string,
 			return "", fmt.Errorf("fmgate: recording completion: %w", serr)
 		}
 	}
+	if g.opts.Disk != nil {
+		// Demotion path of the tiering story: a completion this process just
+		// paid for becomes visible to peer processes — via the cell shard it
+		// was recorded into, or (unpersisted runs) via the cache's own live
+		// shard appended inside Learn.
+		g.opts.Disk.Learn(key, prompt, text, "", g.opts.Store != nil)
+	}
 	return text, nil
-}
-
-func (g *Gateway) cacheGet(key string) (string, bool) {
-	g.mu.Lock()
-	defer g.mu.Unlock()
-	return g.cache.get(key)
-}
-
-func (g *Gateway) cachePut(key, text string) {
-	g.mu.Lock()
-	defer g.mu.Unlock()
-	g.cache.put(key, text)
 }
 
 // PoolDegraded reports the first fully-circuit-open failure of this
@@ -432,6 +510,7 @@ func (g *Gateway) Metrics() Metrics {
 		Requests:       g.ins.requests.Value(),
 		UpstreamCalls:  g.ins.upstreamCalls.Value(),
 		CacheHits:      g.ins.cacheHits.Value(),
+		DiskHits:       g.ins.fmcacheHitsDisk.Value(),
 		InflightShares: g.ins.inflightShares.Value(),
 		Replayed:       g.ins.replayed.Value(),
 		Retries:        g.ins.retries.Value(),

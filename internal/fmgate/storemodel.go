@@ -17,7 +17,9 @@ import (
 // It shares the gateway's content addressing and the store's queue
 // semantics: cacheable prompts stick at the last recorded outcome, sampling
 // prompts miss loudly once their queue is exhausted, and recorded upstream
-// errors are reproduced faithfully.
+// errors are reproduced faithfully. DiskCache carries the same semantics
+// across processes — it is the read-through tier over a whole directory of
+// recordings, where this type serves exactly one as a model.
 type StoreModel struct {
 	store *Store
 	name  string

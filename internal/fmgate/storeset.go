@@ -125,6 +125,26 @@ func NewRecordStoreSet(dir string, manifest StoreSetManifest) (*StoreSet, error)
 	return s, nil
 }
 
+// ReadStoreSetManifest reads and version-checks a shard directory's
+// manifest. Its presence (where a grid run manifest fails to parse — the two
+// formats are mutually unreadable) is how grid.Compact and the disk cache
+// tier recognize a directory as a shard/cache dir. A missing manifest is
+// reported wrapping os.ErrNotExist.
+func ReadStoreSetManifest(dir string) (StoreSetManifest, error) {
+	raw, err := os.ReadFile(filepath.Join(dir, storeSetManifestName))
+	if err != nil {
+		return StoreSetManifest{}, fmt.Errorf("fmgate: opening shard manifest: %w", err)
+	}
+	var m StoreSetManifest
+	if err := json.Unmarshal(raw, &m); err != nil {
+		return StoreSetManifest{}, fmt.Errorf("fmgate: parsing shard manifest %s: %w", dir, err)
+	}
+	if m.Version != storeSetVersion {
+		return StoreSetManifest{}, fmt.Errorf("fmgate: shard manifest %s has version %d, want %d", dir, m.Version, storeSetVersion)
+	}
+	return m, nil
+}
+
 // OpenReplayStoreSet opens a shard directory for replay. wantConfigHash is
 // the caller's own configuration fingerprint; a mismatch with the recording's
 // manifest returns ErrStoreSetConfigMismatch (wrapped) — replaying traffic
@@ -133,16 +153,9 @@ func NewRecordStoreSet(dir string, manifest StoreSetManifest) (*StoreSet, error)
 // compatibility by other means, e.g. the smartfeat CLI with hand-matched
 // flags).
 func OpenReplayStoreSet(dir string, wantConfigHash string) (*StoreSet, error) {
-	raw, err := os.ReadFile(filepath.Join(dir, storeSetManifestName))
+	m, err := ReadStoreSetManifest(dir)
 	if err != nil {
-		return nil, fmt.Errorf("fmgate: opening shard manifest: %w", err)
-	}
-	var m StoreSetManifest
-	if err := json.Unmarshal(raw, &m); err != nil {
-		return nil, fmt.Errorf("fmgate: parsing shard manifest %s: %w", dir, err)
-	}
-	if m.Version != storeSetVersion {
-		return nil, fmt.Errorf("fmgate: shard manifest %s has version %d, want %d", dir, m.Version, storeSetVersion)
+		return nil, err
 	}
 	if wantConfigHash != "" && m.ConfigHash != wantConfigHash {
 		return nil, fmt.Errorf("%w: recording %s was made under config %s, this run is %s (re-record, or match the recording's seed/budget flags)",

@@ -8,6 +8,7 @@ import (
 	"strings"
 	"time"
 
+	"smartfeat/internal/fmgate"
 	"smartfeat/internal/lease"
 )
 
@@ -20,6 +21,26 @@ type CompactReport struct {
 	// RemovedLeases lists orphaned lease files (and reap tombstones) swept
 	// out of the kept runs.
 	RemovedLeases []string
+	// RemovedCacheFiles lists live cache shards evicted by the size cap and
+	// orphaned cache-index snapshots swept out of shard directories.
+	RemovedCacheFiles []string
+	// CacheBytesFreed totals the bytes released by the cache sweep.
+	CacheBytesFreed int64
+}
+
+// CompactOptions configures a Compact sweep.
+type CompactOptions struct {
+	// KeepN is how many runs to retain per config hash (must be ≥ 1).
+	KeepN int
+	// TTL is the lease/live-shard staleness horizon; ≤ 0 defaults to
+	// lease.DefaultTTL. Pass the TTL your workers run with.
+	TTL time.Duration
+	// CacheMB caps each shard directory's total *.jsonl bytes. When a
+	// directory exceeds it, stale live-* cache shards (mtime older than TTL
+	// — a fresh mtime means a worker is actively appending) are evicted
+	// oldest-first until under the cap. Cell shards are replay artifacts
+	// and are never touched; ≤ 0 disables the cap.
+	CacheMB int
 }
 
 // Compact applies the retention policy to a root directory of run
@@ -34,10 +55,13 @@ type CompactReport struct {
 // touched, so compacting a root with an active multi-worker run is safe: the
 // active run is by definition the newest of its hash.
 //
-// Entries under root that do not parse as run directories (no manifest —
-// e.g. FM recording directories) are left alone. ttl ≤ 0 defaults to
-// lease.DefaultTTL; callers should pass the TTL their workers run with.
-func Compact(root string, keepN int, ttl time.Duration) (*CompactReport, error) {
+// Directories under root carrying an fmgate shard manifest (FM recordings,
+// completion-cache dirs) get the cache sweep instead: orphaned cache-index
+// snapshots are removed, and — with CacheMB set — stale live-* cache shards
+// are evicted oldest-first until the directory fits the cap. Entries that are
+// neither run nor shard directories are left alone.
+func Compact(root string, opts CompactOptions) (*CompactReport, error) {
+	keepN, ttl := opts.KeepN, opts.TTL
 	if keepN < 1 {
 		return nil, fmt.Errorf("grid: compact keepN must be ≥ 1 (got %d)", keepN)
 	}
@@ -66,6 +90,25 @@ func Compact(root string, keepN int, ttl time.Duration) (*CompactReport, error) 
 		byHash[m.ConfigHash] = append(byHash[m.ConfigHash], run{dir: dir, hash: m.ConfigHash, when: manifestTime(dir, m)})
 	}
 	rep := &CompactReport{}
+	for _, e := range entries {
+		if !e.IsDir() {
+			continue
+		}
+		dir := filepath.Join(root, e.Name())
+		if _, err := LoadManifest(dir); err == nil {
+			continue // run directories are handled by retention below
+		}
+		sm, err := fmgate.ReadStoreSetManifest(dir)
+		if err != nil {
+			continue // neither a run nor a shard directory: leave alone
+		}
+		removed, freed, err := sweepCache(dir, sm, ttl, opts.CacheMB)
+		if err != nil {
+			return rep, err
+		}
+		rep.RemovedCacheFiles = append(rep.RemovedCacheFiles, removed...)
+		rep.CacheBytesFreed += freed
+	}
 	for _, runs := range byHash {
 		sort.Slice(runs, func(i, j int) bool {
 			if !runs[i].when.Equal(runs[j].when) {
@@ -92,7 +135,102 @@ func Compact(root string, keepN int, ttl time.Duration) (*CompactReport, error) 
 	sort.Strings(rep.Kept)
 	sort.Strings(rep.RemovedRuns)
 	sort.Strings(rep.RemovedLeases)
+	sort.Strings(rep.RemovedCacheFiles)
 	return rep, nil
+}
+
+// sweepCache applies the completion-cache retention policy to one shard
+// directory: enforce the size cap by evicting stale live-* shards, then
+// remove a cache-index snapshot the directory's contents no longer match.
+func sweepCache(dir string, sm fmgate.StoreSetManifest, ttl time.Duration, cacheMB int) (removed []string, freed int64, err error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, 0, fmt.Errorf("grid: sweeping cache dir %s: %w", dir, err)
+	}
+	type shard struct {
+		path  string
+		size  int64
+		mtime time.Time
+		live  bool
+	}
+	var shards []shard
+	var total int64
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".jsonl") {
+			continue
+		}
+		st, err := e.Info()
+		if err != nil {
+			continue
+		}
+		shards = append(shards, shard{
+			path:  filepath.Join(dir, e.Name()),
+			size:  st.Size(),
+			mtime: st.ModTime(),
+			live:  strings.HasPrefix(e.Name(), fmgate.CacheLivePrefix),
+		})
+		total += st.Size()
+	}
+	if cap := int64(cacheMB) << 20; cacheMB > 0 && total > cap {
+		// Oldest stale live shards go first; cell shards and live shards
+		// with a fresh heartbeat (mtime within ttl: a worker is appending
+		// right now) are never candidates.
+		var victims []shard
+		for _, s := range shards {
+			if s.live && time.Since(s.mtime) > ttl {
+				victims = append(victims, s)
+			}
+		}
+		sort.Slice(victims, func(i, j int) bool {
+			if !victims[i].mtime.Equal(victims[j].mtime) {
+				return victims[i].mtime.Before(victims[j].mtime)
+			}
+			return victims[i].path < victims[j].path
+		})
+		for _, v := range victims {
+			if total <= cap {
+				break
+			}
+			if err := os.Remove(v.path); err != nil && !os.IsNotExist(err) {
+				return removed, freed, fmt.Errorf("grid: evicting cache shard %s: %w", v.path, err)
+			}
+			total -= v.size
+			freed += v.size
+			removed = append(removed, v.path)
+		}
+	}
+	// Orphan index sweep: the snapshot is pure bookkeeping, so anything the
+	// directory no longer backs — hash drift, files evicted above or by a
+	// re-record, plain corruption — gets removed rather than repaired.
+	idxPath := filepath.Join(dir, fmgate.CacheIndexName)
+	idx, ierr := fmgate.ReadCacheIndex(dir)
+	if os.IsNotExist(ierr) {
+		return removed, freed, nil
+	}
+	orphan := ierr != nil
+	if ierr == nil {
+		if idx.ConfigHash != "" && sm.ConfigHash != "" && idx.ConfigHash != sm.ConfigHash {
+			orphan = true
+		}
+		for name := range idx.Files {
+			if _, err := os.Stat(filepath.Join(dir, name)); err != nil {
+				orphan = true
+				break
+			}
+		}
+	}
+	if orphan {
+		var size int64
+		if st, err := os.Stat(idxPath); err == nil {
+			size = st.Size()
+		}
+		if err := os.Remove(idxPath); err != nil && !os.IsNotExist(err) {
+			return removed, freed, fmt.Errorf("grid: removing orphaned cache index %s: %w", idxPath, err)
+		}
+		removed = append(removed, idxPath)
+		freed += size
+	}
+	return removed, freed, nil
 }
 
 // sweepLeases removes a kept run's orphaned lease files.

@@ -60,7 +60,7 @@ func TestCompactRetention(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	rep, err := Compact(root, 2, time.Minute)
+	rep, err := Compact(root, CompactOptions{KeepN: 2, TTL: time.Minute})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -76,7 +76,7 @@ func TestCompactRetention(t *testing.T) {
 		t.Fatalf("%s should have been removed", oldA)
 	}
 	// keepN below 1 is a caller bug.
-	if _, err := Compact(root, 0, 0); err == nil {
+	if _, err := Compact(root, CompactOptions{}); err == nil {
 		t.Fatal("keepN=0 accepted")
 	}
 }
@@ -97,7 +97,7 @@ func TestCompactSweepsOrphanedLeases(t *testing.T) {
 	liveLease := mkLease(t, run, "Tennis__AutoFeat.lease", 0)
 	tomb := mkLease(t, run, "Tennis__CAAFE.lease.reap-w9", 0)
 
-	rep, err := Compact(root, 1, time.Minute)
+	rep, err := Compact(root, CompactOptions{KeepN: 1, TTL: time.Minute})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -115,5 +115,104 @@ func TestCompactSweepsOrphanedLeases(t *testing.T) {
 	}
 	if _, err := os.Stat(liveLease); err != nil {
 		t.Fatalf("live lease swept: %v", err)
+	}
+}
+
+// mkCacheDir synthesizes a completion-cache shard directory (an fmgate
+// store-set manifest with an empty cell list) under root.
+func mkCacheDir(t *testing.T, root, name, hash string) string {
+	t.Helper()
+	dir := filepath.Join(root, name)
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	raw := `{"version":1,"config_hash":"` + hash + `","seed":1,"budget":0,"cells":[]}` + "\n"
+	if err := os.WriteFile(filepath.Join(dir, "manifest.json"), []byte(raw), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return dir
+}
+
+// mkShardFile plants a shard file of the given size and age in a cache dir.
+func mkShardFile(t *testing.T, dir, name string, size int, age time.Duration) string {
+	t.Helper()
+	path := filepath.Join(dir, name)
+	if err := os.WriteFile(path, make([]byte, size), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	when := time.Now().Add(-age)
+	if err := os.Chtimes(path, when, when); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// TestCompactCacheSweep pins the completion-cache retention policy: the size
+// cap evicts stale live shards oldest-first, never touches cell shards or
+// live shards with a fresh heartbeat (a worker is appending — the live-lease
+// safety guarantee), and orphaned cache-index snapshots are swept while
+// consistent ones are kept.
+func TestCompactCacheSweep(t *testing.T) {
+	root := t.TempDir()
+	const kb = 1 << 10
+	cacheDir := mkCacheDir(t, root, "fm", "hash-C")
+	cell := mkShardFile(t, cacheDir, "Tennis__SMARTFEAT.jsonl", 600*kb, 3*time.Hour)
+	liveStale := mkShardFile(t, cacheDir, "live-a.jsonl", 300*kb, 2*time.Hour)
+	liveStaler := mkShardFile(t, cacheDir, "live-b.jsonl", 300*kb, 3*time.Hour)
+	liveFresh := mkShardFile(t, cacheDir, "live-c.jsonl", 300*kb, 0)
+	// An index referencing a shard the size cap is about to evict: orphaned.
+	orphanIdx := filepath.Join(cacheDir, "cache-index.json")
+	if err := os.WriteFile(orphanIdx, []byte(`{"version":1,"config_hash":"hash-C","files":{"live-a.jsonl":1}}`+"\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	// A second cache dir whose index matches its contents: kept untouched.
+	okDir := mkCacheDir(t, root, "fm-ok", "hash-D")
+	okCell := mkShardFile(t, okDir, "Tennis__CAAFE.jsonl", 1*kb, time.Hour)
+	okIdx := filepath.Join(okDir, "cache-index.json")
+	if err := os.WriteFile(okIdx, []byte(`{"version":1,"config_hash":"hash-D","files":{"Tennis__CAAFE.jsonl":1024}}`+"\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	// A third whose index was written under a different config: swept even
+	// though no size cap applies.
+	driftDir := mkCacheDir(t, root, "fm-drift", "hash-E")
+	driftIdx := filepath.Join(driftDir, "cache-index.json")
+	if err := os.WriteFile(driftIdx, []byte(`{"version":1,"config_hash":"hash-OTHER","files":{}}`+"\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	// A plain run directory rides along to prove retention still works.
+	run := mkRun(t, root, "run-1", "hash-A", time.Now())
+
+	rep, err := Compact(root, CompactOptions{KeepN: 1, TTL: time.Minute, CacheMB: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	removed := map[string]bool{}
+	for _, p := range rep.RemovedCacheFiles {
+		removed[p] = true
+	}
+	for _, p := range []string{liveStale, liveStaler, orphanIdx, driftIdx} {
+		if !removed[p] {
+			t.Fatalf("%s should have been swept; removed = %v", p, rep.RemovedCacheFiles)
+		}
+		if _, err := os.Stat(p); !os.IsNotExist(err) {
+			t.Fatalf("%s reported swept but still present", p)
+		}
+	}
+	for _, p := range []string{cell, liveFresh, okCell, okIdx} {
+		if removed[p] {
+			t.Fatalf("%s must never be swept", p)
+		}
+		if _, err := os.Stat(p); err != nil {
+			t.Fatalf("%s should have been kept: %v", p, err)
+		}
+	}
+	if rep.CacheBytesFreed < 600*kb {
+		t.Fatalf("CacheBytesFreed = %d, want ≥ %d", rep.CacheBytesFreed, 600*kb)
+	}
+	if _, err := os.Stat(run); err != nil {
+		t.Fatalf("run dir swept by cache pass: %v", err)
+	}
+	if len(rep.Kept) != 1 || rep.Kept[0] != run {
+		t.Fatalf("kept = %v, want [%s]", rep.Kept, run)
 	}
 }

@@ -586,12 +586,21 @@ func (r *Runner) saveManifest(st *runState, update func(*Manifest)) error {
 func (r *Runner) executeCell(ctx context.Context, c Cell, configHash string) (*Artifact, error) {
 	cfg := r.Config
 	if r.Stores != nil {
+		if cfg.FMDiskCache != nil && !r.Stores.Replay() {
+			// Exclude the shard we are about to truncate and record into
+			// BEFORE it is created: the disk tier must never ingest this
+			// process's own in-progress appends back into its index.
+			cfg.FMDiskCache.Exclude(filepath.Join(r.Stores.Dir(), c.Key()+".jsonl"))
+		}
 		shard, err := r.Stores.Shard(c.Key())
 		if err != nil {
 			return nil, err
 		}
 		cfg.FMStore = shard
 		cfg.FMStoreReplay = r.Stores.Replay()
+		if cfg.FMStoreReplay {
+			cfg.FMDiskCache = nil // replaying cells have an exact, cheaper source
+		}
 	}
 	art := &Artifact{Cell: c, ConfigHash: configHash}
 	switch {

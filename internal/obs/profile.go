@@ -21,6 +21,9 @@ type Profile struct {
 	FMRequests      int64   `json:"fm_requests"`
 	FMUpstreamCalls int64   `json:"fm_upstream_calls"`
 	FMCacheHits     int64   `json:"fm_cache_hits"`
+	FMDiskHits      int64   `json:"fm_disk_hits,omitempty"`
+	FMCacheMisses   int64   `json:"fm_cache_misses,omitempty"`
+	FMEvictions     int64   `json:"fm_cache_evictions,omitempty"`
 	FMInflight      int64   `json:"fm_inflight_shares"`
 	FMReplayed      int64   `json:"fm_replayed"`
 	FMRetries       int64   `json:"fm_retries"`
@@ -77,6 +80,9 @@ func (p *Profile) Fill() {
 	p.FMRequests = int64(r.Total("fm_requests_total"))
 	p.FMUpstreamCalls = int64(r.Total("fm_upstream_calls_total"))
 	p.FMCacheHits = int64(r.Total("fm_cache_hits_total"))
+	p.FMDiskHits = int64(r.Total("fmcache_hits_total", "tier", "disk"))
+	p.FMCacheMisses = int64(r.Total("fmcache_misses_total"))
+	p.FMEvictions = int64(r.Total("fmcache_evictions_total"))
 	p.FMInflight = int64(r.Total("fm_inflight_shares_total"))
 	p.FMReplayed = int64(r.Total("fm_replayed_total"))
 	p.FMRetries = int64(r.Total("fm_retries_total"))
@@ -122,6 +128,10 @@ func (p *Profile) Table() string {
 		[2]string{"fm retries / errors", fmt.Sprintf("%d / %d", p.FMRetries, p.FMErrors)},
 		[2]string{"fm sim cost", fmt.Sprintf("$%.4f", p.SimCostUSD)},
 	)
+	if p.FMDiskHits > 0 || p.FMCacheMisses > 0 {
+		rows = append(rows, [2]string{"fm cache tiers", fmt.Sprintf("mem %d / disk %d (misses %d, evictions %d)",
+			p.FMCacheHits, p.FMDiskHits, p.FMCacheMisses, p.FMEvictions)})
+	}
 	if p.PoolCalls > 0 {
 		rows = append(rows, [2]string{"pool calls / hedges / hedge wins / breaker opens",
 			fmt.Sprintf("%d / %d / %d / %d", p.PoolCalls, p.Hedges, p.HedgeWins, p.BreakerOpens)})

@@ -1,0 +1,68 @@
+#!/bin/sh
+# cache_check.sh — end-to-end gate for the tiered completion cache
+# (make cache-check; wired into CI).
+#
+# Phase 1 records the quick Diabetes comparison grid sequentially, keeping
+# its stdout as the golden tables and its recording directory as the shard
+# source. Phase 2 re-runs the same configuration in a fresh run directory
+# with a cold in-process LRU and only -fm-cache-dir pointed at the shards —
+# the disk tier must serve the entire prompt stream — and requires:
+#
+#   * the folded tables to be byte-identical to the golden output
+#     (a disk-tier hit carries replay-grade semantics, so a fully covered
+#     cached run may never perturb results);
+#   * zero upstream calls and $0 simulated spend in the run profile
+#     (every completion was already paid for by the recording run);
+#   * disk-tier hits ≥ 90% of the recorded completion count (the tier is
+#     actually serving, not silently missing to a fallback).
+set -eu
+
+GO="${GO:-go}"
+TMP="$(mktemp -d)"
+trap 'rm -rf "$TMP"' EXIT INT TERM
+
+EXP="$TMP/experiments"
+"$GO" build -o "$EXP" ./cmd/experiments
+
+# Comparison selection only: table 4/5 folds are deterministic per cell (the
+# efficiency table embeds wall-clock timings and can never diff clean).
+ARGS="-table 4 -quick -datasets Diabetes"
+
+echo "cache-check: recording sequential golden run" >&2
+"$EXP" $ARGS -run-dir "$TMP/seq" -fm-record "$TMP/fm" >"$TMP/golden.txt" 2>"$TMP/seq.log"
+
+RECORDED="$(cat "$TMP/fm"/*.jsonl | wc -l | tr -d ' ')"
+[ "$RECORDED" -gt 0 ] || {
+    echo "cache-check: recording run produced no completions" >&2; exit 1; }
+
+echo "cache-check: re-running cold against the disk tier ($RECORDED recorded completions)" >&2
+"$EXP" $ARGS -run-dir "$TMP/cache" -fm-cache-dir "$TMP/fm" -worker w1 \
+    >"$TMP/cache.txt" 2>"$TMP/cache.log" || {
+    echo "cache-check: cached run failed; log:" >&2; cat "$TMP/cache.log" >&2; exit 1; }
+
+diff "$TMP/golden.txt" "$TMP/cache.txt" >&2 || {
+    echo "cache-check: cached tables differ from golden run" >&2; exit 1; }
+echo "cache-check: cached tables byte-identical to golden" >&2
+
+PROFILE="$TMP/cache/profile.json"
+[ -f "$PROFILE" ] || { echo "cache-check: no run profile at $PROFILE" >&2; exit 1; }
+jsonint() {
+    sed -n 's/.*"'"$1"'": \([0-9][0-9]*\).*/\1/p' "$PROFILE" | head -n 1
+}
+
+UPSTREAM="$(jsonint fm_upstream_calls)"
+DISK="$(jsonint fm_disk_hits)"
+COST="$(sed -n 's/.*"sim_cost_usd": \([0-9.eE+-]*\).*/\1/p' "$PROFILE" | head -n 1)"
+
+[ "${UPSTREAM:-1}" = "0" ] || {
+    echo "cache-check: cached run reached upstream $UPSTREAM times, want 0" >&2
+    cat "$PROFILE" >&2; exit 1; }
+[ "${COST:-1}" = "0" ] || {
+    echo "cache-check: cached run spent \$$COST simulated, want \$0" >&2
+    cat "$PROFILE" >&2; exit 1; }
+FLOOR=$((RECORDED * 9 / 10))
+[ "${DISK:-0}" -ge "$FLOOR" ] || {
+    echo "cache-check: disk-tier hits $DISK below floor $FLOOR (90% of $RECORDED recorded)" >&2
+    cat "$PROFILE" >&2; exit 1; }
+
+echo "cache-check: ok — $DISK disk-tier hits, 0 upstream calls, \$0 spend" >&2

@@ -76,9 +76,11 @@ diff "$TMP/golden.txt" "$TMP/obs.txt" >&2 || {
 echo "obs-check: observed tables byte-identical to golden" >&2
 
 # Every subsystem must publish into the shared registry: the gateways
-# (fm_*), the backend pool and its breakers (fmpool_*), the grid runner
-# (grid_*) and the worker-mode lease claimer (lease_*).
+# (fm_*), the tiered completion cache (fmcache_*), the backend pool and its
+# breakers (fmpool_*), the grid runner (grid_*) and the worker-mode lease
+# claimer (lease_*).
 for series in fm_requests_total fm_replayed_total fm_request_seconds \
+    fmcache_hits_total fmcache_misses_total fmcache_evictions_total fmcache_bytes \
     fmpool_calls_total fmpool_backend_picks_total fmpool_breaker_opens_total \
     grid_cells_total grid_cell_seconds lease_claims_total; do
     grep -q "^$series" "$TMP/metrics.txt" || {
