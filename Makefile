@@ -3,7 +3,7 @@ PKGS := ./...
 # Kernel-level microbenchmarks (tree/forest/linear fits, ColMatrix, group-by).
 KERNEL_BENCH := BenchmarkTreeFit|BenchmarkForestFit|BenchmarkExtraTreesFit|BenchmarkHistogramSplit|BenchmarkLogisticFit|BenchmarkMatrixTakeRows|BenchmarkColMatrix|BenchmarkRowMajorMatrix|BenchmarkDropNANoNulls|BenchmarkSeriesStd|BenchmarkGroupKeys
 
-.PHONY: test race check bench bench-kernel bench-grid bench-json bench-cpu fmt fmt-check vet grid-workers chaos obs-check cache-check
+.PHONY: test race check bench bench-kernel bench-grid bench-json bench-cpu fmt fmt-check vet grid-workers chaos obs-check cache-check serve-check
 
 test:
 	$(GO) build $(PKGS)
@@ -88,6 +88,15 @@ obs-check:
 # the sequential golden. CI runs this on every push.
 cache-check:
 	sh tools/cache_check.sh
+
+# Serving-daemon end-to-end check: record the quick grid sequentially as a
+# golden, start a replay-backed smartfeatd on a free port, submit the same
+# selection as a job and poll it to completion — the served result must be
+# byte-identical to the CLI stdout, queue overflow must reject with 429 +
+# Retry-After, /metrics must expose the serve_* series, and a SIGTERM drain
+# must settle every job and exit 0. CI runs this on every push.
+serve-check:
+	sh tools/serve_check.sh
 
 fmt:
 	gofmt -l -w .

@@ -135,20 +135,25 @@ type selections struct {
 	all          bool
 }
 
-func (s selections) comparison() bool {
-	return s.table == 4 || s.table == 5 || s.efficiency || s.all
-}
-
 func (s selections) any() bool {
 	return s.table != 0 || s.figure != 0 || s.efficiency || s.descriptions || s.all
 }
 
+// grid maps the parsed flags onto the shared plan/fold seam (grid.Selection)
+// so the CLI and the smartfeatd daemon render byte-identical tables.
+func (s selections) grid() grid.Selection {
+	return grid.Selection{
+		Table:        s.table,
+		Figure:       s.figure,
+		Efficiency:   s.efficiency,
+		Descriptions: s.descriptions,
+		All:          s.all,
+	}
+}
+
 // figure1Sizes returns the Figure 1 size series for the selection.
 func (s selections) figure1Sizes() []int {
-	if s.all {
-		return []int{100, 1000, 10000}
-	}
-	return []int{100, 1000, 10000, 41189}
+	return grid.DefaultFigure1Sizes(s.all)
 }
 
 func main() {
@@ -512,28 +517,8 @@ func runGrid(ctx context.Context, sel selections, names, methods []string, cfg e
 	}
 
 	endPlan := o.prof.Phase("plan")
-	var plan []grid.Cell
-	if sel.comparison() {
-		cellMethods := methods
-		if cellMethods == nil && !(sel.table == 4 || sel.table == 5 || sel.all) {
-			// Efficiency-only selection: the efficiency fold never reads the
-			// Initial cells, so don't pay for them.
-			cellMethods = experiments.Methods()
-		}
-		plan = append(plan, grid.ComparisonPlan(names, cellMethods)...)
-	}
-	if sel.table == 6 || sel.all {
-		plan = append(plan, grid.Table6Plan("Tennis")...)
-	}
-	if sel.table == 7 || sel.all {
-		plan = append(plan, grid.Table7Plan("Tennis")...)
-	}
-	if sel.figure == 1 || sel.all {
-		plan = append(plan, grid.Figure1Plan(sel.figure1Sizes())...)
-	}
-	if sel.descriptions || sel.all {
-		plan = append(plan, grid.DescriptionsPlan("Tennis")...)
-	}
+	gsel := sel.grid()
+	plan := gsel.Plan(names, methods)
 	endPlan()
 
 	endExec := o.prof.Phase("execute")
@@ -554,31 +539,10 @@ func runGrid(ctx context.Context, sel selections, names, methods []string, cfg e
 	// or interrupted grid still renders its finished cells (with distinct
 	// failed/skipped markers), and the error below says what is missing.
 	endFold := o.prof.Phase("fold")
-	if sel.table == 3 || sel.all {
-		fmt.Println(experiments.Table3String(cfg))
-	}
-	if sel.table == 4 || sel.table == 5 || sel.all {
-		avg, median := result.Comparison(names, cfg)
-		fmt.Println(avg)
-		fmt.Println(median)
-	}
-	if sel.table == 6 || sel.all {
-		if rows, ok := result.Table6("Tennis"); ok {
-			fmt.Println(experiments.Table6String(rows))
-		}
-	}
-	if sel.table == 7 || sel.all {
-		if rows, ok := result.Table7("Tennis"); ok {
-			fmt.Println(experiments.Table7String(rows, cfg.Models))
-		}
-	}
-	if sel.figure == 1 || sel.all {
-		if points, ok := result.Figure1(sel.figure1Sizes()); ok {
-			fmt.Println(experiments.Figure1String(points))
-		}
-	}
+	var figure2 string
 	if sel.figure == 2 || sel.all {
-		// The walkthrough is a fixed six-row trace, not a grid cell.
+		// The walkthrough is a fixed six-row trace, not a grid cell; it runs
+		// here and Render places its text in table order.
 		out, err := experiments.Figure2Walkthrough(ctx, cfg)
 		switch {
 		case err != nil && runErr == nil:
@@ -588,19 +552,10 @@ func runGrid(ctx context.Context, sel selections, names, methods []string, cfg e
 			// failure silently.
 			fmt.Fprintln(os.Stderr, "experiments: figure 2:", err)
 		default:
-			fmt.Println(out)
+			figure2 = out
 		}
 	}
-	if sel.efficiency || sel.all {
-		if rows := result.Efficiency(names); len(rows) > 0 {
-			fmt.Println(experiments.EfficiencyString(rows))
-		}
-	}
-	if sel.descriptions || sel.all {
-		if abl, ok := result.Descriptions("Tennis"); ok {
-			fmt.Println(abl)
-		}
-	}
+	gsel.Render(os.Stdout, result, names, cfg, figure2)
 	endFold()
 
 	// Per-cell cost attribution rolls up into the run profile; the artifacts

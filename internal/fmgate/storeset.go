@@ -179,6 +179,24 @@ func (s *StoreSet) Manifest() StoreSetManifest {
 // Cells lists the covered cell keys, sorted.
 func (s *StoreSet) Cells() []string { return s.Manifest().Cells }
 
+// Covers returns the cell keys in want that the recording does not cover,
+// sorted. Admission layers (smartfeatd) use it to refuse a job whose plan
+// would miss shards up front — a 400 at submit beats a cell failure minutes
+// into the run. An empty result means every wanted cell has a shard.
+func (s *StoreSet) Covers(want []string) (missing []string) {
+	have := make(map[string]bool, len(s.Cells()))
+	for _, c := range s.Cells() {
+		have[c] = true
+	}
+	for _, c := range want {
+		if !have[c] {
+			missing = append(missing, c)
+		}
+	}
+	sort.Strings(missing)
+	return missing
+}
+
 // validCellKey rejects keys that would escape the shard directory.
 func validCellKey(cell string) error {
 	if cell == "" {

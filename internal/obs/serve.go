@@ -16,18 +16,15 @@ type Server struct {
 	ln   net.Listener
 }
 
-// ListenAndServe binds addr and serves reg in the background. The returned
-// Server reports the resolved address and closes on demand.
-func ListenAndServe(addr string, reg *Registry) (*Server, error) {
+// MetricsHandler returns the /metrics scrape handler for reg (nil = Default):
+// Prometheus text by default, the JSON rendering with ?format=json. It is the
+// exact handler ListenAndServe mounts, exported so daemons with their own mux
+// (smartfeatd) serve the same registry renderings at the same contract.
+func MetricsHandler(reg *Registry) http.Handler {
 	if reg == nil {
 		reg = Default
 	}
-	ln, err := net.Listen("tcp", addr)
-	if err != nil {
-		return nil, err
-	}
-	mux := http.NewServeMux()
-	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		if r.URL.Query().Get("format") == "json" {
 			w.Header().Set("Content-Type", "application/json")
 			_ = reg.WriteJSON(w)
@@ -36,6 +33,17 @@ func ListenAndServe(addr string, reg *Registry) (*Server, error) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 		_ = reg.WritePrometheus(w)
 	})
+}
+
+// ListenAndServe binds addr and serves reg in the background. The returned
+// Server reports the resolved address and closes on demand.
+func ListenAndServe(addr string, reg *Registry) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", MetricsHandler(reg))
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)

@@ -1,0 +1,86 @@
+package serve
+
+import "sync"
+
+// admitQueue is the daemon's bounded admission queue with per-tenant
+// round-robin fairness: jobs wait in per-tenant FIFOs, and dequeues rotate
+// across tenants in arrival order of their first pending job, so a tenant
+// saturating the queue delays other tenants by at most one job each — not by
+// its whole backlog. Capacity bounds the total number of *queued* jobs
+// (running jobs have left the queue); a push against a full queue fails and
+// the HTTP layer turns that into 429 + Retry-After.
+type admitQueue struct {
+	mu    sync.Mutex
+	cap   int
+	total int
+	fifos map[string][]*Job // tenant -> pending jobs, FIFO
+	ring  []string          // tenants with pending jobs, rotation order
+	next  int               // ring cursor: index of the tenant to serve next
+}
+
+func newAdmitQueue(capacity int) *admitQueue {
+	return &admitQueue{cap: capacity, fifos: make(map[string][]*Job)}
+}
+
+// push enqueues j for its tenant. It reports false — rejecting the job —
+// when the queue is at capacity.
+func (q *admitQueue) push(j *Job) bool {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.total >= q.cap {
+		return false
+	}
+	if _, ok := q.fifos[j.Tenant]; !ok {
+		q.ring = append(q.ring, j.Tenant)
+	}
+	q.fifos[j.Tenant] = append(q.fifos[j.Tenant], j)
+	q.total++
+	return true
+}
+
+// pop dequeues the next job round-robin across tenants (nil when empty).
+// A tenant whose FIFO drains leaves the ring; it re-enters at the back on
+// its next push.
+func (q *admitQueue) pop() *Job {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.total == 0 {
+		return nil
+	}
+	// The ring only holds tenants with pending jobs, so the first probe hits.
+	if q.next >= len(q.ring) {
+		q.next = 0
+	}
+	tenant := q.ring[q.next]
+	fifo := q.fifos[tenant]
+	j := fifo[0]
+	if len(fifo) == 1 {
+		delete(q.fifos, tenant)
+		q.ring = append(q.ring[:q.next], q.ring[q.next+1:]...)
+		// q.next now already points at the following tenant.
+	} else {
+		q.fifos[tenant] = fifo[1:]
+		q.next++
+	}
+	q.total--
+	return j
+}
+
+// drain empties the queue, returning every pending job in pop order.
+func (q *admitQueue) drain() []*Job {
+	var out []*Job
+	for {
+		j := q.pop()
+		if j == nil {
+			return out
+		}
+		out = append(out, j)
+	}
+}
+
+// len returns the number of queued jobs.
+func (q *admitQueue) len() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.total
+}

@@ -1,0 +1,156 @@
+#!/bin/sh
+# serve_check.sh — end-to-end check of the smartfeatd serving daemon
+# (make serve-check; wired into CI).
+#
+# Phase 1 records the quick Diabetes comparison grid sequentially with the
+# experiments CLI and keeps its stdout as the golden tables. Phase 2 starts a
+# replay-backed daemon on a free port against that recording and requires:
+#
+#   * a submitted job (the same selection the golden run used) to poll to
+#     completion and serve a result byte-identical to the CLI's stdout;
+#   * the bounded admission queue to reject overflow with 429 + Retry-After
+#     (queue depth 1, single executor — the second queued filler must bounce);
+#   * /metrics to expose the serve_* series, with at least one admitted,
+#     one completed, and one queue_full rejection counted;
+#   * SIGTERM to drain cleanly: in-flight jobs finish, the daemon exits 0.
+set -eu
+
+GO="${GO:-go}"
+TMP="$(mktemp -d)"
+DAEMON_PID=""
+cleanup() {
+    [ -n "$DAEMON_PID" ] && kill -9 "$DAEMON_PID" 2>/dev/null || true
+    rm -rf "$TMP"
+}
+trap cleanup EXIT INT TERM
+
+EXP="$TMP/experiments"
+DAEMON="$TMP/smartfeatd"
+"$GO" build -o "$EXP" ./cmd/experiments
+"$GO" build -o "$DAEMON" ./cmd/smartfeatd
+
+# Comparison selection only: table 4/5 folds are deterministic per cell (the
+# efficiency table embeds wall-clock timings and can never diff clean).
+ARGS="-table 4 -quick -datasets Diabetes"
+
+echo "serve-check: recording sequential golden run" >&2
+"$EXP" $ARGS -run-dir "$TMP/seq" -fm-record "$TMP/fm" >"$TMP/golden.txt" 2>"$TMP/seq.log"
+
+echo "serve-check: starting replay-backed daemon" >&2
+"$DAEMON" -addr 127.0.0.1:0 -run-root "$TMP/root" -fm-replay "$TMP/fm" \
+    -queue-depth 1 -executors 1 -worker d1 \
+    -drain-timeout 120s -retry-after 3s 2>"$TMP/daemon.log" &
+DAEMON_PID=$!
+
+tries=0
+until grep -q "serving on http://" "$TMP/daemon.log" 2>/dev/null; do
+    if ! kill -0 "$DAEMON_PID" 2>/dev/null; then
+        echo "serve-check: daemon died on startup; log:" >&2
+        cat "$TMP/daemon.log" >&2; exit 1
+    fi
+    tries=$((tries + 1))
+    if [ "$tries" -gt 100 ]; then
+        echo "serve-check: daemon never announced its address" >&2
+        cat "$TMP/daemon.log" >&2; exit 1
+    fi
+    sleep 0.1
+done
+ADDR="$(sed -n 's|^smartfeatd: serving on http://\([^ ]*\).*|\1|p' "$TMP/daemon.log" | head -n 1)"
+[ -n "$ADDR" ] || { echo "serve-check: no address in daemon log" >&2; cat "$TMP/daemon.log" >&2; exit 1; }
+
+curl -fsS "http://$ADDR/healthz" >/dev/null || {
+    echo "serve-check: /healthz failed" >&2; exit 1; }
+
+# Submit the golden run's selection as job t4. The daemon plans the same
+# cells, replays the same recording, and must fold the same bytes.
+SPEC='{"name": "t4", "spec": {"table": 4, "quick": true, "datasets": ["Diabetes"]}}'
+CODE="$(curl -s -o "$TMP/submit.json" -w '%{http_code}' -X POST \
+    -H 'Content-Type: application/json' -H 'X-Tenant: ci' \
+    -d "$SPEC" "http://$ADDR/v1/jobs")"
+[ "$CODE" = "202" ] || {
+    echo "serve-check: submit returned $CODE, want 202:" >&2
+    cat "$TMP/submit.json" >&2; exit 1; }
+echo "serve-check: job t4 admitted" >&2
+
+# With the single executor occupied by t4 and queue depth 1, the first
+# covered filler queues and the next one must bounce with 429 + Retry-After.
+FILLER='{"name": "filler-%d", "spec": {"table": 4, "quick": true, "datasets": ["Diabetes"], "methods": ["SMARTFEAT"]}}'
+got429=""
+i=1
+while [ "$i" -le 20 ]; do
+    BODY="$(printf "$FILLER" "$i")"
+    CODE="$(curl -s -D "$TMP/fill.headers" -o "$TMP/fill.json" -w '%{http_code}' \
+        -X POST -H 'Content-Type: application/json' -H 'X-Tenant: ci' \
+        -d "$BODY" "http://$ADDR/v1/jobs")"
+    if [ "$CODE" = "429" ]; then
+        got429=yes
+        break
+    fi
+    [ "$CODE" = "202" ] || {
+        echo "serve-check: filler submit returned $CODE, want 202 or 429" >&2
+        cat "$TMP/fill.json" >&2; exit 1; }
+    i=$((i + 1))
+done
+[ -n "$got429" ] || { echo "serve-check: queue never overflowed into a 429" >&2; exit 1; }
+grep -qi '^retry-after: 3' "$TMP/fill.headers" || {
+    echo "serve-check: 429 carried no Retry-After: 3 header:" >&2
+    cat "$TMP/fill.headers" >&2; exit 1; }
+grep -q '"retry_after": 3' "$TMP/fill.json" || {
+    echo "serve-check: 429 body carried no retry_after hint" >&2
+    cat "$TMP/fill.json" >&2; exit 1; }
+echo "serve-check: admission overflow rejected with 429 + Retry-After" >&2
+
+# Poll t4 to completion (the status endpoint folds live per-cell progress).
+tries=0
+until curl -fsS "http://$ADDR/v1/jobs/t4" | grep -q '"status": "completed"'; do
+    tries=$((tries + 1))
+    if [ "$tries" -gt 600 ]; then
+        echo "serve-check: job t4 did not complete; last status:" >&2
+        curl -fsS "http://$ADDR/v1/jobs/t4" >&2 || true
+        cat "$TMP/daemon.log" >&2; exit 1
+    fi
+    sleep 0.2
+done
+echo "serve-check: job t4 completed" >&2
+
+curl -fsS "http://$ADDR/v1/jobs/t4/result" >"$TMP/served.txt" || {
+    echo "serve-check: fetching the result failed" >&2; exit 1; }
+diff "$TMP/golden.txt" "$TMP/served.txt" >&2 || {
+    echo "serve-check: served result differs from the CLI golden run" >&2; exit 1; }
+echo "serve-check: served result byte-identical to CLI stdout" >&2
+
+# The daemon's registry must expose the serving series alongside the rest.
+curl -fsS "http://$ADDR/metrics" >"$TMP/metrics.txt" || {
+    echo "serve-check: scraping /metrics failed" >&2; exit 1; }
+for series in serve_queue_depth serve_jobs_running serve_jobs_admitted_total \
+    serve_jobs_rejected_total serve_jobs_completed_total serve_jobs_failed_total \
+    serve_jobs_canceled_total serve_request_seconds_bucket; do
+    grep -q "^$series" "$TMP/metrics.txt" || {
+        echo "serve-check: /metrics missing series $series; scrape was:" >&2
+        cat "$TMP/metrics.txt" >&2; exit 1; }
+done
+ADMITTED="$(sed -n 's/^serve_jobs_admitted_total \([0-9]*\)$/\1/p' "$TMP/metrics.txt")"
+REJECTED="$(sed -n 's/^serve_jobs_rejected_total{reason="queue_full"} \([0-9]*\)$/\1/p' "$TMP/metrics.txt")"
+[ -n "$ADMITTED" ] && [ "$ADMITTED" -ge 2 ] || {
+    echo "serve-check: serve_jobs_admitted_total = '$ADMITTED', want >= 2" >&2; exit 1; }
+[ -n "$REJECTED" ] && [ "$REJECTED" -ge 1 ] || {
+    echo "serve-check: serve_jobs_rejected_total{queue_full} = '$REJECTED', want >= 1" >&2; exit 1; }
+echo "serve-check: serve_* series present ($ADMITTED admitted, $REJECTED rejected)" >&2
+
+# SIGTERM drain: admitted fillers may still be replaying; the daemon must
+# finish them (well inside -drain-timeout at replay speed) and exit 0.
+kill -TERM "$DAEMON_PID"
+set +e
+wait "$DAEMON_PID"
+STATUS=$?
+set -e
+DAEMON_PID=""
+[ "$STATUS" = "0" ] || {
+    echo "serve-check: daemon exited $STATUS after SIGTERM, want 0; log:" >&2
+    cat "$TMP/daemon.log" >&2; exit 1; }
+grep -q "drain: all jobs settled" "$TMP/daemon.log" || {
+    echo "serve-check: drain did not settle all jobs; log:" >&2
+    cat "$TMP/daemon.log" >&2; exit 1; }
+echo "serve-check: SIGTERM drain settled all jobs, exit 0" >&2
+
+echo "serve-check: OK" >&2
