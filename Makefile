@@ -3,7 +3,7 @@ PKGS := ./...
 # Kernel-level microbenchmarks (tree/forest/linear fits, ColMatrix, group-by).
 KERNEL_BENCH := BenchmarkTreeFit|BenchmarkForestFit|BenchmarkExtraTreesFit|BenchmarkHistogramSplit|BenchmarkLogisticFit|BenchmarkMatrixTakeRows|BenchmarkColMatrix|BenchmarkRowMajorMatrix|BenchmarkDropNANoNulls|BenchmarkSeriesStd|BenchmarkGroupKeys
 
-.PHONY: test race check bench bench-kernel bench-grid bench-json bench-cpu fmt fmt-check vet grid-workers chaos obs-check cache-check serve-check
+.PHONY: test race check bench bench-kernel bench-grid bench-json bench-cpu fmt fmt-check vet grid-workers chaos obs-check cache-check serve-check sim-soak
 
 test:
 	$(GO) build $(PKGS)
@@ -97,6 +97,18 @@ cache-check:
 # must settle every job and exit 0. CI runs this on every push.
 serve-check:
 	sh tools/serve_check.sh
+
+# Multi-seed load soak: record the quick grid once, then once per seed start
+# a fresh replay-backed smartfeatd (small admission queue, chaos-injected FM
+# pool) and drive it with cmd/loadsim in -strict mode — per-seed the client
+# asserts result stability and exact server/client ledger reconciliation;
+# across seeds the tables must be byte-identical (the seed perturbs timing,
+# never results) and match the CLI golden. Seed 1's latency quantiles are
+# appended to the committed BENCH_load.json trajectory. CI runs this with
+# SEEDS=3 on every push.
+SEEDS ?= 3
+sim-soak:
+	SEEDS="$(SEEDS)" BENCH_OUT="$(CURDIR)/BENCH_load.json" sh tools/sim_soak.sh
 
 fmt:
 	gofmt -l -w .

@@ -1,0 +1,114 @@
+package loadsim
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+
+	"smartfeat/internal/obs"
+)
+
+// The reconciliation pass is the run's cross-check: the client kept its own
+// ledger of admissions, rejections and completions; the daemon kept its
+// serve_* counters. The two were incremented by independent code on opposite
+// sides of the wire, so agreement is evidence the run observed what actually
+// happened — and any drift is a finding (a lost response, a double count, a
+// daemon serving someone else's traffic mid-run).
+//
+// Scrapes are taken before and after the run and compared as *deltas*,
+// which makes the check correct against a long-running daemon whose
+// counters predate this run, and against a test binary whose process-global
+// obs registry hosts several servers.
+
+// scrapeTotals is one /metrics?format=json scrape folded to the families
+// the reconciliation compares.
+type scrapeTotals struct {
+	Admitted       float64 `json:"serve_jobs_admitted_total"`
+	RejectedFull   float64 `json:"serve_jobs_rejected_queue_full"`
+	Completed      float64 `json:"serve_jobs_completed_total"`
+	Failed         float64 `json:"serve_jobs_failed_total"`
+	Canceled       float64 `json:"serve_jobs_canceled_total"`
+	QueueHighWater float64 `json:"serve_queue_depth_high_water"`
+}
+
+// scrape fetches and folds the daemon's JSON metrics.
+func (r *runner) scrape(ctx context.Context) (scrapeTotals, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, r.cfg.BaseURL+"/metrics?format=json", nil)
+	if err != nil {
+		return scrapeTotals{}, err
+	}
+	resp, err := r.cfg.HTTPClient.Do(req)
+	if err != nil {
+		return scrapeTotals{}, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return scrapeTotals{}, fmt.Errorf("GET /metrics: HTTP %d", resp.StatusCode)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return scrapeTotals{}, err
+	}
+	var snaps []obs.MetricSnapshot
+	if err := json.Unmarshal(body, &snaps); err != nil {
+		return scrapeTotals{}, fmt.Errorf("decoding /metrics JSON: %w", err)
+	}
+	return scrapeTotals{
+		Admitted:       snapTotal(snaps, "serve_jobs_admitted_total"),
+		RejectedFull:   snapTotal(snaps, "serve_jobs_rejected_total", "reason", "queue_full"),
+		Completed:      snapTotal(snaps, "serve_jobs_completed_total"),
+		Failed:         snapTotal(snaps, "serve_jobs_failed_total"),
+		Canceled:       snapTotal(snaps, "serve_jobs_canceled_total"),
+		QueueHighWater: snapTotal(snaps, "serve_queue_depth_high_water"),
+	}, nil
+}
+
+// snapTotal sums a family's series values across a decoded snapshot,
+// optionally filtered by label pairs — Registry.Total for scraped data.
+func snapTotal(snaps []obs.MetricSnapshot, name string, filter ...string) float64 {
+	var total float64
+	for _, ms := range snaps {
+		if ms.Name != name {
+			continue
+		}
+	series:
+		for _, pt := range ms.Series {
+			for i := 0; i+1 < len(filter); i += 2 {
+				if pt.Labels[filter[i]] != filter[i+1] {
+					continue series
+				}
+			}
+			total += pt.Value
+		}
+	}
+	return total
+}
+
+// reconcile compares the server-side counter deltas against the client's
+// ledger, appending one finding per drifting family.
+func (r *runner) reconcile(baseline, final scrapeTotals) {
+	check := func(metric string, server, client float64) {
+		if server != client {
+			r.mu.Lock()
+			r.findings = append(r.findings, Finding{
+				Kind:   "reconcile-drift",
+				Metric: metric,
+				Server: server,
+				Client: client,
+				Note:   fmt.Sprintf("server counted %g, client observed %g", server, client),
+			})
+			r.mu.Unlock()
+		}
+	}
+	check("serve_jobs_admitted_total", final.Admitted-baseline.Admitted, float64(r.obs.admitted.Value()))
+	check("serve_jobs_rejected_total{reason=queue_full}", final.RejectedFull-baseline.RejectedFull, float64(r.obs.rejected.Value()))
+	// Completions/failures: the daemon counts jobs it finished; the client
+	// counts jobs it watched reach a terminal status. Jobs the client
+	// abandoned (retries exhausted before admission) never reach the server,
+	// so the two ledgers still must agree exactly.
+	check("serve_jobs_completed_total", final.Completed-baseline.Completed, float64(r.obs.completed.Value()))
+	clientFailed := float64(r.obs.failed.Value() - r.obs.exhausted.Value())
+	check("serve_jobs_failed_total+canceled", (final.Failed-baseline.Failed)+(final.Canceled-baseline.Canceled), clientFailed)
+}

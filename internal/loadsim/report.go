@@ -1,0 +1,235 @@
+package loadsim
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"strings"
+	"time"
+)
+
+// Finding is one audit failure: served results drifting from the daemon's
+// determinism contract, reconciliation drift between server counters and the
+// client ledger, or an op that exhausted its backpressure retry budget.
+type Finding struct {
+	Kind   string  `json:"kind"`
+	Metric string  `json:"metric,omitempty"`
+	Server float64 `json:"server,omitempty"`
+	Client float64 `json:"client,omitempty"`
+	Note   string  `json:"note,omitempty"`
+}
+
+// Summary renders the finding for error messages.
+func (f Finding) Summary() string {
+	if f.Metric != "" {
+		return fmt.Sprintf("%s: %s (server %g, client %g)", f.Kind, f.Metric, f.Server, f.Client)
+	}
+	return fmt.Sprintf("%s: %s", f.Kind, f.Note)
+}
+
+// Quantiles is one latency distribution's report slice. All values are
+// seconds and always finite: the histogram's NaN "no data" sentinel renders
+// as zero so the JSON stays machine-readable.
+type Quantiles struct {
+	Count int64   `json:"count"`
+	Mean  float64 `json:"mean"`
+	P50   float64 `json:"p50"`
+	P90   float64 `json:"p90"`
+	P99   float64 `json:"p99"`
+	P999  float64 `json:"p99_9"`
+}
+
+// TenantReport is one tenant's slice of the run.
+type TenantReport struct {
+	Tenant    string `json:"tenant"`
+	Completed int64  `json:"completed"`
+}
+
+// Report is one load run's outcome: the workload shape, the client-observed
+// SLO surface, the fairness spread, the backpressure ledger, the simulated
+// spend, and every finding the run's self-audits produced.
+type Report struct {
+	Seed    int64   `json:"seed"`
+	RunID   string  `json:"run_id"`
+	Tenants int     `json:"tenants"`
+	Clients int     `json:"clients"`
+	Ops     int     `json:"ops"`
+	Rate    float64 `json:"rate,omitempty"` // open-loop arrivals/sec, 0 = closed loop
+
+	ElapsedSeconds float64 `json:"elapsed_seconds"`
+	ThroughputOps  float64 `json:"throughput_ops_per_sec"`
+
+	Admitted  int64 `json:"admitted"`
+	Rejected  int64 `json:"rejected_429"`
+	Retries   int64 `json:"retries"`
+	Exhausted int64 `json:"exhausted"`
+	Completed int64 `json:"completed"`
+	Failed    int64 `json:"failed"`
+
+	Endpoints map[string]Quantiles `json:"endpoints"`
+	Job       Quantiles            `json:"job"`
+
+	PerTenant      []TenantReport `json:"per_tenant"`
+	FairnessSpread int64          `json:"fairness_spread"` // max-min completed across tenants
+
+	QueueHighWater int64   `json:"queue_depth_high_water"`
+	SimCostUSD     float64 `json:"sim_cost_usd"`
+	DistinctTables int     `json:"distinct_tables"`
+
+	Findings []Finding `json:"findings,omitempty"`
+}
+
+func histQuantiles(h interface {
+	Count() int64
+	Sum() float64
+	Quantile(float64) float64
+}) Quantiles {
+	q := Quantiles{Count: h.Count()}
+	if q.Count > 0 {
+		q.Mean = h.Sum() / float64(q.Count)
+	}
+	q.P50 = finite(h.Quantile(0.50))
+	q.P90 = finite(h.Quantile(0.90))
+	q.P99 = finite(h.Quantile(0.99))
+	q.P999 = finite(h.Quantile(0.999))
+	return q
+}
+
+// report folds the runner's state into a Report.
+func (r *runner) report(elapsed time.Duration, final scrapeTotals) *Report {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	rep := &Report{
+		Seed:           r.cfg.Seed,
+		RunID:          r.cfg.RunID,
+		Tenants:        r.cfg.Tenants,
+		Clients:        r.cfg.Clients,
+		Ops:            r.cfg.Ops,
+		Rate:           r.cfg.Rate,
+		ElapsedSeconds: elapsed.Seconds(),
+		Admitted:       r.obs.admitted.Value(),
+		Rejected:       r.obs.rejected.Value(),
+		Retries:        r.obs.retries.Value(),
+		Exhausted:      r.obs.exhausted.Value(),
+		Completed:      r.obs.completed.Value(),
+		Failed:         r.obs.failed.Value(),
+		Endpoints:      make(map[string]Quantiles, len(r.obs.reqHist)),
+		Job:            histQuantiles(r.obs.jobHist),
+		QueueHighWater: int64(final.QueueHighWater),
+		SimCostUSD:     r.simCostUSD,
+		DistinctTables: len(r.tables),
+		Findings:       append([]Finding(nil), r.findings...),
+	}
+	if elapsed > 0 {
+		rep.ThroughputOps = float64(rep.Completed) / elapsed.Seconds()
+	}
+	for ep, h := range r.obs.reqHist {
+		rep.Endpoints[ep] = histQuantiles(h)
+	}
+	tenants := make([]string, 0, len(r.perTenantDone))
+	for t := range r.perTenantDone {
+		tenants = append(tenants, t)
+	}
+	sort.Strings(tenants)
+	var minDone, maxDone int64 = -1, 0
+	for _, t := range tenants {
+		n := r.perTenantDone[t]
+		rep.PerTenant = append(rep.PerTenant, TenantReport{Tenant: t, Completed: n})
+		if minDone < 0 || n < minDone {
+			minDone = n
+		}
+		if n > maxDone {
+			maxDone = n
+		}
+	}
+	if minDone >= 0 {
+		rep.FairnessSpread = maxDone - minDone
+	}
+	return rep
+}
+
+// write persists load_report.json under dir (tables/ were written as results
+// arrived).
+func (rep *Report) write(dir string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(filepath.Join(dir, "load_report.json"), append(data, '\n'), 0o644)
+}
+
+// Table renders the operator-facing run summary, in the same spirit as
+// obs.Profile.Table: stable column layout, seconds with adaptive precision.
+func (rep *Report) Table() string {
+	var b strings.Builder
+	mode := "closed-loop"
+	if rep.Rate > 0 {
+		mode = fmt.Sprintf("open-loop %.2f/s", rep.Rate)
+	}
+	fmt.Fprintf(&b, "load run %s  (%s, %d tenants x %d clients, seed %d)\n",
+		rep.RunID, mode, rep.Tenants, rep.Clients, rep.Seed)
+	fmt.Fprintf(&b, "  ops %d: admitted %d, completed %d, failed %d | 429s %d, retries %d, exhausted %d\n",
+		rep.Ops, rep.Admitted, rep.Completed, rep.Failed, rep.Rejected, rep.Retries, rep.Exhausted)
+	fmt.Fprintf(&b, "  elapsed %.1fs, throughput %.2f ops/s, queue high-water %d, sim spend $%.4f\n",
+		rep.ElapsedSeconds, rep.ThroughputOps, rep.QueueHighWater, rep.SimCostUSD)
+	fmt.Fprintf(&b, "  %-10s %8s %9s %9s %9s %9s %9s\n", "latency", "count", "mean", "p50", "p90", "p99", "p99.9")
+	eps := make([]string, 0, len(rep.Endpoints))
+	for ep := range rep.Endpoints {
+		eps = append(eps, ep)
+	}
+	sort.Strings(eps)
+	for _, ep := range eps {
+		q := rep.Endpoints[ep]
+		fmt.Fprintf(&b, "  %-10s %8d %9s %9s %9s %9s %9s\n", ep, q.Count,
+			fmtShortSecs(q.Mean), fmtShortSecs(q.P50), fmtShortSecs(q.P90), fmtShortSecs(q.P99), fmtShortSecs(q.P999))
+	}
+	fmt.Fprintf(&b, "  %-10s %8d %9s %9s %9s %9s %9s\n", "job", rep.Job.Count,
+		fmtShortSecs(rep.Job.Mean), fmtShortSecs(rep.Job.P50), fmtShortSecs(rep.Job.P90), fmtShortSecs(rep.Job.P99), fmtShortSecs(rep.Job.P999))
+	for _, t := range rep.PerTenant {
+		fmt.Fprintf(&b, "  tenant %-12s completed %d\n", t.Tenant, t.Completed)
+	}
+	fmt.Fprintf(&b, "  fairness spread %d (max-min completed per tenant)\n", rep.FairnessSpread)
+	if len(rep.Findings) == 0 {
+		fmt.Fprintf(&b, "  findings: none — results deterministic, server/client ledgers reconcile\n")
+	} else {
+		fmt.Fprintf(&b, "  findings: %d\n", len(rep.Findings))
+		for _, f := range rep.Findings {
+			fmt.Fprintf(&b, "    - %s\n", f.Summary())
+		}
+	}
+	return b.String()
+}
+
+// BenchLines renders the run as go-bench-format result lines so the sweep
+// trajectory flows through tools/benchjson -append into BENCH_load.json
+// exactly like the kernel and grid sweeps.
+func (rep *Report) BenchLines() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "goos: %s\n", runtime.GOOS)
+	fmt.Fprintf(&b, "goarch: %s\n", runtime.GOARCH)
+	fmt.Fprintf(&b, "pkg: smartfeat/internal/loadsim\n")
+	line := func(name string, count int64, seconds float64) {
+		if count <= 0 {
+			return
+		}
+		fmt.Fprintf(&b, "BenchmarkLoadsim/%s %d %.0f ns/op\n", name, count, seconds*1e9)
+	}
+	sub := rep.Endpoints[epSubmit]
+	line("submit_p50", sub.Count, sub.P50)
+	line("submit_p99", sub.Count, sub.P99)
+	line("job_p50", rep.Job.Count, rep.Job.P50)
+	line("job_p99", rep.Job.Count, rep.Job.P99)
+	line("job_p99_9", rep.Job.Count, rep.Job.P999)
+	if rep.Completed > 0 && rep.ThroughputOps > 0 {
+		// Mean wall-clock per completed op — the throughput trajectory in
+		// benchjson's native ns/op unit.
+		line("op_wall", rep.Completed, rep.ElapsedSeconds/float64(rep.Completed))
+	}
+	return b.String()
+}

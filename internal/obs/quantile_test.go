@@ -1,0 +1,106 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"testing"
+)
+
+// These tests pin the Histogram quantile estimator's edge cases under the
+// tail-quantile (p99.9) use the load simulator added: an empty histogram,
+// a histogram whose every observation overflowed the last bound, and a
+// single-sample histogram must never leak NaN or Inf into reports.
+
+func TestQuantileEmptyHistogram(t *testing.T) {
+	h := NewHistogram(TimeBuckets...)
+	for _, q := range []float64{0, 0.5, 0.99, 0.999, 1} {
+		if v := h.Quantile(q); !math.IsNaN(v) {
+			t.Errorf("empty histogram Quantile(%g) = %g, want NaN (callers must see 'no data')", q, v)
+		}
+	}
+}
+
+func TestQuantileAllOverflow(t *testing.T) {
+	h := NewHistogram(0.001, 0.01, 0.1)
+	for i := 0; i < 5; i++ {
+		h.Observe(99) // far past the last bound
+	}
+	last := 0.1
+	for _, q := range []float64{0.5, 0.9, 0.99, 0.999} {
+		v := h.Quantile(q)
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			t.Fatalf("all-overflow Quantile(%g) = %g, want a finite saturation", q, v)
+		}
+		if v != last {
+			t.Errorf("all-overflow Quantile(%g) = %g, want saturation to last bound %g", q, v, last)
+		}
+	}
+}
+
+func TestQuantileSingleSample(t *testing.T) {
+	h := NewHistogram(TimeBuckets...)
+	h.Observe(0.003) // lands in the (0.002, 0.004] bucket
+	for _, q := range []float64{0, 0.5, 0.99, 0.999, 1} {
+		v := h.Quantile(q)
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			t.Fatalf("single-sample Quantile(%g) = %g, want finite", q, v)
+		}
+		if v < 0.002 || v > 0.004 {
+			t.Errorf("single-sample Quantile(%g) = %g, want inside the sample's bucket (0.002, 0.004]", q, v)
+		}
+	}
+	// The tail quantile of one sample is the sample's bucket upper edge, not
+	// an extrapolation past it.
+	if v := h.Quantile(0.999); v > 0.004 {
+		t.Errorf("single-sample p99.9 = %g, want <= bucket bound 0.004", v)
+	}
+}
+
+// TestSnapshotJSONSafeOnEmptyHistogram pins the fix for a real leak: a
+// registered histogram that never observed anything used to put NaN into
+// SeriesPoint.P50/P90/P99, and encoding/json refuses NaN — one idle series
+// poisoned the entire ?format=json scrape. Snapshots must render 0 there
+// and the JSON rendering must stay well-formed.
+func TestSnapshotJSONSafeOnEmptyHistogram(t *testing.T) {
+	reg := NewRegistry()
+	reg.RegisterHistogram("idle_seconds", "Never observed.", NewHistogram(TimeBuckets...))
+	var buf bytes.Buffer
+	if err := reg.WriteJSON(&buf); err != nil {
+		t.Fatalf("WriteJSON with an empty histogram series: %v", err)
+	}
+	if !json.Valid(buf.Bytes()) {
+		t.Fatalf("WriteJSON produced invalid JSON:\n%s", buf.String())
+	}
+	var snaps []MetricSnapshot
+	if err := json.Unmarshal(buf.Bytes(), &snaps); err != nil {
+		t.Fatal(err)
+	}
+	pt := snaps[0].Series[0]
+	if pt.P50 != 0 || pt.P90 != 0 || pt.P99 != 0 {
+		t.Errorf("empty-series snapshot quantiles = %g/%g/%g, want 0/0/0", pt.P50, pt.P90, pt.P99)
+	}
+}
+
+// TestSnapshotQuantilesStayFiniteUnderOverflow covers the other NaN/Inf
+// route into snapshots: series whose observations all overflowed.
+func TestSnapshotQuantilesStayFiniteUnderOverflow(t *testing.T) {
+	reg := NewRegistry()
+	h := NewHistogram(0.5)
+	h.Observe(100)
+	reg.RegisterHistogram("over_seconds", "All overflow.", h)
+	var buf bytes.Buffer
+	if err := reg.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var snaps []MetricSnapshot
+	if err := json.Unmarshal(buf.Bytes(), &snaps); err != nil {
+		t.Fatal(err)
+	}
+	pt := snaps[0].Series[0]
+	for _, v := range []float64{pt.P50, pt.P90, pt.P99} {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			t.Fatalf("overflow snapshot quantile = %g, want finite", v)
+		}
+	}
+}

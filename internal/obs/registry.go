@@ -357,11 +357,24 @@ func sumSeries(f *family, s *series) SeriesPoint {
 			total += c
 		}
 		pt.Value = float64(total)
-		pt.P50 = bucketQuantile(pt.Bounds, pt.Counts, 0.50)
-		pt.P90 = bucketQuantile(pt.Bounds, pt.Counts, 0.90)
-		pt.P99 = bucketQuantile(pt.Bounds, pt.Counts, 0.99)
+		// An empty histogram's quantiles are NaN, which encoding/json
+		// refuses to marshal — a single never-observed series would poison
+		// the whole ?format=json scrape. Snapshots report 0 instead; the
+		// Quantile API keeps returning NaN for callers that want to
+		// distinguish "no data" from "fast".
+		pt.P50 = finiteOrZero(bucketQuantile(pt.Bounds, pt.Counts, 0.50))
+		pt.P90 = finiteOrZero(bucketQuantile(pt.Bounds, pt.Counts, 0.90))
+		pt.P99 = finiteOrZero(bucketQuantile(pt.Bounds, pt.Counts, 0.99))
 	}
 	return pt
+}
+
+// finiteOrZero maps NaN/±Inf onto 0 for JSON-safe snapshot fields.
+func finiteOrZero(v float64) float64 {
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return 0
+	}
+	return v
 }
 
 // Snapshot returns every family sorted by name, series sorted by label

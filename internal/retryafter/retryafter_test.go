@@ -1,0 +1,75 @@
+package retryafter
+
+import (
+	"net/http"
+	"testing"
+	"time"
+)
+
+func TestSecondsRoundsUpWithFloor(t *testing.T) {
+	cases := []struct {
+		d    time.Duration
+		want int
+	}{
+		{0, 1},
+		{-time.Second, 1},
+		{time.Millisecond, 1},
+		{time.Second, 1},
+		{1001 * time.Millisecond, 2},
+		{2 * time.Second, 2},
+		{2500 * time.Millisecond, 3},
+		{time.Minute, 60},
+	}
+	for _, tc := range cases {
+		if got := Seconds(tc.d); got != tc.want {
+			t.Errorf("Seconds(%s) = %d, want %d", tc.d, got, tc.want)
+		}
+	}
+}
+
+func TestParseRejectsNonWireValues(t *testing.T) {
+	for _, v := range []string{"", "0", "-1", "1.5", "soon", "Wed, 21 Oct 2015 07:28:00 GMT"} {
+		if d, ok := Parse(v); ok {
+			t.Errorf("Parse(%q) = %s, ok — want rejection", v, d)
+		}
+	}
+	if d, ok := Parse("3"); !ok || d != 3*time.Second {
+		t.Errorf("Parse(3) = %s, %v; want 3s, true", d, ok)
+	}
+}
+
+// TestRoundTrip pins the anti-drift contract: a duration pushed through
+// emission and parsing comes back ceil'd to whole seconds — the only loss
+// the wire format allows — and never earlier than the original hint.
+func TestRoundTrip(t *testing.T) {
+	for _, d := range []time.Duration{
+		time.Millisecond, time.Second, 1500 * time.Millisecond, 7 * time.Second, 90 * time.Second,
+	} {
+		h := http.Header{}
+		Set(h, d)
+		got, ok := Parse(h.Get(HeaderName))
+		if !ok {
+			t.Fatalf("Set(%s) emitted unparseable %q", d, h.Get(HeaderName))
+		}
+		if got < d {
+			t.Errorf("round-trip of %s came back shorter: %s (clients would retry early)", d, got)
+		}
+		if got >= d+time.Second {
+			t.Errorf("round-trip of %s inflated past the ceil: %s", d, got)
+		}
+	}
+}
+
+func TestFromResponse(t *testing.T) {
+	if _, ok := FromResponse(nil); ok {
+		t.Error("FromResponse(nil) reported a hint")
+	}
+	resp := &http.Response{Header: http.Header{}}
+	if _, ok := FromResponse(resp); ok {
+		t.Error("FromResponse without a header reported a hint")
+	}
+	resp.Header.Set(HeaderName, "5")
+	if d, ok := FromResponse(resp); !ok || d != 5*time.Second {
+		t.Errorf("FromResponse = %s, %v; want 5s, true", d, ok)
+	}
+}

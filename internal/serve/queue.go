@@ -13,6 +13,7 @@ type admitQueue struct {
 	mu    sync.Mutex
 	cap   int
 	total int
+	hw    int               // high-water mark: deepest the queue has been
 	fifos map[string][]*Job // tenant -> pending jobs, FIFO
 	ring  []string          // tenants with pending jobs, rotation order
 	next  int               // ring cursor: index of the tenant to serve next
@@ -35,6 +36,9 @@ func (q *admitQueue) push(j *Job) bool {
 	}
 	q.fifos[j.Tenant] = append(q.fifos[j.Tenant], j)
 	q.total++
+	if q.total > q.hw {
+		q.hw = q.total
+	}
 	return true
 }
 
@@ -83,4 +87,13 @@ func (q *admitQueue) len() int {
 	q.mu.Lock()
 	defer q.mu.Unlock()
 	return q.total
+}
+
+// highWater returns the deepest the queue has ever been — the back-pressure
+// headline a load run reads off serve_queue_depth_high_water (a sampled
+// serve_queue_depth can miss the peak between scrapes; this cannot).
+func (q *admitQueue) highWater() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.hw
 }

@@ -35,12 +35,10 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
-	"math"
 	"net/http"
 	"os"
 	"path/filepath"
 	"reflect"
-	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -50,6 +48,7 @@ import (
 	"smartfeat/internal/grid"
 	"smartfeat/internal/lease"
 	"smartfeat/internal/obs"
+	"smartfeat/internal/retryafter"
 )
 
 // Options configures a Server.
@@ -82,6 +81,14 @@ type Options struct {
 	// job whose config hash matches the directory (mismatching jobs run
 	// uncached). Ignored with FMReplayDir (redundant).
 	FMCacheDir string
+	// FMPool, when set, routes every job's FM traffic through a resilient
+	// backend pool (circuit breakers, hedging, injected faults — the chaos
+	// transport layer). Each job gets a copy seeded with its own config
+	// seed so fault sequences are deterministic per job. PoolSpec is
+	// transport-only and excluded from config fingerprints, so a
+	// replay-backed daemon with a faulted pool still serves byte-identical
+	// results — which is exactly what the load simulator leans on.
+	FMPool *fmgate.PoolSpec
 	// Logf, when set, receives one line per lifecycle event.
 	Logf func(format string, args ...any)
 }
@@ -89,6 +96,7 @@ type Options struct {
 // serveObs are the daemon's contributors to the process obs registry.
 type serveObs struct {
 	queueDepth       obs.Gauge
+	queueHighWater   obs.Gauge
 	running          obs.Gauge
 	admitted         obs.Counter
 	rejectedFull     obs.Counter
@@ -103,6 +111,7 @@ func newServeObs() *serveObs {
 	so := &serveObs{reqSeconds: obs.NewHistogram(obs.TimeBuckets...)}
 	reg := obs.Default
 	reg.RegisterGauge("serve_queue_depth", "Jobs waiting in the admission queue.", &so.queueDepth)
+	reg.RegisterGauge("serve_queue_depth_high_water", "Deepest the admission queue has been this process.", &so.queueHighWater)
 	reg.RegisterGauge("serve_jobs_running", "Jobs currently executing.", &so.running)
 	reg.RegisterCounter("serve_jobs_admitted_total", "Jobs admitted into the queue.", &so.admitted)
 	reg.RegisterCounter("serve_jobs_rejected_total", "Jobs rejected at admission, by reason.", &so.rejectedFull, "reason", "queue_full")
@@ -306,6 +315,14 @@ func (s *Server) runJob(j *Job) {
 // root partition the job's cells through the lease protocol.
 func (s *Server) executeJob(ctx context.Context, j *Job) (string, error) {
 	cfg := j.Spec.config()
+	if s.opts.FMPool != nil {
+		// Per-job copy: the pool spec's fault sequences are seeded with the
+		// job's own config seed, so identical jobs draw identical faults no
+		// matter which executor (or replica) runs them.
+		spec := *s.opts.FMPool
+		spec.Seed = cfg.Seed
+		cfg.FMPool = &spec
+	}
 	runner := &grid.Runner{
 		Config:   cfg,
 		Dir:      j.dir,
@@ -434,8 +451,8 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		delete(s.jobs, id)
 		s.mu.Unlock()
 		s.obs.rejectedFull.Inc()
-		secs := int(math.Ceil(s.opts.RetryAfter.Seconds()))
-		w.Header().Set("Retry-After", strconv.Itoa(secs))
+		secs := retryafter.Seconds(s.opts.RetryAfter)
+		retryafter.Set(w.Header(), s.opts.RetryAfter)
 		writeJSON(w, http.StatusTooManyRequests, map[string]any{
 			"error":       fmt.Sprintf("admission queue full (%d queued)", s.queue.len()),
 			"retry_after": secs,
@@ -444,6 +461,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	}
 	s.obs.admitted.Inc()
 	s.obs.queueDepth.Set(int64(s.queue.len()))
+	s.obs.queueHighWater.Set(int64(s.queue.highWater()))
 	select {
 	case s.wake <- struct{}{}:
 	default:
@@ -580,6 +598,12 @@ func (o Options) String() string {
 	}
 	if o.FMCacheDir != "" {
 		fmt.Fprintf(&b, " fm-cache-dir=%s", o.FMCacheDir)
+	}
+	if o.FMPool != nil {
+		fmt.Fprintf(&b, " fm-backends=%d", o.FMPool.Backends)
+		if !o.FMPool.Faults.Empty() {
+			b.WriteString(" fm-faults")
+		}
 	}
 	return b.String()
 }

@@ -260,6 +260,89 @@ func TestTenantFairness(t *testing.T) {
 	}
 }
 
+// TestTenantFairnessChurn extends TestTenantFairness to tenant churn: a
+// tenant that joins mid-queue — after the incumbent's backlog is already
+// waiting — still runs after at most one more incumbent job, and a tenant
+// that drains out of the rotation and later rejoins gets the same bound a
+// first-time tenant would, with no stale ring state in either direction.
+func TestTenantFairnessChurn(t *testing.T) {
+	s := newTestServer(t, Options{QueueDepth: 16, Executors: 1})
+	step := make(chan struct{}, 16)
+	started := make(chan string, 16)
+	var mu sync.Mutex
+	var order []string
+	s.execute = func(ctx context.Context, j *Job) (string, error) {
+		started <- j.ID
+		<-step
+		mu.Lock()
+		order = append(order, j.ID)
+		mu.Unlock()
+		return "stub result", nil
+	}
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	waitStart := func(want string) {
+		t.Helper()
+		select {
+		case id := <-started:
+			if id != want {
+				t.Fatalf("started %q, want %q", id, want)
+			}
+		case <-time.After(10 * time.Second):
+			t.Fatalf("%s never started", want)
+		}
+	}
+
+	// acme floods while its first job is in flight.
+	mustSubmit(t, ts.URL, "acme", "a1", testSpec(), http.StatusAccepted)
+	waitStart("a1")
+	mustSubmit(t, ts.URL, "acme", "a2", testSpec(), http.StatusAccepted)
+	mustSubmit(t, ts.URL, "acme", "a3", testSpec(), http.StatusAccepted)
+
+	// a1 finishes and a2 starts — only then does beta join, mid-queue,
+	// behind a3 in arrival order.
+	step <- struct{}{}
+	waitStart("a2")
+	mustSubmit(t, ts.URL, "beta", "b1", testSpec(), http.StatusAccepted)
+	mustSubmit(t, ts.URL, "acme", "a4", testSpec(), http.StatusAccepted)
+
+	for i := 0; i < 4; i++ {
+		step <- struct{}{}
+	}
+	for _, id := range []string{"a1", "a2", "a3", "a4", "b1"} {
+		j, _ := s.Job(id)
+		waitDone(t, j)
+	}
+
+	for len(started) > 0 {
+		<-started // phase one's unconsumed start signals
+	}
+
+	// beta has drained out of the rotation entirely. acme floods again and
+	// beta rejoins — the bound resets rather than carrying ring history.
+	mustSubmit(t, ts.URL, "acme", "a5", testSpec(), http.StatusAccepted)
+	waitStart("a5")
+	mustSubmit(t, ts.URL, "acme", "a6", testSpec(), http.StatusAccepted)
+	mustSubmit(t, ts.URL, "beta", "b2", testSpec(), http.StatusAccepted)
+	for i := 0; i < 3; i++ {
+		step <- struct{}{}
+	}
+	for _, id := range []string{"a5", "a6", "b2"} {
+		j, _ := s.Job(id)
+		waitDone(t, j)
+	}
+
+	mu.Lock()
+	got := strings.Join(order, " ")
+	mu.Unlock()
+	// b1 waits out exactly one acme job (the in-flight a2), not acme's
+	// backlog; the rejoined b2 likewise waits out only a6.
+	if want := "a1 a2 b1 a3 a4 a5 a6 b2"; got != want {
+		t.Fatalf("execution order = %q, want %q", got, want)
+	}
+}
+
 // TestSubmitIdempotentAndConflict pins the (name, spec) identity rules:
 // resubmitting an identical pair is a 200 no-op reporting the existing job,
 // while the same name under a different spec is a 409.

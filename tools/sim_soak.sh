@@ -1,0 +1,134 @@
+#!/bin/sh
+# sim_soak.sh — multi-seed soak of the smartfeatd daemon under synthetic
+# load (make sim-soak SEEDS=N; wired into CI as the sim-check job).
+#
+# Phase 1 records the quick Diabetes comparison grid sequentially with the
+# experiments CLI and keeps its stdout as the golden tables. Then, once per
+# seed, phase 2 starts a fresh replay-backed daemon — with a small admission
+# queue, two executors, and the fmgate fault model injecting transient
+# errors, rate limits and latency jitter into the FM transport — and drives
+# it with cmd/loadsim: two tenants, two closed-loop clients each, a three-
+# spec workload mix, strict mode. Strict mode means the run itself asserts
+#
+#   * every re-served spec's result is byte-identical to its first serve;
+#   * the daemon's serve_* counter deltas reconcile exactly against the
+#     client's own admission/rejection/completion ledger;
+#   * no op exhausts its Retry-After backoff budget.
+#
+# The harness then asserts across runs:
+#
+#   * every seed's result tables are byte-identical to seed 1's (the seed
+#     perturbs timing only — never results);
+#   * the full-selection table is byte-identical to the CLI golden;
+#   * every daemon drains clean on SIGTERM (exit 0).
+#
+# Seed 1's run is appended (as go-bench lines via tools/benchjson) to the
+# BENCH_load.json trajectory.
+set -eu
+
+GO="${GO:-go}"
+SEEDS="${SEEDS:-3}"
+TMP="$(mktemp -d)"
+DAEMON_PID=""
+cleanup() {
+    [ -n "$DAEMON_PID" ] && kill -9 "$DAEMON_PID" 2>/dev/null || true
+    rm -rf "$TMP"
+}
+trap cleanup EXIT INT TERM
+
+EXP="$TMP/experiments"
+DAEMON="$TMP/smartfeatd"
+LOADSIM="$TMP/loadsim"
+"$GO" build -o "$EXP" ./cmd/experiments
+"$GO" build -o "$DAEMON" ./cmd/smartfeatd
+"$GO" build -o "$LOADSIM" ./cmd/loadsim
+
+# Comparison selection only (table 4, quick, Diabetes): deterministic per
+# cell, so served results can be diffed byte-for-byte.
+echo "sim-soak: recording sequential golden run" >&2
+"$EXP" -table 4 -quick -datasets Diabetes \
+    -run-dir "$TMP/seq" -fm-record "$TMP/fm" >"$TMP/golden.txt" 2>"$TMP/seq.log"
+
+# The workload mix: op k submits spec k%3. Spec 0 is the full selection
+# (comparable against the CLI golden); 1 and 2 are method-restricted
+# variants (restricting methods does not change the config fingerprint, so
+# the recording covers them too).
+SPEC0='{"table":4,"quick":true,"datasets":["Diabetes"]}'
+SPEC1='{"table":4,"quick":true,"datasets":["Diabetes"],"methods":["SMARTFEAT"]}'
+SPEC2='{"table":4,"quick":true,"datasets":["Diabetes"],"methods":["CAAFE"]}'
+
+seed=1
+while [ "$seed" -le "$SEEDS" ]; do
+    echo "sim-soak: seed $seed: starting replay-backed daemon (chaos pool enabled)" >&2
+    : >"$TMP/daemon-$seed.log"
+    # queue-depth 1 against 4 closed-loop clients (2 running + 1 queued < 4)
+    # guarantees the 429 + Retry-After path is exercised every seed.
+    "$DAEMON" -addr 127.0.0.1:0 -run-root "$TMP/root-$seed" -fm-replay "$TMP/fm" \
+        -queue-depth 1 -executors 2 -worker "soak-$seed" \
+        -drain-timeout 120s -retry-after 1s \
+        -fm-backends 3 -fm-retries 4 \
+        -fm-faults 'rate=0.05,ratelimit=0.05,retryafter=10ms,jitter=1ms' \
+        2>"$TMP/daemon-$seed.log" &
+    DAEMON_PID=$!
+
+    tries=0
+    until grep -q "serving on http://" "$TMP/daemon-$seed.log" 2>/dev/null; do
+        if ! kill -0 "$DAEMON_PID" 2>/dev/null; then
+            echo "sim-soak: daemon died on startup; log:" >&2
+            cat "$TMP/daemon-$seed.log" >&2; exit 1
+        fi
+        tries=$((tries + 1))
+        if [ "$tries" -gt 100 ]; then
+            echo "sim-soak: daemon never announced its address" >&2
+            cat "$TMP/daemon-$seed.log" >&2; exit 1
+        fi
+        sleep 0.1
+    done
+    ADDR="$(sed -n 's|^smartfeatd: serving on http://\([^ ]*\).*|\1|p' "$TMP/daemon-$seed.log" | head -n 1)"
+    [ -n "$ADDR" ] || { echo "sim-soak: no address in daemon log" >&2; exit 1; }
+
+    BENCH_FLAG=""
+    [ "$seed" = "1" ] && BENCH_FLAG="-bench $TMP/bench.txt"
+    echo "sim-soak: seed $seed: driving load (6 ops, 2 tenants x 2 clients)" >&2
+    "$LOADSIM" -addr "http://$ADDR" \
+        -spec "$SPEC0" -spec "$SPEC1" -spec "$SPEC2" \
+        -tenants 2 -clients 2 -ops 6 -seed "$seed" -retries 20 \
+        -strict -q -out "$TMP/out-$seed" $BENCH_FLAG >"$TMP/loadsim-$seed.txt" 2>&1 || {
+        echo "sim-soak: seed $seed: loadsim failed:" >&2
+        cat "$TMP/loadsim-$seed.txt" >&2
+        cat "$TMP/daemon-$seed.log" >&2; exit 1; }
+    cat "$TMP/loadsim-$seed.txt" >&2
+
+    # SIGTERM drain: everything already completed (closed loop), exit 0.
+    kill -TERM "$DAEMON_PID"
+    set +e
+    wait "$DAEMON_PID"
+    STATUS=$?
+    set -e
+    DAEMON_PID=""
+    [ "$STATUS" = "0" ] || {
+        echo "sim-soak: seed $seed: daemon exited $STATUS after SIGTERM, want 0; log:" >&2
+        cat "$TMP/daemon-$seed.log" >&2; exit 1; }
+
+    # The full-selection table must match the CLI golden byte-for-byte.
+    diff "$TMP/golden.txt" "$TMP/out-$seed/tables/table-00.txt" >&2 || {
+        echo "sim-soak: seed $seed: full-selection table differs from the CLI golden" >&2; exit 1; }
+
+    # Every seed's tables must match seed 1's byte-for-byte: the seed moves
+    # arrival timing, backoff jitter and think time — never results.
+    if [ "$seed" != "1" ]; then
+        diff -r "$TMP/out-1/tables" "$TMP/out-$seed/tables" >&2 || {
+            echo "sim-soak: seed $seed: tables differ from seed 1 (results leaked timing)" >&2; exit 1; }
+    fi
+    echo "sim-soak: seed $seed: tables byte-identical, drain clean" >&2
+    seed=$((seed + 1))
+done
+
+# Fold seed 1's run into the committed load trajectory.
+if [ -n "${BENCH_OUT:-}" ]; then
+    "$GO" run ./tools/benchjson -append "$BENCH_OUT" <"$TMP/bench.txt" >"$BENCH_OUT.tmp" \
+        && mv "$BENCH_OUT.tmp" "$BENCH_OUT"
+    echo "sim-soak: appended seed-1 run to $BENCH_OUT" >&2
+fi
+
+echo "sim-soak: OK ($SEEDS seeds, tables byte-identical across all)" >&2

@@ -6,16 +6,27 @@
 //
 //	traceview runs/t4/trace.jsonl > trace.json
 //	traceview < trace.jsonl > trace.json
+//	traceview -merge daemon.jsonl worker1.jsonl worker2.jsonl > trace.json
 //
 // Each span becomes one complete ("X") event. Spans are grouped into tracks
 // by their root ancestor (the top-level span of each grid cell or FM call
 // chain), so a grid run renders as one lane per concurrently executing
 // cell. Attributes and bubbled counts land in the event's args.
 //
+// -merge accepts several trace files — say, a daemon and the worker
+// replicas cooperating on its run root, or a loadsim client beside the
+// daemon it drives — and renders them as one chronological Chrome trace:
+// each file becomes its own pid lane (pid = argument position, 1-based, so
+// span ids never collide across files), and every file's timestamps are
+// shifted onto the epoch of the earliest-started trace using the headers'
+// wall-clock Started stamps. Started has second precision, so cross-file
+// alignment is exact to the second and within a file to the microsecond.
+//
 // The converter is also the trace validator: any malformed line — bad JSON,
 // a missing header, a non-positive id, a duplicate id, a negative timestamp
 // or duration — fails the conversion with a line-numbered error and exit
-// status 1. CI runs it over every traced grid for exactly this reason.
+// status 1, in -merge mode naming the offending file. CI runs it over every
+// traced grid for exactly this reason.
 package main
 
 import (
@@ -25,6 +36,7 @@ import (
 	"io"
 	"os"
 	"sort"
+	"time"
 )
 
 // header is the first line of trace.jsonl.
@@ -63,21 +75,29 @@ type output struct {
 }
 
 func main() {
-	in := io.Reader(os.Stdin)
-	name := "<stdin>"
-	if len(os.Args) > 1 {
-		if os.Args[1] == "-h" || os.Args[1] == "--help" {
-			fmt.Fprintln(os.Stderr, "usage: traceview [trace.jsonl] > trace.json")
-			os.Exit(2)
+	var out *output
+	var err error
+	switch {
+	case len(os.Args) > 1 && (os.Args[1] == "-h" || os.Args[1] == "--help"):
+		fmt.Fprintln(os.Stderr, "usage: traceview [trace.jsonl] > trace.json")
+		fmt.Fprintln(os.Stderr, "       traceview -merge trace1.jsonl trace2.jsonl ... > trace.json")
+		os.Exit(2)
+	case len(os.Args) > 1 && os.Args[1] == "-merge":
+		if len(os.Args) < 3 {
+			fatal("-merge needs at least one trace file")
 		}
-		f, err := os.Open(os.Args[1])
+		out, err = mergeFiles(os.Args[2:])
+	case len(os.Args) > 1:
+		var f *os.File
+		f, err = os.Open(os.Args[1])
 		if err != nil {
 			fatal("%v", err)
 		}
 		defer f.Close()
-		in, name = f, os.Args[1]
+		out, err = convert(f, os.Args[1])
+	default:
+		out, err = convert(os.Stdin, "<stdin>")
 	}
-	out, err := convert(in, name)
 	if err != nil {
 		fatal("%v", err)
 	}
@@ -93,59 +113,69 @@ func fatal(format string, args ...any) {
 	os.Exit(1)
 }
 
-// convert reads and validates a trace stream, producing the Chrome events.
-func convert(in io.Reader, name string) (*output, error) {
+// parse reads and validates one trace stream. Every error is prefixed with
+// name and, for per-line failures, the 1-based line number.
+func parse(in io.Reader, name string) (header, []span, error) {
 	sc := bufio.NewScanner(in)
 	sc.Buffer(make([]byte, 0, 1<<20), 1<<24)
 
+	var hdr header
 	if !sc.Scan() {
 		if err := sc.Err(); err != nil {
-			return nil, fmt.Errorf("%s: %v", name, err)
+			return hdr, nil, fmt.Errorf("%s: %v", name, err)
 		}
-		return nil, fmt.Errorf("%s: empty trace (missing header line)", name)
+		return hdr, nil, fmt.Errorf("%s: empty trace (missing header line)", name)
 	}
-	var hdr header
 	if err := json.Unmarshal(sc.Bytes(), &hdr); err != nil {
-		return nil, fmt.Errorf("%s:1: malformed header: %v", name, err)
+		return hdr, nil, fmt.Errorf("%s:1: malformed header: %v", name, err)
 	}
 	if hdr.Trace != "v1" {
-		return nil, fmt.Errorf("%s:1: unsupported trace version %q (want \"v1\")", name, hdr.Trace)
+		return hdr, nil, fmt.Errorf("%s:1: unsupported trace version %q (want \"v1\")", name, hdr.Trace)
 	}
 
 	var spans []span
-	parent := make(map[int64]int64)
+	seen := make(map[int64]bool)
 	for lineNo := 2; sc.Scan(); lineNo++ {
 		if len(sc.Bytes()) == 0 {
 			continue
 		}
 		var s span
 		if err := json.Unmarshal(sc.Bytes(), &s); err != nil {
-			return nil, fmt.Errorf("%s:%d: malformed span: %v", name, lineNo, err)
+			return hdr, nil, fmt.Errorf("%s:%d: malformed span: %v", name, lineNo, err)
 		}
 		switch {
 		case s.ID <= 0:
-			return nil, fmt.Errorf("%s:%d: span id %d (ids are positive)", name, lineNo, s.ID)
+			return hdr, nil, fmt.Errorf("%s:%d: span id %d (ids are positive)", name, lineNo, s.ID)
 		case s.Parent < 0:
-			return nil, fmt.Errorf("%s:%d: span %d has negative parent %d", name, lineNo, s.ID, s.Parent)
+			return hdr, nil, fmt.Errorf("%s:%d: span %d has negative parent %d", name, lineNo, s.ID, s.Parent)
 		case s.Name == "":
-			return nil, fmt.Errorf("%s:%d: span %d has no name", name, lineNo, s.ID)
+			return hdr, nil, fmt.Errorf("%s:%d: span %d has no name", name, lineNo, s.ID)
 		case s.TsUS < 0 || s.DurUS < 0:
-			return nil, fmt.Errorf("%s:%d: span %d has negative time (ts=%d dur=%d)", name, lineNo, s.ID, s.TsUS, s.DurUS)
+			return hdr, nil, fmt.Errorf("%s:%d: span %d has negative time (ts=%d dur=%d)", name, lineNo, s.ID, s.TsUS, s.DurUS)
 		}
-		if _, dup := parent[s.ID]; dup {
-			return nil, fmt.Errorf("%s:%d: duplicate span id %d", name, lineNo, s.ID)
+		if seen[s.ID] {
+			return hdr, nil, fmt.Errorf("%s:%d: duplicate span id %d", name, lineNo, s.ID)
 		}
-		parent[s.ID] = s.Parent
+		seen[s.ID] = true
 		spans = append(spans, s)
 	}
 	if err := sc.Err(); err != nil {
-		return nil, fmt.Errorf("%s: %v", name, err)
+		return hdr, nil, fmt.Errorf("%s: %v", name, err)
 	}
+	return hdr, spans, nil
+}
 
+// buildEvents turns one file's spans into Chrome events on the given pid
+// lane, with every timestamp shifted by offsetUS.
+func buildEvents(spans []span, pid int, offsetUS int64) []event {
 	// Track = root ancestor. Spans are flushed on End, so children precede
 	// their parents in the file; with the full map loaded, walk each chain
 	// to the top. An interrupted run can leave a chain dangling at a parent
 	// that never ended — the walk stops at the last recorded ancestor.
+	parent := make(map[int64]int64, len(spans))
+	for _, s := range spans {
+		parent[s.ID] = s.Parent
+	}
 	root := func(id int64) int64 {
 		for {
 			p, ok := parent[id]
@@ -169,22 +199,92 @@ func convert(in io.Reader, name string) (*output, error) {
 			args["parent_span"] = s.Parent
 		}
 		events = append(events, event{
-			Name: s.Name, Ph: "X", Ts: s.TsUS, Dur: s.DurUS,
-			Pid: 1, Tid: root(s.ID), Args: args,
+			Name: s.Name, Ph: "X", Ts: s.TsUS + offsetUS, Dur: s.DurUS,
+			Pid: pid, Tid: root(s.ID), Args: args,
 		})
 	}
+	return events
+}
+
+func sortEvents(events []event) {
 	sort.SliceStable(events, func(i, j int) bool {
+		if events[i].Pid != events[j].Pid {
+			return events[i].Pid < events[j].Pid
+		}
 		if events[i].Tid != events[j].Tid {
 			return events[i].Tid < events[j].Tid
 		}
 		return events[i].Ts < events[j].Ts
 	})
+}
+
+// convert reads and validates a trace stream, producing the Chrome events.
+func convert(in io.Reader, name string) (*output, error) {
+	hdr, spans, err := parse(in, name)
+	if err != nil {
+		return nil, err
+	}
+	events := buildEvents(spans, 1, 0)
+	sortEvents(events)
 	return &output{
 		TraceEvents: events,
 		OtherData: map[string]any{
 			"program": hdr.Program,
 			"started": hdr.Started,
 			"spans":   len(spans),
+		},
+	}, nil
+}
+
+// mergeFiles parses every named trace and renders them as one chronological
+// Chrome trace. Each file gets its own pid lane (its 1-based argument
+// position) so span ids stay namespaced per file, and each file's
+// timestamps are shifted onto the epoch of the earliest-started trace via
+// the headers' wall-clock Started stamps.
+func mergeFiles(names []string) (*output, error) {
+	type parsed struct {
+		hdr     header
+		spans   []span
+		started time.Time
+	}
+	files := make([]parsed, 0, len(names))
+	var epoch time.Time
+	for _, name := range names {
+		f, err := os.Open(name)
+		if err != nil {
+			return nil, err
+		}
+		hdr, spans, err := parse(f, name)
+		f.Close()
+		if err != nil {
+			return nil, err
+		}
+		started, err := time.Parse(time.RFC3339, hdr.Started)
+		if err != nil {
+			return nil, fmt.Errorf("%s:1: header started %q is not RFC3339 (merge needs it to align epochs): %v", name, hdr.Started, err)
+		}
+		if epoch.IsZero() || started.Before(epoch) {
+			epoch = started
+		}
+		files = append(files, parsed{hdr: hdr, spans: spans, started: started})
+	}
+
+	var events []event
+	programs := make([]string, 0, len(files))
+	total := 0
+	for i, p := range files {
+		events = append(events, buildEvents(p.spans, i+1, p.started.Sub(epoch).Microseconds())...)
+		programs = append(programs, fmt.Sprintf("%d: %s (%s)", i+1, p.hdr.Program, names[i]))
+		total += len(p.spans)
+	}
+	sortEvents(events)
+	return &output{
+		TraceEvents: events,
+		OtherData: map[string]any{
+			"programs": programs,
+			"started":  epoch.UTC().Format(time.RFC3339),
+			"spans":    total,
+			"files":    len(files),
 		},
 	}, nil
 }
